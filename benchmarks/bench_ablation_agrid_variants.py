@@ -1,0 +1,33 @@
+"""Ablation — Agrid edge-selection variants (Section 9 discussion).
+
+Compares the uniform random edge selection of Algorithm 1 with the two
+variants the paper proposes as future work: attaching new links preferentially
+to low-degree nodes and attaching them to far-away nodes.  All variants must
+raise the minimal degree to d, so all must reach a positive µ; the benchmark
+records which variant wins on the quasi-tree zoo network.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ablation import selector_ablation
+from repro.topology.zoo import getnet
+
+N_RUNS = 3
+
+
+def test_ablation_agrid_variants(benchmark, bench_seed):
+    result = run_once(
+        benchmark, selector_ablation, getnet(), n_runs=N_RUNS, rng=bench_seed
+    )
+
+    assert set(result.cells) == {"uniform", "low_degree", "far_away"}
+    for cell in result.cells.values():
+        assert cell.min_mu >= 1, f"{cell.variant}: the boost must lift mu above 0"
+
+    benchmark.extra_info["experiment"] = "Ablation: Agrid edge-selection variants"
+    benchmark.extra_info["mean_mu"] = {
+        name: round(cell.mean_mu, 3) for name, cell in result.cells.items()
+    }
+    benchmark.extra_info["best_variant"] = result.best_variant()

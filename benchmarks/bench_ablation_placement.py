@@ -1,0 +1,34 @@
+"""Ablation — monitor-placement heuristics on the boosted network.
+
+Compares MDMP (the paper's heuristic), uniformly random placement and the
+degree-extremes variant on the Agrid-boosted EuNetworks.  The paper's claim
+(Theorem 5.4 is placement independent; Tables 11-13) translates into the
+assertion that every heuristic reaches a positive mean µ on the boosted graph.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ablation import placement_ablation
+from repro.topology.zoo import eunetworks
+
+N_RUNS = 3
+
+
+def test_ablation_placement(benchmark, bench_seed):
+    result = run_once(
+        benchmark, placement_ablation, eunetworks(), n_runs=N_RUNS, rng=bench_seed
+    )
+
+    assert set(result.cells) == {"mdmp", "random", "degree_extremes"}
+    for cell in result.cells.values():
+        assert cell.mean_mu >= 1.0, (
+            f"{cell.variant}: the boosted network should localise at least one "
+            "failure regardless of the placement heuristic"
+        )
+
+    benchmark.extra_info["experiment"] = "Ablation: monitor placement heuristics"
+    benchmark.extra_info["mean_mu"] = {
+        name: round(cell.mean_mu, 3) for name, cell in result.cells.items()
+    }

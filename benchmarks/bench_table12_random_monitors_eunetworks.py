@@ -1,0 +1,26 @@
+"""Table 12 — random monitor placements on EuNetworks vs its Agrid boost.
+
+Paper's shape: µ(G) = 0 for every random placement; µ(G^A) is at least 1 for
+most placements and reaches 2 for some.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.random_monitors import run_table12
+
+N_PLACEMENTS = 5
+
+
+def test_table12_random_monitors_eunetworks(benchmark, bench_seed):
+    result = run_once(benchmark, run_table12, n_placements=N_PLACEMENTS, rng=bench_seed)
+
+    assert result.n_nodes == 14
+    assert result.boosted_dominates
+    assert result.original.mean <= 1.0
+    assert result.boosted.mean >= 1.0
+
+    benchmark.extra_info["table"] = "Table 12 (random monitors, EuNetworks)"
+    benchmark.extra_info["original"] = {str(v): result.original.fraction(v) for v in result.original.support()}
+    benchmark.extra_info["boosted"] = {str(v): result.boosted.fraction(v) for v in result.boosted.support()}

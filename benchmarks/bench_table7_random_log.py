@@ -1,0 +1,37 @@
+"""Table 7 — Agrid on Erdős–Rényi graphs, d = log n.
+
+Paper's shape: with the larger dimension the improvement is clearly more
+frequent than in Table 6 (tens of percent of trials improve) and the maximal
+increment reaches 2.  Batch sizes reduced as in bench_table6.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.random_graphs import run_table6, run_table7
+
+BATCH_SIZES = (20, 40)
+NODE_COUNTS = (5, 8, 10)
+
+
+def test_table7_random_graphs_log(benchmark, bench_seed):
+    table = run_once(
+        benchmark,
+        run_table7,
+        node_counts=NODE_COUNTS,
+        batch_sizes=BATCH_SIZES,
+        rng=bench_seed,
+    )
+
+    assert table.never_decreased
+    improved_fractions = [cell.fraction_improved for cell in table.cells.values()]
+    assert any(fraction > 0 for fraction in improved_fractions), (
+        "with d = log n at least some random graphs must improve"
+    )
+
+    benchmark.extra_info["table"] = "Table 7 (random graphs, d=log n)"
+    benchmark.extra_info["cells"] = {
+        f"trials={key[0]},n={key[1]}": cell.render_cell()
+        for key, cell in table.cells.items()
+    }

@@ -1,0 +1,39 @@
+"""Theorems 4.8 and 4.9 — directed grids and hypergrids under χ_g.
+
+µ(H_n|χ_g) = 2 for n ≥ 3 and µ(H_{n,d}|χ_g) = d; additionally the optimality
+observation of Section 4.1 (dropping the monitors on (1,2) and (2,1) breaks
+2-identifiability).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.identifiability import mu
+from repro.monitors.grid_placement import chi_g, reduced_chi_g
+from repro.topology.grids import directed_grid, directed_hypergrid
+
+
+def _run_directed_grid_suite() -> dict:
+    results = {}
+    for n in (3, 4, 5):
+        grid = directed_grid(n)
+        results[f"H_{n}"] = mu(grid, chi_g(grid))
+    hypergrid = directed_hypergrid(3, 3)
+    results["H_3_3"] = mu(hypergrid, chi_g(hypergrid))
+    weakened = directed_grid(3)
+    results["H_3_reduced_monitors"] = mu(weakened, reduced_chi_g(weakened))
+    return results
+
+
+def test_theorem_directed_grids(benchmark):
+    results = run_once(benchmark, _run_directed_grid_suite)
+
+    assert results["H_3"] == 2            # Theorem 4.8
+    assert results["H_4"] == 2
+    assert results["H_5"] == 2
+    assert results["H_3_3"] == 3          # Theorem 4.9 (d = 3)
+    assert results["H_3_reduced_monitors"] < 2  # optimality of chi_g
+
+    benchmark.extra_info["experiment"] = "Theorems 4.8 / 4.9 (directed grids)"
+    benchmark.extra_info["measured"] = results

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Design a green-field network with Ω(log N) identifiability (Section 7).
+
+Given a node budget N, the Section 7 recipe wires the nodes as an undirected
+hypergrid H_{n,d} with n^d ≥ N and n ≥ 3, attaches 2d monitors anywhere, and
+is guaranteed d − 1 ≤ µ ≤ d by Theorem 5.4 — identifiability that grows like
+log N while the number of monitors stays logarithmic too.
+
+The example designs networks for a range of node budgets, reports the
+guaranteed bounds, and verifies the guarantee by exact computation on the
+smaller designs.  It also shows the embedding view (Section 6): the designed
+hypergrid has order dimension d, and any transitively-closed DAG embeddable in
+it inherits the identifiability lower bound.
+
+Run:  python examples/design_monitorable_network.py
+"""
+
+from __future__ import annotations
+
+from repro import mu
+from repro.agrid import design_network
+from repro.embeddings import hypergrid_dimension
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    rows = []
+    for budget in (9, 27, 64, 81, 243):
+        plan = design_network(budget)
+        guaranteed = f"{plan.guaranteed_mu_lower}..{plan.guaranteed_mu_upper}"
+        # Exact verification is affordable for the smallest designs only: the
+        # number of simple paths in an undirected hypergrid explodes quickly.
+        if plan.n_nodes <= 9:
+            measured = mu(plan.graph, plan.placement)
+        else:
+            measured = "(skipped: exact check too large for an example)"
+        rows.append(
+            (
+                budget,
+                f"H_{{{plan.support},{plan.dimension}}}",
+                plan.n_nodes,
+                plan.n_monitors,
+                guaranteed,
+                measured,
+                hypergrid_dimension(plan.graph),
+            )
+        )
+    headers = (
+        "requested N",
+        "design",
+        "wired nodes",
+        "monitors (2d)",
+        "guaranteed mu",
+        "measured mu",
+        "dimension",
+    )
+    print(format_table(headers, rows, title="Section 7 design rule"))
+    print()
+    print("Monitors grow like 2*log3(N) while the identifiability guarantee "
+          "grows like log3(N) - 1.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Failure localisation end to end: inject node failures, measure, localise.
+
+This example exercises the Boolean-tomography substrate (Equation 1 of the
+paper) as an operator would use it:
+
+* build a topology and place monitors,
+* enumerate the CSP measurement paths,
+* inject failure sets of growing size,
+* run the localiser on the resulting 0/1 path measurements,
+* observe that failures up to size µ are always uniquely localised, while
+  larger failure sets can become ambiguous.
+
+Run:  python examples/failure_localization.py
+"""
+
+from __future__ import annotations
+
+from repro import chi_g, directed_grid
+from repro.tomography import TomographySession
+
+
+def main() -> None:
+    grid = directed_grid(4)
+    placement = chi_g(grid)
+    session = TomographySession(grid, placement)
+    print(session.describe())
+    print(f"maximal identifiability mu = {session.mu}")
+    print()
+
+    # Deterministic single- and double-failure scenarios.
+    for failure in [
+        {(2, 2)},
+        {(2, 2), (3, 3)},
+        {(2, 2), (2, 3), (3, 2)},
+    ]:
+        outcome = session.run_trial(failure)
+        failed_paths = sum(outcome.observations)
+        print(f"injected failures: {sorted(failure)}")
+        print(f"  paths reporting a failure: {failed_paths}/{len(outcome.observations)}")
+        print(f"  consistent candidate sets: {outcome.localization.ambiguity}")
+        if outcome.uniquely_identified:
+            print(f"  uniquely localised: {sorted(outcome.localization.localized_set)}")
+        else:
+            print("  NOT uniquely localised (failure size exceeds the guarantee)")
+        print()
+
+    # Monte-Carlo campaign: unique-localisation rate per failure size.
+    print("Monte-Carlo unique-localisation rate (20 trials per size):")
+    for size in (1, 2, 3):
+        report = session.run_campaign(failure_size=size, n_trials=20, rng=2018)
+        guarantee = "guaranteed" if size <= session.mu else "not guaranteed"
+        print(
+            f"  |failure| = {size}: {report.unique_rate:5.0%} unique "
+            f"(mean ambiguity {report.mean_ambiguity:.2f}) [{guarantee}]"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All package metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` keeps working on minimal environments where the ``wheel``
+package (needed by PEP 660 editable builds) is not available and pip falls
+back to the legacy ``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

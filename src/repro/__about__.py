@@ -1,0 +1,3 @@
+"""Package metadata."""
+
+__version__ = "1.0.0"

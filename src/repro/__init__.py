@@ -1,0 +1,105 @@
+"""repro — Boolean network tomography: maximal identifiability of failure nodes.
+
+A complete, laptop-scale reproduction of
+
+    Galesi & Ranjbar, "Tight bounds for maximal identifiability of failure
+    nodes in Boolean network tomography", ICDCS 2018 (arXiv:1712.09856).
+
+The package provides:
+
+* **Topologies** (:mod:`repro.topology`) — directed/undirected d-dimensional
+  hypergrids, trees, lines, Erdős–Rényi graphs and the small "zoo" networks of
+  the experimental section.
+* **Monitor placements** (:mod:`repro.monitors`) — the χ_g and χ_t placements,
+  the MDMP heuristic and random placements.
+* **Routing** (:mod:`repro.routing`) — CAP / CAP⁻ / CSP measurement-path
+  enumeration.
+* **Identifiability core** (:mod:`repro.core`) — exact maximal identifiability
+  µ, truncated µ_α, local identifiability, structural upper bounds and
+  separation primitives.
+* **Boolean tomography** (:mod:`repro.tomography`) — the measurement system of
+  Equation (1), failure simulation and localisation.
+* **Embeddings** (:mod:`repro.embeddings`) — order embeddings, distance
+  increasing/preserving embeddings, order dimension and the Section-6 theorems
+  as executable checks.
+* **Agrid** (:mod:`repro.agrid`) — the edge-addition heuristic, the Section-7
+  network-design recipe and cost-benefit trade-off models.
+* **Experiments** (:mod:`repro.experiments`) — drivers regenerating Tables
+  3-13 and the ablations.
+
+Quickstart
+----------
+
+>>> from repro import directed_grid, chi_g, mu
+>>> grid = directed_grid(4)                 # the directed 4x4 grid H_4
+>>> placement = chi_g(grid)                 # the paper's grid monitor placement
+>>> mu(grid, placement)                     # Theorem 4.8: exactly 2
+2
+"""
+
+from repro.__about__ import __version__
+from repro.agrid import agrid, design_network
+from repro.analysis import verify
+from repro.core import (
+    is_k_identifiable,
+    maximal_identifiability,
+    mu,
+    mu_detailed,
+    mu_truncated,
+    structural_upper_bound,
+)
+from repro.monitors import (
+    MonitorPlacement,
+    chi_corners,
+    chi_g,
+    chi_t,
+    mdmp_placement,
+    random_placement,
+)
+from repro.routing import PathSet, RoutingMechanism, enumerate_paths
+from repro.tomography import TomographySession, localize_failures, measurement_vector
+from repro.topology import (
+    claranet,
+    directed_grid,
+    directed_hypergrid,
+    erdos_renyi_connected,
+    undirected_grid,
+    undirected_hypergrid,
+)
+
+__all__ = [
+    "__version__",
+    # core measure
+    "mu",
+    "mu_detailed",
+    "mu_truncated",
+    "maximal_identifiability",
+    "is_k_identifiable",
+    "structural_upper_bound",
+    "verify",
+    # routing
+    "PathSet",
+    "RoutingMechanism",
+    "enumerate_paths",
+    # monitors
+    "MonitorPlacement",
+    "chi_corners",
+    "chi_g",
+    "chi_t",
+    "mdmp_placement",
+    "random_placement",
+    # topologies
+    "claranet",
+    "directed_grid",
+    "directed_hypergrid",
+    "undirected_grid",
+    "undirected_hypergrid",
+    "erdos_renyi_connected",
+    # tomography
+    "TomographySession",
+    "localize_failures",
+    "measurement_vector",
+    # applications
+    "agrid",
+    "design_network",
+]

@@ -1,0 +1,41 @@
+"""Shared type aliases used across the :mod:`repro` package.
+
+The library follows the paper's conventions:
+
+* a *node* is any hashable object — grid nodes are ``tuple[int, ...]``
+  coordinates, tree and zoo-network nodes are strings or integers;
+* a *path* is an ordered tuple of nodes (the paper identifies a path in a DAG
+  with its node sequence, Section 2);
+* a *node set* (a candidate failure set) is a ``frozenset`` of nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence, Tuple, Union
+
+import networkx as nx
+
+#: A node of a topology.  Grid nodes are coordinate tuples, other topologies
+#: use strings or ints.  Anything hashable is accepted.
+Node = Hashable
+
+#: A measurement path, represented by its ordered node sequence.
+Path = Tuple[Node, ...]
+
+#: A set of candidate failure nodes.
+NodeSet = frozenset
+
+#: Either flavour of networkx graph accepted by most of the library.
+AnyGraph = Union[nx.Graph, nx.DiGraph]
+
+#: Convenience alias for things accepted where a collection of nodes is needed.
+Nodes = Iterable[Node]
+
+#: A mapping used as an embedding ``f : V(G) -> V(H)``.
+NodeMapping = Mapping[Node, Node]
+
+#: A sequence of measurement outcomes, one Boolean per path (1 = failure seen).
+MeasurementVector = Tuple[int, ...]
+
+#: A sequence of paths.
+PathSequence = Sequence[Path]

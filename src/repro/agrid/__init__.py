@@ -1,0 +1,46 @@
+"""The Agrid heuristic (Algorithm 1), the Section-7 network-design recipe and
+the cost-benefit trade-off models."""
+
+from repro.agrid.algorithm import (
+    AgridResult,
+    agrid,
+    boost_min_degree,
+    far_away_selector,
+    low_degree_selector,
+    subnetwork_agrid,
+)
+from repro.agrid.design import (
+    DesignPlan,
+    achievable_identifiability,
+    address_map,
+    best_parameters,
+    design_network,
+)
+from repro.agrid.tradeoffs import (
+    StaticTradeoff,
+    dynamic_benefit,
+    dynamic_benefit_series,
+    identifiability_scaled_test_cost,
+    static_tradeoff,
+    uniform_edge_cost,
+)
+
+__all__ = [
+    "AgridResult",
+    "agrid",
+    "boost_min_degree",
+    "far_away_selector",
+    "low_degree_selector",
+    "subnetwork_agrid",
+    "DesignPlan",
+    "achievable_identifiability",
+    "address_map",
+    "best_parameters",
+    "design_network",
+    "StaticTradeoff",
+    "dynamic_benefit",
+    "dynamic_benefit_series",
+    "identifiability_scaled_test_cost",
+    "static_tradeoff",
+    "uniform_edge_cost",
+]

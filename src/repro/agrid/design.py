@@ -1,0 +1,156 @@
+"""Designing networks with high identifiability (Section 7, first part).
+
+Theorem 5.4 suggests a recipe for a green-field network over ``N`` nodes: pick
+a support ``n ≥ 3`` and a dimension ``d`` with ``N = n^d``, address every node
+by a d-dimensional vector in ``[n]^d``, wire the undirected hypergrid
+``H_{n,d}``, and attach 2d monitors anywhere.  The resulting identifiability
+is between ``d − 1`` and ``d``; choosing ``n = 3`` maximises the achievable
+dimension, ``d ≤ log₃ N``, i.e. identifiability Ω(log N) with O(log N)
+monitors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import networkx as nx
+
+from repro._typing import Node
+from repro.exceptions import DesignError
+from repro.monitors.grid_placement import chi_corners
+from repro.monitors.placement import MonitorPlacement
+from repro.topology.grids import undirected_hypergrid
+
+
+@dataclass(frozen=True)
+class DesignPlan:
+    """A concrete design produced by :func:`design_network`.
+
+    Attributes
+    ----------
+    support, dimension:
+        The hypergrid parameters ``n`` and ``d`` (``n^d`` nodes are wired).
+    graph:
+        The undirected hypergrid ``H_{n,d}``.
+    placement:
+        A 2d-monitor placement (corner placement by default).
+    guaranteed_mu_lower, guaranteed_mu_upper:
+        The Theorem 5.4 bounds ``d − 1`` and ``d``.
+    requested_nodes:
+        The ``N`` the caller asked for (may be smaller than ``n^d``; the extra
+        addresses are reported in ``spare_nodes``).
+    """
+
+    support: int
+    dimension: int
+    graph: nx.Graph
+    placement: MonitorPlacement
+    requested_nodes: int
+
+    @property
+    def n_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def spare_nodes(self) -> int:
+        """Addresses wired beyond the requested N (0 for exact powers)."""
+        return self.n_nodes - self.requested_nodes
+
+    @property
+    def n_monitors(self) -> int:
+        return self.placement.n_monitors
+
+    @property
+    def guaranteed_mu_lower(self) -> int:
+        return max(self.dimension - 1, 0)
+
+    @property
+    def guaranteed_mu_upper(self) -> int:
+        return self.dimension
+
+
+def best_parameters(n_nodes: int, min_support: int = 3) -> Tuple[int, int]:
+    """The (support, dimension) pair maximising d with ``support ≥ min_support``
+    and ``support^d ≥ n_nodes``.
+
+    Following Section 7: with ``n = 3`` the dimension can reach ``⌊log₃ N⌋``;
+    the function returns the smallest support achieving the maximal dimension
+    so the node overhead ``support^d − N`` stays small.
+    """
+    if n_nodes < min_support:
+        raise DesignError(
+            f"need at least {min_support} nodes to design a hypergrid, got {n_nodes}"
+        )
+    # The largest dimension for which a support >= min_support still fits
+    # within N nodes, i.e. floor(log_{min_support} N) computed without
+    # floating-point surprises.
+    max_dimension = 1
+    while min_support ** (max_dimension + 1) <= n_nodes:
+        max_dimension += 1
+    dimension = max_dimension
+    support = math.ceil(n_nodes ** (1.0 / dimension))
+    support = max(support, min_support)
+    # Guard against floating point off-by-one in both directions.
+    while support**dimension < n_nodes:
+        support += 1
+    while support > min_support and (support - 1) ** dimension >= n_nodes:
+        support -= 1
+    return support, dimension
+
+
+def achievable_identifiability(n_nodes: int) -> int:
+    """The guaranteed identifiability ``d − 1`` of the designed network.
+
+    Equals ``⌊log₃ N⌋ − 1`` up to rounding of the support choice; the point of
+    Section 7 is that this grows logarithmically in N while using only
+    ``2d = O(log N)`` monitors.
+    """
+    _, dimension = best_parameters(n_nodes)
+    return max(dimension - 1, 0)
+
+
+def design_network(
+    n_nodes: int,
+    dimension: Optional[int] = None,
+    min_support: int = 3,
+) -> DesignPlan:
+    """Design a network over (at least) ``n_nodes`` nodes per Section 7.
+
+    Parameters
+    ----------
+    n_nodes:
+        The number of nodes the network must accommodate.
+    dimension:
+        Force a specific dimension instead of the maximal feasible one.
+    min_support:
+        The minimal hypergrid support (the paper requires n ≥ 3).
+    """
+    if dimension is None:
+        support, dimension = best_parameters(n_nodes, min_support)
+    else:
+        if dimension < 1:
+            raise DesignError(f"dimension must be >= 1, got {dimension}")
+        support = max(min_support, math.ceil(n_nodes ** (1.0 / dimension)))
+        while support**dimension < n_nodes:
+            support += 1
+    graph = undirected_hypergrid(support, dimension)
+    placement = chi_corners(graph)
+    return DesignPlan(
+        support=support,
+        dimension=dimension,
+        graph=graph,
+        placement=placement,
+        requested_nodes=n_nodes,
+    )
+
+
+def address_map(plan: DesignPlan) -> Dict[int, Node]:
+    """Assign the first ``requested_nodes`` logical addresses to grid nodes.
+
+    Logical node ``i`` (0-based) receives the i-th grid coordinate in
+    lexicographic order; the remaining grid nodes are spare capacity.
+    """
+    ordered = sorted(plan.graph.nodes)
+    return {index: ordered[index] for index in range(plan.requested_nodes)}

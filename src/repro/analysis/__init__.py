@@ -1,0 +1,26 @@
+"""Theory oracle and paper-vs-measured verification reports."""
+
+from repro.analysis.theory import (
+    Prediction,
+    predict,
+    predicted_design_bounds,
+    predicted_mu_directed_hypergrid,
+    predicted_mu_directed_tree,
+    predicted_mu_line,
+    predicted_mu_undirected_hypergrid,
+    predicted_mu_undirected_tree,
+)
+from repro.analysis.verification import VerificationReport, verify
+
+__all__ = [
+    "Prediction",
+    "predict",
+    "predicted_design_bounds",
+    "predicted_mu_directed_hypergrid",
+    "predicted_mu_directed_tree",
+    "predicted_mu_line",
+    "predicted_mu_undirected_hypergrid",
+    "predicted_mu_undirected_tree",
+    "VerificationReport",
+    "verify",
+]

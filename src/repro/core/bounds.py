@@ -1,0 +1,241 @@
+"""Structural upper bounds on maximal identifiability (Section 3).
+
+Implemented results:
+
+* **Theorem 3.1** — for connected ``G`` under CSP routing,
+  ``µ(G|χ) < max(m̂, M̂)`` where ``m̂`` and ``M̂`` are the numbers of nodes
+  linked to input and output monitors.
+* **Lemma 3.2** — for undirected ``G``: ``µ(G) ≤ δ(G)`` (minimal degree),
+  for any placement, under CSP or CAP⁻.
+* **Corollary 3.3** — ``µ(G) ≤ min(n, ⌈2m/n⌉)`` for undirected ``G`` with
+  ``n`` nodes and ``m`` edges.
+* **Lemma 3.4** — for directed ``G``: ``µ(G) ≤ δ̂(G)`` where δ̂ accounts for
+  complex/simple source nodes of the placement.
+* **Section 3.3** — if the path set contains a *line*, µ < 1.
+
+These bounds do two jobs in the library: they are exposed as public API
+(`structural_upper_bound`), and they cap the exhaustive search of
+:func:`repro.core.identifiability.maximal_identifiability` so that the exact
+computation never explores subsets larger than the theory allows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
+
+import networkx as nx
+
+from repro._typing import AnyGraph, Node
+from repro.exceptions import TopologyError
+from repro.monitors.placement import MonitorPlacement
+from repro.routing.mechanisms import RoutingMechanism
+from repro.topology.base import min_degree, neighbourhood, require_connected
+
+
+def monitor_count_bound(placement: MonitorPlacement) -> int:
+    """Theorem 3.1: µ(G|χ) ≤ max(m̂, M̂) − 1 under CSP routing on connected G.
+
+    Returns the inclusive upper bound (the theorem's strict inequality turned
+    into ``max(m̂, M̂) - 1``).
+    """
+    return max(placement.n_inputs, placement.n_outputs) - 1
+
+
+def min_degree_bound(graph: nx.Graph) -> int:
+    """Lemma 3.2: µ(G) ≤ δ(G) for undirected connected G (CSP or CAP⁻)."""
+    if graph.is_directed():
+        raise TopologyError("min_degree_bound applies to undirected graphs; "
+                            "use delta_hat for directed graphs")
+    return min_degree(graph)
+
+
+def edge_count_bound(graph: nx.Graph) -> int:
+    """Corollary 3.3: µ(G) ≤ min(n, ⌈2m/n⌉) for undirected G."""
+    if graph.is_directed():
+        raise TopologyError("edge_count_bound applies to undirected graphs")
+    n = graph.number_of_nodes()
+    if n == 0:
+        raise TopologyError("bound undefined on the empty graph")
+    m = graph.number_of_edges()
+    return min(n, math.ceil(2 * m / n))
+
+
+def classify_sources(
+    graph: nx.DiGraph, placement: MonitorPlacement
+) -> Dict[str, FrozenSet[Node]]:
+    """Split nodes into complex sources K, simple sources L and the rest R.
+
+    Following Section 3.2: a node ``v`` is a *complex source* if ``v ∈ m`` and
+    ``deg_i(v) > 0``; a *simple source* if ``v ∈ m`` and ``deg_i(v) = 0``;
+    every other node is in ``R``.
+    """
+    if not graph.is_directed():
+        raise TopologyError("source classification applies to directed graphs")
+    placement.validate(graph)
+    complex_sources = frozenset(
+        v for v in placement.inputs if graph.in_degree(v) > 0
+    )
+    simple_sources = frozenset(
+        v for v in placement.inputs if graph.in_degree(v) == 0
+    )
+    rest = frozenset(graph.nodes) - complex_sources - simple_sources
+    return {"complex": complex_sources, "simple": simple_sources, "rest": rest}
+
+
+def delta_hat(graph: nx.DiGraph, placement: MonitorPlacement) -> int:
+    """The quantity δ̂(G) of Lemma 3.4.
+
+    ``δ̂(G) = min( min_{v ∈ R} deg_i(v),  min_{v ∈ K} (deg_i(v) + deg_o(v)) )``
+    where K are the complex sources and R the non-source nodes.  When one of
+    the two sets is empty its term is ignored; if both are empty (every node is
+    a simple source, only possible on degenerate graphs) the bound degenerates
+    to the number of nodes.
+    """
+    groups = classify_sources(graph, placement)
+    candidates = []
+    rest = groups["rest"]
+    if rest:
+        candidates.append(min(graph.in_degree(v) for v in rest))
+    complex_sources = groups["complex"]
+    if complex_sources:
+        candidates.append(
+            min(graph.in_degree(v) + graph.out_degree(v) for v in complex_sources)
+        )
+    if not candidates:
+        return graph.number_of_nodes()
+    return min(candidates)
+
+
+def directed_degree_bound(graph: nx.DiGraph, placement: MonitorPlacement) -> int:
+    """Lemma 3.4: µ(G) ≤ δ̂(G) for directed G (CSP or CAP⁻)."""
+    return delta_hat(graph, placement)
+
+
+def degree_bound(graph: AnyGraph, placement: Optional[MonitorPlacement] = None) -> int:
+    """The applicable degree bound: Lemma 3.2 (undirected) or 3.4 (directed).
+
+    The directed variant needs the placement to classify source nodes; when no
+    placement is given the undirected minimal degree of the underlying graph
+    is used, which is still a valid (if weaker) upper bound.
+    """
+    if graph.is_directed():
+        if placement is not None:
+            return directed_degree_bound(graph, placement)
+        return min_degree(graph)
+    return min_degree_bound(graph)
+
+
+@dataclass(frozen=True)
+class BoundReport:
+    """All structural upper bounds applicable to a (graph, placement) pair.
+
+    ``combined`` is the minimum of the applicable bounds and is what the exact
+    µ computation uses to cap its search.
+    """
+
+    monitor_count: Optional[int]
+    degree: int
+    edge_count: Optional[int]
+    combined: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"degree<= {self.degree}"]
+        if self.monitor_count is not None:
+            parts.append(f"monitors<= {self.monitor_count}")
+        if self.edge_count is not None:
+            parts.append(f"edges<= {self.edge_count}")
+        return f"BoundReport(combined<= {self.combined}; " + ", ".join(parts) + ")"
+
+
+def structural_upper_bound(
+    graph: AnyGraph,
+    placement: Optional[MonitorPlacement] = None,
+    mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
+) -> BoundReport:
+    """Combine every applicable structural bound of Section 3.
+
+    * the degree bound (Lemma 3.2 / Lemma 3.4) always applies under CSP/CAP⁻;
+    * the monitor-count bound (Theorem 3.1) applies only under CSP and only
+      when a placement is given and the graph is connected;
+    * the edge-count bound (Corollary 3.3) applies to undirected graphs.
+
+    Under CAP (with DLPs) the degree-based bounds do not hold — a DLP node is
+    trivially identifiable regardless of its degree — so the combined bound
+    falls back to the number of nodes.
+    """
+    mechanism = RoutingMechanism.parse(mechanism)
+    n = graph.number_of_nodes()
+    if n == 0:
+        raise TopologyError("bounds undefined on the empty graph")
+
+    if mechanism.allows_dlp:
+        # Lemma 3.2/3.4 and Theorem 3.1 are stated for CSP/CAP⁻ only.
+        return BoundReport(monitor_count=None, degree=n, edge_count=None, combined=n)
+
+    deg = degree_bound(graph, placement)
+    monitor: Optional[int] = None
+    if placement is not None and mechanism is RoutingMechanism.CSP:
+        try:
+            require_connected(graph)
+            monitor = monitor_count_bound(placement)
+        except TopologyError:
+            monitor = None
+    edges: Optional[int] = None
+    if not graph.is_directed():
+        edges = edge_count_bound(graph)
+
+    candidates = [deg]
+    if monitor is not None:
+        candidates.append(monitor)
+    if edges is not None:
+        candidates.append(edges)
+    combined = max(min(candidates), 0)
+    return BoundReport(
+        monitor_count=monitor, degree=deg, edge_count=edges, combined=combined
+    )
+
+
+def lemma_3_2_witness(graph: nx.Graph) -> Dict[str, FrozenSet[Node]]:
+    """The confusable pair used in the proof of Lemma 3.2.
+
+    For a minimum-degree node ``u``: ``U = N(u)`` and ``W = N(u) ∪ {u}`` have
+    identical path sets because every path through ``u`` crosses a neighbour.
+    Exposed so tests and examples can exhibit the witness explicitly.
+    """
+    if graph.is_directed():
+        raise TopologyError("lemma_3_2_witness applies to undirected graphs")
+    node = min(graph.nodes, key=lambda v: (graph.degree(v), repr(v)))
+    neighbours = neighbourhood(graph, node)
+    return {"U": neighbours, "W": neighbours | {node}, "node": frozenset({node})}
+
+
+def lemma_3_4_witness(
+    graph: nx.DiGraph, placement: MonitorPlacement
+) -> Dict[str, FrozenSet[Node]]:
+    """The confusable pair used in the proof of Lemma 3.4 (directed case)."""
+    groups = classify_sources(graph, placement)
+    best_node = None
+    best_value = None
+    for v in groups["rest"]:
+        value = graph.in_degree(v)
+        if best_value is None or value < best_value:
+            best_node, best_value = v, value
+    for v in groups["complex"]:
+        value = graph.in_degree(v) + graph.out_degree(v)
+        if best_value is None or value < best_value:
+            best_node, best_value = v, value
+    if best_node is None:
+        raise TopologyError("no witness exists: every node is a simple source")
+    if best_node in groups["rest"]:
+        smaller = frozenset(graph.predecessors(best_node))
+    else:
+        smaller = frozenset(graph.predecessors(best_node)) | frozenset(
+            graph.successors(best_node)
+        )
+    return {
+        "U": smaller | {best_node},
+        "W": smaller,
+        "node": frozenset({best_node}),
+    }

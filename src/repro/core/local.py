@@ -1,0 +1,92 @@
+"""Local identifiability (the original measure of Ma et al., Definition 2.1's
+footnote in Section 2).
+
+The paper's µ asks every pair of small node sets to be separable.  The
+*local* variant of [16, 2] only asks separation for pairs that differ inside a
+designated subset ``S ⊆ V`` of "interesting" nodes: the condition
+``U △ W ≠ ∅`` is replaced by ``(U ∩ S) △ (W ∩ S) ≠ ∅``.
+
+Local identifiability is what degenerate loop paths trivially boost (Section
+9): a DLP node ``v`` separates ``{v}`` from everything else, so its local
+identifiability w.r.t. ``S = {v}`` is as large as the universe.  The module
+exists both as public API and to back the DLP discussion tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro._typing import Node
+from repro.exceptions import IdentifiabilityError
+from repro.routing.paths import PathSet
+
+
+def is_locally_k_identifiable(
+    pathset: PathSet, scope: Iterable[Node], k: int
+) -> bool:
+    """Local k-identifiability w.r.t. the scope ``S``.
+
+    For all ``U, W`` with ``|U|, |W| ≤ k`` and ``(U ∩ S) △ (W ∩ S) ≠ ∅`` we
+    require ``P(U) △ P(W) ≠ ∅``.
+    """
+    if k < 0:
+        raise IdentifiabilityError(f"k must be >= 0, got {k}")
+    scope_set = frozenset(scope)
+    unknown = scope_set - pathset.node_universe
+    if unknown:
+        raise IdentifiabilityError(f"scope nodes {sorted(map(repr, unknown))} not in universe")
+    if k == 0:
+        return True
+    universe = pathset.nodes
+    # signature -> set of distinct S-projections observed for that signature.
+    projections: Dict[int, Set[FrozenSet[Node]]] = {}
+    for size in range(0, k + 1):
+        for subset in itertools.combinations(universe, size):
+            signature = pathset.paths_through_set(subset)
+            projection = frozenset(subset) & scope_set
+            seen = projections.setdefault(signature, set())
+            if any(other != projection for other in seen):
+                return False
+            seen.add(projection)
+    return True
+
+
+def local_maximal_identifiability(
+    pathset: PathSet, scope: Iterable[Node], max_size: Optional[int] = None
+) -> int:
+    """The largest k such that the universe is locally k-identifiable w.r.t. S.
+
+    Capped at ``max_size`` (default: the universe size).  Note that, unlike
+    the global measure, local identifiability can legitimately reach the size
+    of the universe when ``S`` is a single well-covered node.
+    """
+    scope_set = frozenset(scope)
+    n = len(pathset.nodes)
+    cap = n if max_size is None else max(0, min(max_size, n))
+    universe = pathset.nodes
+    projections: Dict[int, Set[FrozenSet[Node]]] = {}
+    for size in range(0, cap + 1):
+        for subset in itertools.combinations(universe, size):
+            signature = pathset.paths_through_set(subset)
+            projection = frozenset(subset) & scope_set
+            seen = projections.setdefault(signature, set())
+            if any(other != projection for other in seen):
+                return size - 1
+            seen.add(projection)
+    return cap
+
+
+def local_identifiability_per_node(
+    pathset: PathSet, max_size: int = 3
+) -> Dict[Node, int]:
+    """Local maximal identifiability of every singleton scope ``S = {v}``.
+
+    This is the per-node measure used informally in the DLP discussion: a DLP
+    node reaches the cap, while a node sharing all its paths with a neighbour
+    stays at 0.  ``max_size`` caps the (expensive) per-node searches.
+    """
+    return {
+        node: local_maximal_identifiability(pathset, {node}, max_size=max_size)
+        for node in pathset.nodes
+    }

@@ -1,0 +1,77 @@
+"""Identifiability through embeddings (Section 6): DAG posets, order
+embeddings, distance-increasing/preserving embeddings, order dimension and the
+executable theorem statements."""
+
+from repro.embeddings.dimension import (
+    hypergrid_coordinates,
+    hypergrid_dimension,
+    is_chain,
+    order_dimension,
+    realizer,
+    verify_realizer,
+)
+from repro.embeddings.embedding import (
+    find_order_embedding,
+    identity_embedding,
+    image_subgraph,
+    induced_placement,
+    is_distance_increasing,
+    is_distance_preserving,
+    is_embeddable,
+    is_injective,
+    is_order_embedding,
+)
+from repro.embeddings.poset import (
+    comparable,
+    distance,
+    graph_power,
+    incomparable_pairs,
+    is_routing_consistent,
+    is_transitively_closed,
+    leq,
+    linear_extension,
+    reachability_order,
+    routing_consistent_graph,
+    strictly_less,
+    transitive_closure,
+)
+from repro.embeddings.theorems import (
+    DimensionBoundReport,
+    EmbeddingComparison,
+    compare_under_embedding,
+    theorem_6_7_report,
+)
+
+__all__ = [
+    "hypergrid_coordinates",
+    "hypergrid_dimension",
+    "is_chain",
+    "order_dimension",
+    "realizer",
+    "verify_realizer",
+    "find_order_embedding",
+    "identity_embedding",
+    "image_subgraph",
+    "induced_placement",
+    "is_distance_increasing",
+    "is_distance_preserving",
+    "is_embeddable",
+    "is_injective",
+    "is_order_embedding",
+    "comparable",
+    "distance",
+    "graph_power",
+    "incomparable_pairs",
+    "is_routing_consistent",
+    "is_transitively_closed",
+    "leq",
+    "linear_extension",
+    "reachability_order",
+    "routing_consistent_graph",
+    "strictly_less",
+    "transitive_closure",
+    "DimensionBoundReport",
+    "EmbeddingComparison",
+    "compare_under_embedding",
+    "theorem_6_7_report",
+]

@@ -1,0 +1,22 @@
+"""Experiment drivers reproducing the paper's evaluation (Tables 3-13) plus
+ablations; see DESIGN.md for the experiment index."""
+
+from repro.experiments import (  # noqa: F401  (re-exported submodules)
+    ablation,
+    common,
+    random_graphs,
+    random_monitors,
+    real_networks,
+    runner,
+    truncated,
+)
+
+__all__ = [
+    "ablation",
+    "common",
+    "random_graphs",
+    "random_monitors",
+    "real_networks",
+    "runner",
+    "truncated",
+]

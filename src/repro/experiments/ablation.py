@@ -1,0 +1,160 @@
+"""Ablation studies (not in the paper's tables; motivated by Section 9).
+
+Two design choices of Agrid/MDMP are ablated:
+
+1. **Monitor-placement heuristic** — MDMP (minimal degree) vs uniformly random
+   vs degree-extremes.  Theorem 5.4 says the hypergrid guarantee is placement
+   independent; the ablation measures how much the heuristic matters on the
+   quasi-tree zoo networks.
+2. **Agrid edge-selection rule** — uniform random endpoints (Algorithm 1) vs
+   the Section-9 variants (prefer low-degree endpoints, prefer far-away
+   endpoints).
+
+Both ablations report the mean µ over repeated randomised runs so the
+benchmark harness can print a compact comparison table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import networkx as nx
+
+from repro.agrid.algorithm import (
+    agrid,
+    far_away_selector,
+    low_degree_selector,
+)
+from repro.exceptions import ExperimentError
+from repro.experiments.common import measure_network, resolve_dimension
+from repro.monitors.heuristics import (
+    degree_extremes_placement,
+    mdmp_placement,
+    random_placement,
+)
+from repro.monitors.placement import MonitorPlacement
+from repro.routing.mechanisms import RoutingMechanism
+from repro.utils.seeds import RngLike, spawn_rng
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class AblationCell:
+    """Mean µ (and extremes) of one ablation variant over repeated runs."""
+
+    variant: str
+    n_runs: int
+    mean_mu: float
+    min_mu: int
+    max_mu: int
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """All variants of one ablation on one network."""
+
+    network: str
+    dimension: int
+    cells: Dict[str, AblationCell]
+
+    def render(self, title: str) -> str:
+        headers = ("variant", "runs", "mean mu", "min", "max")
+        rows = [
+            (cell.variant, cell.n_runs, round(cell.mean_mu, 3), cell.min_mu, cell.max_mu)
+            for cell in self.cells.values()
+        ]
+        return format_table(headers, rows, title=f"{title} — {self.network}")
+
+    def best_variant(self) -> str:
+        return max(self.cells.values(), key=lambda cell: cell.mean_mu).variant
+
+
+def _run_variant(
+    graph: nx.Graph,
+    dimension: int,
+    n_runs: int,
+    rng: RngLike,
+    variant: str,
+    boosted_builder: Callable[[nx.Graph, int, object], object],
+    placement_builder: Callable[[nx.Graph, int, object], MonitorPlacement],
+    mechanism: RoutingMechanism | str,
+) -> AblationCell:
+    values = []
+    for run in range(n_runs):
+        run_rng = spawn_rng(rng, run)
+        boost = boosted_builder(graph, dimension, run_rng)
+        placement = placement_builder(boost.boosted, dimension, run_rng)
+        values.append(measure_network(boost.boosted, placement, mechanism).mu)
+    return AblationCell(
+        variant=variant,
+        n_runs=n_runs,
+        mean_mu=sum(values) / len(values),
+        min_mu=min(values),
+        max_mu=max(values),
+    )
+
+
+def placement_ablation(
+    graph: nx.Graph,
+    n_runs: int = 5,
+    rng: RngLike = 2018,
+    mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
+    dimension: Optional[int] = None,
+) -> AblationResult:
+    """Ablation 1: how the monitor-placement heuristic affects µ(G^A)."""
+    if n_runs < 1:
+        raise ExperimentError(f"n_runs must be >= 1, got {n_runs}")
+    d = dimension if dimension is not None else resolve_dimension("log", graph)
+
+    def build(g: nx.Graph, dim: int, run_rng) -> object:
+        return agrid(g, dim, rng=run_rng)
+
+    variants: Dict[str, Callable[[nx.Graph, int, object], MonitorPlacement]] = {
+        "mdmp": lambda g, dim, run_rng: mdmp_placement(g, dim),
+        "random": lambda g, dim, run_rng: random_placement(g, dim, dim, rng=run_rng),
+        "degree_extremes": lambda g, dim, run_rng: degree_extremes_placement(g, dim),
+    }
+    cells = {
+        name: _run_variant(graph, d, n_runs, spawn_rng(rng, hash(name) % 1000),
+                           name, build, builder, mechanism)
+        for name, builder in variants.items()
+    }
+    return AblationResult(network=graph.name or "G", dimension=d, cells=cells)
+
+
+def selector_ablation(
+    graph: nx.Graph,
+    n_runs: int = 5,
+    rng: RngLike = 2018,
+    mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
+    dimension: Optional[int] = None,
+) -> AblationResult:
+    """Ablation 2: how Agrid's edge-selection rule affects µ(G^A)."""
+    if n_runs < 1:
+        raise ExperimentError(f"n_runs must be >= 1, got {n_runs}")
+    d = dimension if dimension is not None else resolve_dimension("log", graph)
+
+    selectors = {
+        "uniform": None,
+        "low_degree": low_degree_selector,
+        "far_away": far_away_selector,
+    }
+
+    def make_builder(selector):
+        def build(g: nx.Graph, dim: int, run_rng) -> object:
+            if selector is None:
+                return agrid(g, dim, rng=run_rng)
+            return agrid(g, dim, rng=run_rng, selector=selector)
+
+        return build
+
+    placement_builder = lambda g, dim, run_rng: mdmp_placement(g, dim)
+    cells = {
+        name: _run_variant(
+            graph, d, n_runs, spawn_rng(rng, index), name,
+            make_builder(selector), placement_builder, mechanism,
+        )
+        for index, (name, selector) in enumerate(selectors.items())
+    }
+    return AblationResult(network=graph.name or "G", dimension=d, cells=cells)

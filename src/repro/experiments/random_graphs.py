@@ -1,0 +1,177 @@
+"""Tables 6 and 7: Agrid on Erdős–Rényi random graphs (Section 8.0.2).
+
+For each node count n ∈ {5, 8, 10} and each batch size (50, 100, 500 in the
+paper) the experiment samples connected G(n, p) graphs, applies Agrid with
+``d = sqrt(log n)`` (Table 6) or ``d = log n`` (Table 7), places MDMP monitors
+on both G and G^A and compares µ.  Reported per cell: the percentage of trials
+where µ strictly increased, the percentage where it stayed equal (it never
+decreases), and the maximal increment observed (the ``[k]`` prefix in the
+paper's cells).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.exceptions import ExperimentError
+from repro.experiments.common import DIMENSION_RULES, compare_with_agrid
+from repro.routing.mechanisms import RoutingMechanism
+from repro.topology.random_graphs import DEFAULT_EDGE_PROBABILITY, erdos_renyi_connected
+from repro.utils.seeds import RngLike, spawn_rng
+from repro.utils.tables import format_percentage, format_table
+
+#: Node counts used by the paper.
+PAPER_NODE_COUNTS: Tuple[int, ...] = (5, 8, 10)
+
+#: Batch sizes used by the paper (the 500-trial row is omitted for n=10).
+PAPER_BATCH_SIZES: Tuple[int, ...] = (50, 100, 500)
+
+
+@dataclass(frozen=True)
+class RandomGraphCell:
+    """One cell of Table 6/7: a batch of trials at fixed (n, batch size)."""
+
+    n_nodes: int
+    n_trials: int
+    dimension_rule: str
+    n_improved: int
+    n_equal: int
+    n_decreased: int
+    max_increment: int
+
+    @property
+    def fraction_improved(self) -> float:
+        return self.n_improved / self.n_trials if self.n_trials else 0.0
+
+    @property
+    def fraction_equal(self) -> float:
+        return self.n_equal / self.n_trials if self.n_trials else 0.0
+
+    @property
+    def never_decreased(self) -> bool:
+        """The paper reports µ(G^A) is never strictly smaller than µ(G)."""
+        return self.n_decreased == 0
+
+    def render_cell(self) -> str:
+        """The paper's cell format, e.g. ``[2]16%`` / ``84%``."""
+        return (
+            f"[{self.max_increment}]{format_percentage(self.fraction_improved)}"
+            f" / {format_percentage(self.fraction_equal)}"
+        )
+
+
+def run_random_graph_cell(
+    n_nodes: int,
+    n_trials: int,
+    dimension_rule: str = "log",
+    probability: float = DEFAULT_EDGE_PROBABILITY,
+    rng: RngLike = 2018,
+    mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
+) -> RandomGraphCell:
+    """Run one batch of Agrid-on-random-graph trials."""
+    if n_trials < 1:
+        raise ExperimentError(f"n_trials must be >= 1, got {n_trials}")
+    if dimension_rule not in DIMENSION_RULES:
+        raise ExperimentError(
+            f"unknown dimension rule {dimension_rule!r}; "
+            f"expected one of {sorted(DIMENSION_RULES)}"
+        )
+    improved = equal = decreased = 0
+    max_increment = 0
+    for trial in range(n_trials):
+        trial_rng = spawn_rng(rng, trial)
+        graph = erdos_renyi_connected(n_nodes, probability, trial_rng)
+        dimension = DIMENSION_RULES[dimension_rule](n_nodes, graph)
+        # Agrid needs d <= n - 1 new-neighbour candidates and MDMP needs 2d
+        # distinct monitor nodes, so cap the dimension accordingly.
+        dimension = min(dimension, n_nodes - 1, n_nodes // 2)
+        comparison = compare_with_agrid(
+            graph, dimension, rng=trial_rng, mechanism=mechanism
+        )
+        if comparison.improvement > 0:
+            improved += 1
+        elif comparison.improvement == 0:
+            equal += 1
+        else:
+            decreased += 1
+        max_increment = max(max_increment, comparison.improvement)
+    return RandomGraphCell(
+        n_nodes=n_nodes,
+        n_trials=n_trials,
+        dimension_rule=dimension_rule,
+        n_improved=improved,
+        n_equal=equal,
+        n_decreased=decreased,
+        max_increment=max_increment,
+    )
+
+
+@dataclass(frozen=True)
+class RandomGraphTable:
+    """A full Table 6 or Table 7: cells indexed by (batch size, node count)."""
+
+    dimension_rule: str
+    cells: Dict[Tuple[int, int], RandomGraphCell]
+
+    def render(self) -> str:
+        batch_sizes = sorted({key[0] for key in self.cells})
+        node_counts = sorted({key[1] for key in self.cells})
+        headers = ["trials"] + [f"n={n}" for n in node_counts]
+        rows = []
+        for batch in batch_sizes:
+            row = [batch]
+            for n in node_counts:
+                cell = self.cells.get((batch, n))
+                row.append(cell.render_cell() if cell else "-")
+            rows.append(row)
+        title = f"Random graphs, d = {self.dimension_rule}"
+        return format_table(headers, rows, title=title)
+
+    @property
+    def never_decreased(self) -> bool:
+        return all(cell.never_decreased for cell in self.cells.values())
+
+
+def run_random_graph_table(
+    dimension_rule: str,
+    node_counts: Sequence[int] = PAPER_NODE_COUNTS,
+    batch_sizes: Sequence[int] = (50, 100),
+    probability: float = DEFAULT_EDGE_PROBABILITY,
+    rng: RngLike = 2018,
+) -> RandomGraphTable:
+    """Run a full random-graph table.
+
+    ``batch_sizes`` defaults to (50, 100); pass ``PAPER_BATCH_SIZES`` to add
+    the 500-trial row of the paper (slower, same qualitative picture).
+    """
+    cells: Dict[Tuple[int, int], RandomGraphCell] = {}
+    for batch_index, batch in enumerate(batch_sizes):
+        for node_index, n_nodes in enumerate(node_counts):
+            cell_rng = spawn_rng(rng, 1000 * batch_index + node_index)
+            cells[(batch, n_nodes)] = run_random_graph_cell(
+                n_nodes,
+                batch,
+                dimension_rule=dimension_rule,
+                probability=probability,
+                rng=cell_rng,
+            )
+    return RandomGraphTable(dimension_rule=dimension_rule, cells=cells)
+
+
+def run_table6(
+    node_counts: Sequence[int] = PAPER_NODE_COUNTS,
+    batch_sizes: Sequence[int] = (50, 100),
+    rng: RngLike = 2018,
+) -> RandomGraphTable:
+    """Table 6: the d = sqrt(log n) case."""
+    return run_random_graph_table("sqrt_log", node_counts, batch_sizes, rng=rng)
+
+
+def run_table7(
+    node_counts: Sequence[int] = PAPER_NODE_COUNTS,
+    batch_sizes: Sequence[int] = (50, 100),
+    rng: RngLike = 2018,
+) -> RandomGraphTable:
+    """Table 7: the d = log n case."""
+    return run_random_graph_table("log", node_counts, batch_sizes, rng=rng)

@@ -1,0 +1,134 @@
+"""Command-line entry point: re-run the paper's experimental section.
+
+Installed as the ``repro-experiments`` console script.  Examples::
+
+    repro-experiments --tables real            # Tables 3-5
+    repro-experiments --tables random          # Tables 6-7 (reduced batches)
+    repro-experiments --tables truncated       # Tables 8-10
+    repro-experiments --tables monitors        # Tables 11-13
+    repro-experiments --tables all --seed 7    # everything, custom seed
+
+Output is plain text, one paper-style table per experiment, suitable for
+pasting into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Iterable, List
+
+from repro.experiments import (
+    ablation,
+    random_graphs,
+    random_monitors,
+    real_networks,
+    truncated,
+)
+from repro.topology import zoo
+
+#: Mapping of CLI group name -> callable(seed) -> list of printable sections.
+_GROUPS: Dict[str, Callable[[int], List[str]]] = {}
+
+
+def _register(name: str):
+    def decorator(func: Callable[[int], List[str]]):
+        _GROUPS[name] = func
+        return func
+
+    return decorator
+
+
+@_register("real")
+def _run_real(seed: int) -> List[str]:
+    sections = []
+    for table_name, result in real_networks.run_all_real_networks(rng=seed).items():
+        label = real_networks.REAL_NETWORK_TABLES[table_name]
+        sections.append(f"== {label} ==\n{result.render()}")
+    return sections
+
+
+@_register("random")
+def _run_random(seed: int) -> List[str]:
+    table6 = random_graphs.run_table6(rng=seed)
+    table7 = random_graphs.run_table7(rng=seed)
+    return [
+        f"== Table 6 ==\n{table6.render()}",
+        f"== Table 7 ==\n{table7.render()}",
+    ]
+
+
+@_register("truncated")
+def _run_truncated(seed: int) -> List[str]:
+    sections = []
+    for name, result in truncated.run_all_truncated(rng=seed).items():
+        label = truncated.TRUNCATED_TABLES[name]
+        sections.append(f"== {label} ==\n{result.render()}")
+    return sections
+
+
+@_register("monitors")
+def _run_monitors(seed: int) -> List[str]:
+    sections = []
+    for name, result in random_monitors.run_all_random_monitors(rng=seed).items():
+        label = random_monitors.RANDOM_MONITOR_TABLES[name]
+        sections.append(f"== {label} ==\n{result.render()}")
+    return sections
+
+
+@_register("ablation")
+def _run_ablation(seed: int) -> List[str]:
+    graph = zoo.eunetworks()
+    placement = ablation.placement_ablation(graph, rng=seed)
+    selector = ablation.selector_ablation(graph, rng=seed)
+    return [
+        placement.render("Ablation: monitor placement heuristic"),
+        selector.render("Ablation: Agrid edge-selection rule"),
+    ]
+
+
+def available_groups() -> Iterable[str]:
+    """The experiment groups the CLI can run."""
+    return sorted(_GROUPS) + ["all"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Re-run the experimental section of the Boolean network "
+        "tomography identifiability paper (Tables 3-13 plus ablations).",
+    )
+    parser.add_argument(
+        "--tables",
+        default="all",
+        choices=list(available_groups()),
+        help="which experiment group to run (default: all)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2018, help="master random seed (default: 2018)"
+    )
+    return parser
+
+
+def run(group: str, seed: int) -> List[str]:
+    """Run one group (or 'all') and return the printable sections."""
+    if group == "all":
+        sections: List[str] = []
+        for name in sorted(_GROUPS):
+            sections.extend(_GROUPS[name](seed))
+        return sections
+    return _GROUPS[group](seed)
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Console-script entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    for section in run(args.tables, args.seed):
+        print(section)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

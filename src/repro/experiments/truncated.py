@@ -1,0 +1,161 @@
+"""Tables 8-10: truncated maximal identifiability µ_λ (Section 8.0.3).
+
+Computing exact µ for many Agrid samples is expensive, so the paper compares
+``µ_λ(G)`` with ``µ_λ(G^A)`` where the truncation level λ is the average
+degree of the graph being measured.  For a fixed network G the experiment
+draws 30 independent G^A samples (Agrid is randomised) and reports, for each
+possible value of µ_λ, the percentage of samples attaining it — one row for
+the (deterministic) G and one for the G^A distribution, as in Tables 8, 9
+and 10.  Only the ``d = log N`` case is reported, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import networkx as nx
+
+from repro.agrid.algorithm import agrid
+from repro.core.truncated import default_truncation_level
+from repro.exceptions import ExperimentError
+from repro.experiments.common import measure_network, resolve_dimension
+from repro.routing.mechanisms import RoutingMechanism
+from repro.topology import zoo
+from repro.topology.base import average_degree
+from repro.utils.seeds import RngLike, spawn_rng
+from repro.utils.tables import format_percentage, format_table
+
+#: The networks of Tables 8, 9 and 10 in paper order.
+TRUNCATED_TABLES: Dict[str, str] = {
+    "claranet": "Table 8",
+    "gridnetwork": "Table 9",
+    "eunetwork_small": "Table 10",
+}
+
+#: Number of independent G^A samples, as in the paper.
+PAPER_N_SAMPLES = 30
+
+
+@dataclass(frozen=True)
+class TruncatedDistribution:
+    """Distribution of µ_λ values over Agrid samples (or the single G value)."""
+
+    truncation: int
+    counts: Dict[int, int]
+
+    @property
+    def n_samples(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, value: int) -> float:
+        if self.n_samples == 0:
+            return 0.0
+        return self.counts.get(value, 0) / self.n_samples
+
+    def support(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.counts))
+
+    @property
+    def mean(self) -> float:
+        if self.n_samples == 0:
+            return 0.0
+        return sum(value * count for value, count in self.counts.items()) / self.n_samples
+
+
+@dataclass(frozen=True)
+class TruncatedResult:
+    """One full Table 8/9/10 for one network."""
+
+    network: str
+    n_nodes: int
+    dimension: int
+    original: TruncatedDistribution
+    boosted: TruncatedDistribution
+
+    def render(self) -> str:
+        values = sorted(set(self.original.support()) | set(self.boosted.support()) | {0, 1, 2})
+        headers = ["graph \\ mu_lambda"] + [str(v) for v in values]
+        rows = [
+            [f"[{self.original.truncation}]G"]
+            + [format_percentage(self.original.fraction(v)) for v in values],
+            [f"[{self.boosted.truncation}]G^A"]
+            + [format_percentage(self.boosted.fraction(v)) for v in values],
+        ]
+        title = f"{self.network} (|V| = {self.n_nodes}, d = {self.dimension})"
+        return format_table(headers, rows, title=title)
+
+    @property
+    def boosted_dominates(self) -> bool:
+        """The qualitative claim of Tables 8-10: the G^A distribution puts all
+        of its mass at values at least as large as the best value G attains."""
+        return self.boosted.mean >= self.original.mean
+
+
+def run_truncated_experiment(
+    graph: nx.Graph,
+    n_samples: int = PAPER_N_SAMPLES,
+    rng: RngLike = 2018,
+    mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
+    dimension: Optional[int] = None,
+) -> TruncatedResult:
+    """Run the µ_λ comparison on one network."""
+    if n_samples < 1:
+        raise ExperimentError(f"n_samples must be >= 1, got {n_samples}")
+    d = dimension if dimension is not None else resolve_dimension("log", graph)
+
+    # The truncation level is the average degree of the graph being measured.
+    original_truncation = default_truncation_level(graph)
+    base_placement = agrid(graph, d, rng=spawn_rng(rng, 0)).placement_original
+    original_measure = measure_network(
+        graph, base_placement, mechanism, truncation=original_truncation
+    )
+    original = TruncatedDistribution(
+        truncation=original_truncation, counts={original_measure.mu: 1}
+    )
+
+    boosted_counts: Dict[int, int] = {}
+    boosted_truncation = original_truncation
+    for sample in range(n_samples):
+        result = agrid(graph, d, rng=spawn_rng(rng, sample + 1))
+        boosted_truncation = default_truncation_level(result.boosted)
+        measurement = measure_network(
+            result.boosted,
+            result.placement_boosted,
+            mechanism,
+            truncation=boosted_truncation,
+        )
+        boosted_counts[measurement.mu] = boosted_counts.get(measurement.mu, 0) + 1
+    boosted = TruncatedDistribution(truncation=boosted_truncation, counts=boosted_counts)
+    return TruncatedResult(
+        network=graph.name or "G",
+        n_nodes=graph.number_of_nodes(),
+        dimension=d,
+        original=original,
+        boosted=boosted,
+    )
+
+
+def run_table8(n_samples: int = PAPER_N_SAMPLES, rng: RngLike = 2018) -> TruncatedResult:
+    """Table 8: Claranet."""
+    return run_truncated_experiment(zoo.claranet(), n_samples, rng)
+
+
+def run_table9(n_samples: int = PAPER_N_SAMPLES, rng: RngLike = 2018) -> TruncatedResult:
+    """Table 9: GridNetwork (|V| = 7)."""
+    return run_truncated_experiment(zoo.gridnetwork(), n_samples, rng)
+
+
+def run_table10(n_samples: int = PAPER_N_SAMPLES, rng: RngLike = 2018) -> TruncatedResult:
+    """Table 10: the 7-node EuNetwork."""
+    return run_truncated_experiment(zoo.eunetwork_small(), n_samples, rng)
+
+
+def run_all_truncated(
+    n_samples: int = PAPER_N_SAMPLES, rng: RngLike = 2018
+) -> Dict[str, TruncatedResult]:
+    """Run Tables 8-10 and return results keyed by network name."""
+    return {
+        name: run_truncated_experiment(zoo.load(name), n_samples, spawn_rng(rng, i))
+        for i, name in enumerate(TRUNCATED_TABLES)
+    }

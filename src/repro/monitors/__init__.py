@@ -1,0 +1,47 @@
+"""Monitor placements: the χ_g / χ_t placements of the paper, the MDMP and
+random heuristics, and the :class:`MonitorPlacement` value object."""
+
+from repro.monitors.grid_placement import (
+    assumption_4_3_nodes,
+    chi_corners,
+    chi_g,
+    complex_sources,
+    reduced_chi_g,
+    simple_sources,
+)
+from repro.monitors.heuristics import (
+    all_pairs_placement,
+    degree_extremes_placement,
+    mdmp_placement,
+    random_placement,
+)
+from repro.monitors.placement import MonitorPlacement
+from repro.monitors.tree_placement import (
+    balanced_leaf_placement,
+    chi_t,
+    chi_t_with_missing_leaf,
+    is_input_tree,
+    is_monitor_balanced,
+    is_output_tree,
+    unbalanced_witness,
+)
+
+__all__ = [
+    "MonitorPlacement",
+    "chi_corners",
+    "chi_g",
+    "complex_sources",
+    "reduced_chi_g",
+    "simple_sources",
+    "all_pairs_placement",
+    "degree_extremes_placement",
+    "mdmp_placement",
+    "random_placement",
+    "balanced_leaf_placement",
+    "chi_t",
+    "chi_t_with_missing_leaf",
+    "is_input_tree",
+    "is_monitor_balanced",
+    "is_output_tree",
+    "unbalanced_witness",
+]

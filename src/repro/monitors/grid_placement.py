@@ -1,0 +1,138 @@
+"""The grid monitor placement χ_g of Section 4.1 and its d-dimensional
+generalisation, plus the corner placement used for undirected hypergrids.
+
+For the directed 2-dimensional grid ``H_n`` (Figure 5)::
+
+    m = {(1,1), ..., (1,n), (2,1), ..., (n,1)}          # first row and first column
+    M = {(n,1), ..., (n,n), (1,n), ..., (n-1,n)}        # last row and last column
+
+i.e. input monitors are attached to the two *low* faces (coordinate 1) and
+output monitors to the two *high* faces (coordinate n).  The d-dimensional
+version attaches inputs to every node with some coordinate equal to 1 and
+outputs to every node with some coordinate equal to n, which uses
+``2d(n-1) + 2`` monitors as stated in the abstract (corners shared by faces
+are counted once per role).
+
+The paper's lower-bound proof gives a special role to the two "complex
+sources" (1, n) and (n, 1) (Assumption 4.3); :func:`complex_sources` exposes
+them for the routing layer, which never starts a measurement path there.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Tuple
+
+import networkx as nx
+
+from repro.exceptions import MonitorPlacementError, TopologyError
+from repro.monitors.placement import MonitorPlacement
+from repro.topology.grids import corner_nodes, grid_parameters
+
+
+def chi_g(grid: nx.DiGraph | nx.Graph) -> MonitorPlacement:
+    """The placement χ_g on a hypergrid built by :mod:`repro.topology.grids`.
+
+    Input monitors are attached to every node on a *low* face (some coordinate
+    equal to 1) and output monitors to every node on a *high* face (some
+    coordinate equal to ``n``).  For d = 2 this is exactly the
+    first-row/first-column and last-row/last-column placement of Figure 5,
+    which uses 4n − 2 = 2d(n − 1) + 2 monitors (the count quoted in the
+    paper's abstract).  For d > 2 the face placement uses
+    2·(n^d − (n−1)^d) monitors; it is the placement for which Lemma 3.4 gives
+    δ̂ = d and Theorem 4.9 is tight (a smaller, axis-line placement caps the
+    degree bound — and hence µ — at 2 regardless of d).
+    """
+    try:
+        n, d = grid_parameters(grid)
+    except TopologyError as exc:
+        raise MonitorPlacementError(str(exc)) from exc
+    inputs = frozenset(node for node in grid.nodes if any(c == 1 for c in node))
+    outputs = frozenset(node for node in grid.nodes if any(c == n for c in node))
+    placement = MonitorPlacement(inputs, outputs)
+    placement.validate(grid)
+    return placement
+
+
+def complex_sources(grid: nx.DiGraph | nx.Graph) -> FrozenSet[Tuple[int, ...]]:
+    """Input nodes of χ_g with positive in-degree (the "complex sources" of
+    Section 3.2).
+
+    On the directed hypergrid under χ_g every input node except the origin
+    ``(1, ..., 1)`` has an incoming edge, so this is ``m \\ {(1, ..., 1)}``.
+    The two *corner* complex sources singled out by Assumption 4.3 — (1, n)
+    and (n, 1) on the 2-dimensional grid — are the ones attached to both an
+    input and an output monitor; they are exposed as
+    :func:`assumption_4_3_nodes`.
+    """
+    placement = chi_g(grid)
+    if grid.is_directed():
+        return frozenset(
+            node for node in placement.inputs if grid.in_degree(node) > 0
+        )
+    # In the undirected case the notion degenerates to the input nodes that
+    # are also output nodes.
+    return placement.dlp_candidates
+
+
+def assumption_4_3_nodes(grid: nx.DiGraph | nx.Graph) -> FrozenSet[Tuple[int, ...]]:
+    """The χ_g nodes that may end but never start a measurement path.
+
+    Assumption 4.3: on the 2-dimensional grid these are (1, n) and (n, 1)
+    (the green nodes of Figure 5) — exactly the χ_g nodes attached to both an
+    input and an output monitor, i.e. the potential DLP nodes that the CAP⁻ /
+    CSP mechanisms must not turn into single-node paths.
+    """
+    return chi_g(grid).dlp_candidates
+
+
+def simple_sources(grid: nx.DiGraph) -> FrozenSet[Tuple[int, ...]]:
+    """Input nodes of χ_g with in-degree 0.
+
+    On the directed hypergrid the unique simple source is the all-ones corner
+    (1, ..., 1) ("(1, 1) is the only simple source node", Section 4.1).
+    """
+    if not grid.is_directed():
+        raise MonitorPlacementError("simple_sources requires a directed hypergrid")
+    placement = chi_g(grid)
+    return frozenset(node for node in placement.inputs if grid.in_degree(node) == 0)
+
+
+def chi_corners(grid: nx.Graph | nx.DiGraph) -> MonitorPlacement:
+    """A 2d-monitor placement on the corners of a hypergrid.
+
+    Theorem 5.4 holds for *any* placement of 2d monitors on the undirected
+    ``H_{n,d}``; the MDMP heuristic of Section 7.1 places monitors on minimal
+    degree nodes, which on a hypergrid are exactly the corners.  This helper
+    picks d corners as inputs and d distinct corners as outputs,
+    deterministically (lexicographically smallest corners become inputs,
+    largest become outputs) so experiments are reproducible.
+    """
+    n, d = grid_parameters(grid)
+    corners = sorted(corner_nodes(grid))
+    if len(corners) < 2 * d:
+        raise MonitorPlacementError(
+            f"hypergrid has only {len(corners)} corners, cannot place 2d={2*d} monitors"
+        )
+    inputs = frozenset(corners[:d])
+    outputs = frozenset(corners[-d:])
+    if inputs & outputs:
+        raise MonitorPlacementError("input and output corners overlap; increase n")
+    placement = MonitorPlacement(inputs, outputs)
+    placement.validate(grid)
+    return placement
+
+
+def reduced_chi_g(grid: nx.DiGraph) -> MonitorPlacement:
+    """χ_g with the input links to (1, 2) and (2, 1) removed.
+
+    Section 4.1 ("Optimality of χ_g") shows that removing these two monitors
+    — leaving 4n − 5 — makes U = {(1,2),(2,1)} and W = {(1,1)} inseparable, so
+    the identifiability drops below 2.  This helper exists so the optimality
+    claim can be tested and benchmarked.
+    """
+    n, d = grid_parameters(grid)
+    if d != 2:
+        raise MonitorPlacementError("reduced_chi_g is defined for 2-dimensional grids")
+    base = chi_g(grid)
+    inputs = base.inputs - {(1, 2), (2, 1)}
+    return MonitorPlacement(inputs, base.outputs)

@@ -1,0 +1,19 @@
+"""Routing mechanisms (CAP, CAP⁻, CSP) and measurement-path enumeration."""
+
+from repro.routing.mechanisms import RoutingMechanism
+from repro.routing.paths import (
+    DEFAULT_MAX_PATHS,
+    PathSet,
+    count_paths,
+    enumerate_paths,
+    path_length_histogram,
+)
+
+__all__ = [
+    "RoutingMechanism",
+    "PathSet",
+    "enumerate_paths",
+    "count_paths",
+    "path_length_histogram",
+    "DEFAULT_MAX_PATHS",
+]

@@ -1,0 +1,72 @@
+"""Probing/routing mechanisms (Section 2, "Routing mechanisms and set of paths").
+
+The paper considers three probing mechanisms that determine which measurement
+paths ``P(G|χ)`` are available:
+
+* **CAP** — Controllable Arbitrary-path Probing: any path/cycle, repeated
+  nodes/links allowed, starting and ending at (the same or different)
+  input/output nodes.  In particular degenerate loop paths (DLPs: a single
+  node attached to both an input and an output monitor) are allowed.
+* **CAP⁻** — CAP without DLPs.  All of the paper's theorems are stated for
+  CAP⁻ (and CSP).
+* **CSP** — Controllable Simple-path Probing: only simple (cycle-free) paths
+  between *different* input/output nodes.
+
+For node-failure identifiability only the set of nodes a path touches matters,
+so the library enumerates a finite representative family for each mechanism
+(see :mod:`repro.routing.paths` and DESIGN.md §3 for the CAP/CAP⁻ finite
+representation argument).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class RoutingMechanism(str, Enum):
+    """The three probing mechanisms of the paper."""
+
+    #: Controllable Arbitrary-path Probing (cycles and DLPs allowed).
+    CAP = "CAP"
+    #: CAP without degenerate loop paths.
+    CAP_MINUS = "CAP-"
+    #: Controllable Simple-path Probing (simple paths, distinct endpoints).
+    CSP = "CSP"
+
+    @property
+    def allows_cycles(self) -> bool:
+        """Whether measurement paths may revisit nodes / form cycles."""
+        return self in (RoutingMechanism.CAP, RoutingMechanism.CAP_MINUS)
+
+    @property
+    def allows_dlp(self) -> bool:
+        """Whether degenerate loop paths (single-node loops) are allowed."""
+        return self is RoutingMechanism.CAP
+
+    @property
+    def requires_distinct_endpoints(self) -> bool:
+        """CSP requires the start and end node of a path to differ."""
+        return self is RoutingMechanism.CSP
+
+    @classmethod
+    def parse(cls, value: "RoutingMechanism | str") -> "RoutingMechanism":
+        """Coerce a string ("CSP", "cap-", ...) or enum member to the enum."""
+        if isinstance(value, cls):
+            return value
+        normalised = str(value).strip().upper().replace("_", "-").replace(" ", "")
+        aliases = {
+            "CAP": cls.CAP,
+            "CAP-": cls.CAP_MINUS,
+            "CAP-MINUS": cls.CAP_MINUS,
+            "CAPMINUS": cls.CAP_MINUS,
+            "CSP": cls.CSP,
+        }
+        if normalised in aliases:
+            return aliases[normalised]
+        raise ValueError(
+            f"unknown routing mechanism {value!r}; expected one of "
+            f"{[m.value for m in cls]}"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

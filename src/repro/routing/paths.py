@@ -1,0 +1,292 @@
+"""Measurement-path enumeration and the :class:`PathSet` container.
+
+The identifiability machinery never looks at a path beyond the *set of nodes
+it touches*, so :class:`PathSet` stores, for every node ``v``, the bitmask of
+indices of paths crossing ``v`` (``P(v)`` in the paper).  Unions over node
+sets — ``P(U)`` — are then single bitwise ORs, which is what makes the exact
+exhaustive µ computation fast enough for the paper's laptop-scale graphs.
+
+Enumeration per mechanism
+-------------------------
+
+* **CSP** — all simple paths from every input node to every *different*
+  output node (``networkx.all_simple_paths``).
+* **CAP⁻** — the CSP paths, plus (a) simple paths from an input node back to
+  itself when that node is also an output node, i.e. monitor-anchored simple
+  cycles of length >= 2, and (b) simple paths between identical input/output
+  nodes routed through the graph.  Walks with repeated interior nodes add no
+  new *touch-sets* beyond unions of these (every closed walk decomposes into
+  simple cycles and every open walk contains a simple path with the same
+  endpoints), so for identifiability this finite family is a faithful
+  representative of CAP⁻; DESIGN.md §3 records this substitution.
+* **CAP** — CAP⁻ plus the degenerate loop paths (single-node paths) for the
+  nodes attached to both an input and an output monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro._typing import AnyGraph, Node, Path
+from repro.exceptions import PathExplosionError, RoutingError
+from repro.monitors.placement import MonitorPlacement
+from repro.routing.mechanisms import RoutingMechanism
+
+#: Paths longer than this (in nodes) are never enumerated unless the caller
+#: raises the cutoff explicitly.  ``None`` means "no limit".
+DEFAULT_CUTOFF: Optional[int] = None
+
+#: Hard guard against path explosion; the paper itself stops at ~5e6 paths.
+DEFAULT_MAX_PATHS = 5_000_000
+
+
+@dataclass(frozen=True)
+class PathSet:
+    """An immutable set of measurement paths over a node universe.
+
+    Attributes
+    ----------
+    nodes:
+        The node universe ``V`` whose identifiability is studied (all nodes of
+        the topology, monitor-attached or not — monitors are external).
+    paths:
+        The measurement paths, each an ordered node tuple.
+    """
+
+    nodes: Tuple[Node, ...]
+    paths: Tuple[Path, ...]
+    _node_masks: Dict[Node, int] = field(repr=False, compare=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        universe = set(self.nodes)
+        masks: Dict[Node, int] = {node: 0 for node in self.nodes}
+        for index, path in enumerate(self.paths):
+            bit = 1 << index
+            for node in set(path):
+                if node not in universe:
+                    raise RoutingError(
+                        f"path {index} touches {node!r} which is outside the node universe"
+                    )
+                masks[node] |= bit
+        object.__setattr__(self, "_node_masks", masks)
+
+    # -- basic accessors ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def __iter__(self) -> Iterator[Path]:
+        return iter(self.paths)
+
+    @property
+    def n_paths(self) -> int:
+        """Number of measurement paths ``|P|`` (reported in Tables 3-5)."""
+        return len(self.paths)
+
+    @property
+    def node_universe(self) -> FrozenSet[Node]:
+        """The node set ``V`` as a frozenset."""
+        return frozenset(self.nodes)
+
+    def paths_through(self, node: Node) -> int:
+        """Bitmask of ``P(v)``, the indices of paths crossing ``node``."""
+        try:
+            return self._node_masks[node]
+        except KeyError as exc:
+            raise RoutingError(f"{node!r} is not in the node universe") from exc
+
+    def paths_through_set(self, nodes: Iterable[Node]) -> int:
+        """Bitmask of ``P(U) = ∪_{u in U} P(u)``."""
+        mask = 0
+        for node in nodes:
+            mask |= self.paths_through(node)
+        return mask
+
+    def path_indices_through(self, node: Node) -> Tuple[int, ...]:
+        """The indices (not the bitmask) of paths crossing ``node``."""
+        mask = self.paths_through(node)
+        return tuple(i for i in range(len(self.paths)) if mask >> i & 1)
+
+    def touched_nodes(self) -> FrozenSet[Node]:
+        """Nodes crossed by at least one measurement path."""
+        return frozenset(node for node, mask in self._node_masks.items() if mask)
+
+    def uncovered_nodes(self) -> FrozenSet[Node]:
+        """Nodes crossed by no measurement path (these force µ = 0)."""
+        return frozenset(node for node, mask in self._node_masks.items() if not mask)
+
+    # -- identifiability primitives ----------------------------------------
+    def separates(self, first: Iterable[Node], second: Iterable[Node]) -> bool:
+        """True when ``P(U) △ P(W) ≠ ∅`` for ``U = first`` and ``W = second``.
+
+        This is the separation predicate at the heart of Definition 2.1: some
+        measurement path touches exactly one of the two node sets.
+        """
+        return self.paths_through_set(first) != self.paths_through_set(second)
+
+    def separating_paths(
+        self, first: Iterable[Node], second: Iterable[Node]
+    ) -> Tuple[Path, ...]:
+        """The paths witnessing separation (those in the symmetric difference)."""
+        diff = self.paths_through_set(first) ^ self.paths_through_set(second)
+        return tuple(self.paths[i] for i in range(len(self.paths)) if diff >> i & 1)
+
+    def restrict_to_paths(self, indices: Sequence[int]) -> "PathSet":
+        """A new :class:`PathSet` over the same universe with a subset of paths."""
+        selected = tuple(self.paths[i] for i in indices)
+        return PathSet(self.nodes, selected)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"PathSet(|V|={len(self.nodes)}, |P|={len(self.paths)}, "
+            f"uncovered={len(self.uncovered_nodes())})"
+        )
+
+
+def _iter_simple_paths(
+    graph: AnyGraph,
+    source: Node,
+    target: Node,
+    cutoff: Optional[int],
+) -> Iterator[Path]:
+    """Yield all simple paths from ``source`` to ``target`` as node tuples."""
+    if source == target:
+        # networkx returns [source] for identical endpoints only via cycles
+        # handling below; the callers deal with the DLP/cycle cases.
+        return
+    try:
+        for path in nx.all_simple_paths(graph, source, target, cutoff=cutoff):
+            yield tuple(path)
+    except nx.NodeNotFound as exc:  # pragma: no cover - guarded by validate()
+        raise RoutingError(str(exc)) from exc
+
+
+def _monitor_cycles(
+    graph: AnyGraph, anchor: Node, cutoff: Optional[int]
+) -> Iterator[Path]:
+    """Yield simple cycles through ``anchor`` as closed node tuples.
+
+    Used by CAP/CAP⁻ for paths that start and end at the same monitor node.
+    A cycle is represented by its node sequence starting and ending at the
+    anchor, e.g. ``(a, b, c, a)``.
+    """
+    if graph.is_directed():
+        for successor in graph.successors(anchor):
+            if successor == anchor:
+                continue
+            for path in nx.all_simple_paths(graph, successor, anchor, cutoff=cutoff):
+                yield (anchor,) + tuple(path)
+    else:
+        seen: set = set()
+        for neighbour in graph.neighbors(anchor):
+            for path in nx.all_simple_paths(graph, neighbour, anchor, cutoff=cutoff):
+                if len(path) < 3:
+                    # (neighbour, anchor) would retrace the same edge.
+                    continue
+                cycle = (anchor,) + tuple(path)
+                key = frozenset(cycle)
+                if key not in seen:
+                    seen.add(key)
+                    yield cycle
+
+
+def enumerate_paths(
+    graph: AnyGraph,
+    placement: MonitorPlacement,
+    mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
+    cutoff: Optional[int] = DEFAULT_CUTOFF,
+    max_paths: int = DEFAULT_MAX_PATHS,
+) -> PathSet:
+    """Enumerate the measurement paths ``P(G|χ)`` under a routing mechanism.
+
+    Parameters
+    ----------
+    graph:
+        The topology (directed or undirected networkx graph).
+    placement:
+        The monitor placement ``χ = (m, M)``.
+    mechanism:
+        One of :class:`RoutingMechanism` (or its string name).  Default CSP.
+    cutoff:
+        Optional maximum path length in *edges*; ``None`` enumerates all.
+    max_paths:
+        Guard against explosion; :class:`PathExplosionError` is raised when
+        more paths than this would be enumerated (the paper's own exhaustive
+        search stops around 5·10⁶ paths).
+
+    Returns
+    -------
+    PathSet
+        The measurement paths over the full node set of ``graph``.
+    """
+    mechanism = RoutingMechanism.parse(mechanism)
+    placement.validate(graph)
+    node_universe = tuple(sorted(graph.nodes, key=repr))
+
+    paths: List[Path] = []
+    seen: set = set()
+
+    def push(path: Path) -> None:
+        if path in seen:
+            return
+        seen.add(path)
+        paths.append(path)
+        if len(paths) > max_paths:
+            raise PathExplosionError(
+                f"more than max_paths={max_paths} measurement paths; "
+                "increase the cap or use a smaller topology"
+            )
+
+    # Simple input -> output paths with distinct endpoints (all mechanisms).
+    for source in sorted(placement.inputs, key=repr):
+        for target in sorted(placement.outputs, key=repr):
+            if source == target:
+                continue
+            for path in _iter_simple_paths(graph, source, target, cutoff):
+                push(path)
+
+    if mechanism.allows_cycles:
+        # Paths that start and end on the same node which is both an input and
+        # an output node: monitor-anchored simple cycles (length >= 2 edges).
+        for anchor in sorted(placement.dlp_candidates, key=repr):
+            for cycle in _monitor_cycles(graph, anchor, cutoff):
+                push(cycle)
+
+    if mechanism.allows_dlp:
+        # Degenerate loop paths: the single-node loop m·(vv)·M.
+        for anchor in sorted(placement.dlp_candidates, key=repr):
+            push((anchor, anchor))
+
+    if not paths:
+        raise RoutingError(
+            "no measurement path exists for this placement under "
+            f"{mechanism.value}; identifiability would be undefined"
+        )
+    return PathSet(node_universe, tuple(paths))
+
+
+def path_length_histogram(pathset: PathSet) -> Dict[int, int]:
+    """Histogram ``length (in edges) -> count`` of the measurement paths.
+
+    Useful for the reporting layer and the routing-cost discussion of
+    Section 9 (fewer/shorter paths means cheaper probing).
+    """
+    histogram: Dict[int, int] = {}
+    for path in pathset.paths:
+        length = max(len(path) - 1, 0)
+        histogram[length] = histogram.get(length, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+def count_paths(
+    graph: AnyGraph,
+    placement: MonitorPlacement,
+    mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
+    cutoff: Optional[int] = DEFAULT_CUTOFF,
+    max_paths: int = DEFAULT_MAX_PATHS,
+) -> int:
+    """Convenience wrapper returning only ``|P(G|χ)|`` (as in Tables 3-5)."""
+    return enumerate_paths(graph, placement, mechanism, cutoff, max_paths).n_paths

@@ -1,0 +1,37 @@
+"""Boolean network tomography substrate: the measurement system of Equation
+(1), forward measurement simulation, failure-set inference and end-to-end
+failure scenarios."""
+
+from repro.tomography.boolean_system import (
+    BooleanEquation,
+    BooleanSystem,
+    build_system,
+    measurement_vector,
+)
+from repro.tomography.inference import (
+    LocalizationResult,
+    consistent_failure_sets,
+    identifiability_implies_unique_localization,
+    localization_is_unique,
+    localize_failures,
+)
+from repro.tomography.scenario import (
+    CampaignReport,
+    TomographySession,
+    TrialOutcome,
+)
+
+__all__ = [
+    "BooleanEquation",
+    "BooleanSystem",
+    "build_system",
+    "measurement_vector",
+    "LocalizationResult",
+    "consistent_failure_sets",
+    "identifiability_implies_unique_localization",
+    "localization_is_unique",
+    "localize_failures",
+    "CampaignReport",
+    "TomographySession",
+    "TrialOutcome",
+]

@@ -1,0 +1,118 @@
+"""Failure-set inference from Boolean end-to-end measurements.
+
+Given a path set and the measurement vector, the consistent failure sets are
+exactly the solutions of the Boolean system (Equation 1).  Identifiability is
+the statement that, among failure sets of size at most k, the solution is
+unique — this module turns that statement into an operational localiser and a
+report object used by the examples and the what-if analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from repro._typing import MeasurementVector, Node
+from repro.exceptions import IdentifiabilityError
+from repro.routing.paths import PathSet
+from repro.tomography.boolean_system import BooleanSystem, measurement_vector
+
+
+@dataclass(frozen=True)
+class LocalizationResult:
+    """Outcome of a localisation attempt.
+
+    Attributes
+    ----------
+    consistent_sets:
+        Every failure set of size ≤ ``max_failures`` consistent with the
+        observations, in increasing size order.
+    unique:
+        True when exactly one consistent set exists — the failure is uniquely
+        localised.
+    localized_set:
+        The unique consistent set when ``unique`` is true, else ``None``.
+    max_failures:
+        The size bound used for the search.
+    """
+
+    consistent_sets: Tuple[FrozenSet[Node], ...]
+    max_failures: int
+
+    @property
+    def unique(self) -> bool:
+        return len(self.consistent_sets) == 1
+
+    @property
+    def localized_set(self) -> Optional[FrozenSet[Node]]:
+        return self.consistent_sets[0] if self.unique else None
+
+    @property
+    def ambiguity(self) -> int:
+        """Number of consistent candidate failure sets (1 = unique)."""
+        return len(self.consistent_sets)
+
+    def contains_truth(self, true_failure_set: Iterable[Node]) -> bool:
+        """Whether the true failure set is among the consistent candidates."""
+        truth = frozenset(true_failure_set)
+        return truth in self.consistent_sets
+
+
+def consistent_failure_sets(
+    pathset: PathSet,
+    observations: Sequence[int],
+    max_failures: int,
+    universe: Optional[Iterable[Node]] = None,
+) -> Tuple[FrozenSet[Node], ...]:
+    """All failure sets of size ≤ ``max_failures`` consistent with the observations."""
+    system = BooleanSystem.from_measurements(pathset, tuple(observations))
+    return tuple(system.solutions(max_failures, universe))
+
+
+def localize_failures(
+    pathset: PathSet,
+    observations: Sequence[int],
+    max_failures: int,
+    universe: Optional[Iterable[Node]] = None,
+) -> LocalizationResult:
+    """Run the Boolean localiser and report uniqueness/ambiguity."""
+    if max_failures < 0:
+        raise IdentifiabilityError(f"max_failures must be >= 0, got {max_failures}")
+    sets = consistent_failure_sets(pathset, observations, max_failures, universe)
+    return LocalizationResult(consistent_sets=sets, max_failures=max_failures)
+
+
+def localization_is_unique(
+    pathset: PathSet, failure_set: Iterable[Node], max_failures: Optional[int] = None
+) -> bool:
+    """Simulate a failure and check whether measurements localise it uniquely.
+
+    ``max_failures`` defaults to ``len(failure_set)``, matching the semantics
+    of k-identifiability: among failure sets no larger than the true one, the
+    truth is the only consistent explanation.
+    """
+    failed = frozenset(failure_set)
+    bound = len(failed) if max_failures is None else max_failures
+    observations = measurement_vector(pathset, failed)
+    result = localize_failures(pathset, observations, bound)
+    return result.unique and result.localized_set == failed
+
+
+def identifiability_implies_unique_localization(
+    pathset: PathSet, failure_sets: Iterable[Iterable[Node]], k: int
+) -> bool:
+    """Operational restatement of Definition 2.1 used by tests and examples.
+
+    If the universe is k-identifiable, then every failure set of size ≤ k is
+    uniquely localised among candidates of size ≤ k.  This helper checks the
+    conclusion for an explicit family of failure sets.
+    """
+    for failure_set in failure_sets:
+        failed = frozenset(failure_set)
+        if len(failed) > k:
+            raise IdentifiabilityError(
+                f"failure set {sorted(map(repr, failed))} exceeds the size bound k={k}"
+            )
+        if not localization_is_unique(pathset, failed, max_failures=k):
+            return False
+    return True

@@ -1,0 +1,178 @@
+"""End-to-end failure scenarios: sample failures, measure, localise, score.
+
+This is the "systems" face of the library: given a topology, a monitor
+placement and a routing mechanism, a :class:`TomographySession` owns the
+measurement path set and can
+
+* simulate random failure sets of a given size,
+* produce the Boolean measurement vector each failure generates,
+* run the localiser and report whether the failure was uniquely identified,
+* aggregate success rates over many trials (used by the examples and the
+  ablation benchmarks to connect µ with operational localisation accuracy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro._typing import AnyGraph, MeasurementVector, Node
+from repro.exceptions import IdentifiabilityError
+from repro.core.identifiability import maximal_identifiability_detailed
+from repro.core.bounds import structural_upper_bound
+from repro.monitors.placement import MonitorPlacement
+from repro.routing.mechanisms import RoutingMechanism
+from repro.routing.paths import PathSet, enumerate_paths
+from repro.tomography.boolean_system import measurement_vector
+from repro.tomography.inference import LocalizationResult, localize_failures
+from repro.utils.seeds import RngLike, resolve_rng
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """Result of a single simulated failure trial."""
+
+    failure_set: FrozenSet[Node]
+    observations: MeasurementVector
+    localization: LocalizationResult
+
+    @property
+    def uniquely_identified(self) -> bool:
+        """True when the localiser returned exactly the injected failure set."""
+        return (
+            self.localization.unique
+            and self.localization.localized_set == self.failure_set
+        )
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Aggregate over a batch of failure trials of a fixed failure size."""
+
+    failure_size: int
+    n_trials: int
+    n_unique: int
+    mean_ambiguity: float
+
+    @property
+    def unique_rate(self) -> float:
+        """Fraction of trials where the failure was uniquely localised."""
+        return self.n_unique / self.n_trials if self.n_trials else 0.0
+
+
+class TomographySession:
+    """Owns the measurement paths of ``(graph, placement, mechanism)``.
+
+    Parameters mirror :func:`repro.routing.paths.enumerate_paths`; the path
+    set is computed eagerly at construction so repeated trials are cheap.
+    """
+
+    def __init__(
+        self,
+        graph: AnyGraph,
+        placement: MonitorPlacement,
+        mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
+        cutoff: Optional[int] = None,
+        max_paths: Optional[int] = None,
+    ) -> None:
+        self.graph = graph
+        self.placement = placement
+        self.mechanism = RoutingMechanism.parse(mechanism)
+        kwargs = {}
+        if cutoff is not None:
+            kwargs["cutoff"] = cutoff
+        if max_paths is not None:
+            kwargs["max_paths"] = max_paths
+        self.pathset: PathSet = enumerate_paths(
+            graph, placement, self.mechanism, **kwargs
+        )
+        self._mu_cache: Optional[int] = None
+
+    # -- identifiability ----------------------------------------------------
+    @property
+    def mu(self) -> int:
+        """Exact maximal identifiability of the session's path set (cached)."""
+        if self._mu_cache is None:
+            bound = structural_upper_bound(self.graph, self.placement, self.mechanism)
+            result = maximal_identifiability_detailed(
+                self.pathset, max_size=bound.combined + 1
+            )
+            self._mu_cache = result.value
+        return self._mu_cache
+
+    # -- forward model ------------------------------------------------------
+    def measure(self, failure_set: Iterable[Node]) -> MeasurementVector:
+        """Boolean measurement vector produced by ``failure_set``."""
+        return measurement_vector(self.pathset, failure_set)
+
+    def localize(
+        self, observations: Sequence[int], max_failures: int
+    ) -> LocalizationResult:
+        """Run the localiser on an observation vector."""
+        return localize_failures(self.pathset, observations, max_failures)
+
+    # -- simulation ---------------------------------------------------------
+    def sample_failure_set(self, size: int, rng: RngLike = None) -> FrozenSet[Node]:
+        """Uniformly random failure set of the given size over non-monitor nodes.
+
+        Monitors are assumed reliable (Section 2: "monitors by default must be
+        reliable"), so failures are drawn from the remaining nodes whenever
+        enough of them exist; otherwise from the whole universe.
+        """
+        if size < 0:
+            raise IdentifiabilityError(f"failure size must be >= 0, got {size}")
+        generator = resolve_rng(rng)
+        non_monitors = sorted(
+            self.pathset.node_universe - self.placement.monitor_nodes, key=repr
+        )
+        pool = non_monitors if len(non_monitors) >= size else sorted(
+            self.pathset.node_universe, key=repr
+        )
+        if size > len(pool):
+            raise IdentifiabilityError(
+                f"cannot sample {size} failing nodes from a pool of {len(pool)}"
+            )
+        return frozenset(generator.sample(pool, size))
+
+    def run_trial(self, failure_set: Iterable[Node], max_failures: Optional[int] = None) -> TrialOutcome:
+        """Inject a failure set, measure, localise."""
+        failed = frozenset(failure_set)
+        observations = self.measure(failed)
+        bound = len(failed) if max_failures is None else max_failures
+        localization = self.localize(observations, bound)
+        return TrialOutcome(failed, observations, localization)
+
+    def run_campaign(
+        self, failure_size: int, n_trials: int, rng: RngLike = None
+    ) -> CampaignReport:
+        """Aggregate unique-localisation rate over ``n_trials`` random failures.
+
+        When µ ≥ ``failure_size`` the unique rate is guaranteed to be 1.0;
+        below µ the rate measures how much practical localisation power the
+        topology retains beyond the worst-case guarantee.
+        """
+        if n_trials < 1:
+            raise IdentifiabilityError(f"n_trials must be >= 1, got {n_trials}")
+        generator = resolve_rng(rng)
+        n_unique = 0
+        total_ambiguity = 0
+        for _ in range(n_trials):
+            failure = self.sample_failure_set(failure_size, generator)
+            outcome = self.run_trial(failure)
+            if outcome.uniquely_identified:
+                n_unique += 1
+            total_ambiguity += outcome.localization.ambiguity
+        return CampaignReport(
+            failure_size=failure_size,
+            n_trials=n_trials,
+            n_unique=n_unique,
+            mean_ambiguity=total_ambiguity / n_trials,
+        )
+
+    def describe(self) -> str:
+        """One-line summary used by examples."""
+        return (
+            f"TomographySession({self.graph.name or 'graph'}, "
+            f"|m|={self.placement.n_inputs}, |M|={self.placement.n_outputs}, "
+            f"{self.mechanism.value}, |P|={self.pathset.n_paths})"
+        )

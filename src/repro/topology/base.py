@@ -1,0 +1,204 @@
+"""Structural graph helpers shared by every topology in the library.
+
+The paper (Section 2, Table 1) works with plain graphs ``G = (V, E)`` in both
+directed and undirected flavours and repeatedly refers to a handful of
+structural quantities: neighbourhoods, minimal/maximal degree, in/out degree
+variants, and connectivity.  This module provides those quantities on top of
+:mod:`networkx` graphs with the paper's notation in the function names, plus
+validation helpers used throughout the package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+import networkx as nx
+
+from repro._typing import AnyGraph, Node
+from repro.exceptions import TopologyError
+
+
+def is_directed(graph: AnyGraph) -> bool:
+    """True when ``graph`` is a directed networkx graph."""
+    return graph.is_directed()
+
+
+def require_nodes(graph: AnyGraph, *nodes: Node) -> None:
+    """Raise :class:`TopologyError` unless every node belongs to ``graph``."""
+    missing = [node for node in nodes if node not in graph]
+    if missing:
+        raise TopologyError(f"nodes {missing!r} are not in the graph")
+
+
+def require_connected(graph: AnyGraph) -> None:
+    """Raise unless ``graph`` is connected (weakly connected when directed).
+
+    The paper assumes connected graphs throughout ("in the rest of the paper,
+    we assume the graphs always to be connected", after Lemma 3.2); the
+    identifiability of a graph with an isolated node is trivially 0.
+    """
+    if graph.number_of_nodes() == 0:
+        raise TopologyError("the empty graph is not connected")
+    if graph.is_directed():
+        connected = nx.is_weakly_connected(graph)
+    else:
+        connected = nx.is_connected(graph)
+    if not connected:
+        raise TopologyError("graph is not connected")
+
+
+def neighbourhood(graph: AnyGraph, node: Node) -> FrozenSet[Node]:
+    """``N(u)``: the neighbours of ``node``.
+
+    For a directed graph this is the union of in- and out-neighbours, matching
+    the paper's use of ``N(u)`` for the undirected neighbourhood structure.
+    """
+    require_nodes(graph, node)
+    if graph.is_directed():
+        return frozenset(graph.predecessors(node)) | frozenset(graph.successors(node))
+    return frozenset(graph.neighbors(node))
+
+
+def in_neighbourhood(graph: nx.DiGraph, node: Node) -> FrozenSet[Node]:
+    """``N_i(u)``: nodes ``v`` with an edge ``(v, u)``."""
+    require_nodes(graph, node)
+    if not graph.is_directed():
+        raise TopologyError("in_neighbourhood requires a directed graph")
+    return frozenset(graph.predecessors(node))
+
+
+def out_neighbourhood(graph: nx.DiGraph, node: Node) -> FrozenSet[Node]:
+    """``N_o(u)``: nodes ``v`` with an edge ``(u, v)``."""
+    require_nodes(graph, node)
+    if not graph.is_directed():
+        raise TopologyError("out_neighbourhood requires a directed graph")
+    return frozenset(graph.successors(node))
+
+
+def degree(graph: AnyGraph, node: Node) -> int:
+    """``deg(u)``, the size of ``N(u)``.
+
+    For directed graphs this is the number of distinct neighbours (a node that
+    is both an in- and an out-neighbour counts once), which is the quantity the
+    undirected bounds of the paper use when applied to the underlying
+    undirected structure.
+    """
+    return len(neighbourhood(graph, node))
+
+
+def min_degree(graph: AnyGraph) -> int:
+    """``delta(G)``: the minimal degree over all nodes."""
+    if graph.number_of_nodes() == 0:
+        raise TopologyError("minimal degree of the empty graph is undefined")
+    return min(degree(graph, node) for node in graph.nodes)
+
+
+def max_degree(graph: AnyGraph) -> int:
+    """``Delta(G)``: the maximal degree over all nodes."""
+    if graph.number_of_nodes() == 0:
+        raise TopologyError("maximal degree of the empty graph is undefined")
+    return max(degree(graph, node) for node in graph.nodes)
+
+
+def min_in_degree(graph: nx.DiGraph) -> int:
+    """``delta_i(G)`` for directed graphs."""
+    _require_directed(graph)
+    return min(d for _, d in graph.in_degree())
+
+
+def min_out_degree(graph: nx.DiGraph) -> int:
+    """``delta_o(G)`` for directed graphs."""
+    _require_directed(graph)
+    return min(d for _, d in graph.out_degree())
+
+
+def max_in_degree(graph: nx.DiGraph) -> int:
+    """``Delta_i(G)`` for directed graphs."""
+    _require_directed(graph)
+    return max(d for _, d in graph.in_degree())
+
+
+def max_out_degree(graph: nx.DiGraph) -> int:
+    """``Delta_o(G)`` for directed graphs."""
+    _require_directed(graph)
+    return max(d for _, d in graph.out_degree())
+
+
+def average_degree(graph: AnyGraph) -> float:
+    """``lambda(G)``: the average degree, used as the truncation level in the
+    truncated-identifiability experiments (Section 8.0.3)."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        raise TopologyError("average degree of the empty graph is undefined")
+    return 2.0 * graph.number_of_edges() / n if not graph.is_directed() else (
+        sum(dict(graph.degree()).values()) / n
+    )
+
+
+def underlying_undirected(graph: AnyGraph) -> nx.Graph:
+    """Return the undirected graph underlying ``graph`` (identity if already
+    undirected).  Self-loops are preserved."""
+    if graph.is_directed():
+        return nx.Graph(graph)
+    return graph
+
+
+def is_dag(graph: AnyGraph) -> bool:
+    """True when ``graph`` is a directed acyclic graph."""
+    return graph.is_directed() and nx.is_directed_acyclic_graph(graph)
+
+
+def require_dag(graph: AnyGraph) -> None:
+    """Raise unless ``graph`` is a DAG (needed by the embedding machinery)."""
+    if not is_dag(graph):
+        raise TopologyError("a directed acyclic graph is required")
+
+
+def sources(graph: nx.DiGraph) -> FrozenSet[Node]:
+    """Nodes with in-degree 0 of a directed graph."""
+    _require_directed(graph)
+    return frozenset(node for node, d in graph.in_degree() if d == 0)
+
+
+def sinks(graph: nx.DiGraph) -> FrozenSet[Node]:
+    """Nodes with out-degree 0 of a directed graph."""
+    _require_directed(graph)
+    return frozenset(node for node, d in graph.out_degree() if d == 0)
+
+
+def _require_directed(graph: AnyGraph) -> None:
+    if not graph.is_directed():
+        raise TopologyError("a directed graph is required")
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Structural summary of a topology, as reported in the paper's tables."""
+
+    n_nodes: int
+    n_edges: int
+    directed: bool
+    min_degree: int
+    max_degree: int
+    average_degree: float
+    connected: bool
+
+    @classmethod
+    def of(cls, graph: AnyGraph) -> "GraphSummary":
+        """Compute the summary of ``graph``."""
+        if graph.number_of_nodes() == 0:
+            raise TopologyError("cannot summarise the empty graph")
+        if graph.is_directed():
+            connected = nx.is_weakly_connected(graph)
+        else:
+            connected = nx.is_connected(graph)
+        return cls(
+            n_nodes=graph.number_of_nodes(),
+            n_edges=graph.number_of_edges(),
+            directed=graph.is_directed(),
+            min_degree=min_degree(graph),
+            max_degree=max_degree(graph),
+            average_degree=average_degree(graph),
+            connected=connected,
+        )

@@ -1,0 +1,204 @@
+"""Small "real" network topologies used by the experimental section.
+
+The paper evaluates Agrid on networks from the Internet Topology Zoo
+(Claranet, EuNetworks, DataXchange, GridNetwork, GetNet — Tables 3-13).  The
+Zoo GraphML files are not redistributable inside this offline reproduction, so
+this module contains **hand-built stand-ins** with the same vital statistics
+the paper reports for each network:
+
+================  =====  =====  =====  =================================
+network           |V|    |E|    δ(G)   shape
+================  =====  =====  =====  =================================
+Claranet          15     17     1      quasi-tree with 3 chords
+EuNetworks        14     16     1      quasi-tree with 3 chords
+DataXchange        6     11     1      dense core + one pendant node
+GridNetwork        7     14     4      dense mesh (average degree 4)
+EuNetworkSmall     7      7     1      ring with a pendant (average degree 2)
+GetNet             9     11     1      quasi-tree with 3 chords
+================  =====  =====  =====  =================================
+
+These statistics are exactly what the experiments depend on: the Agrid gain is
+driven by |V|, |E| and δ, and exact µ is recomputed on our graphs.  The
+substitution is documented in DESIGN.md.
+
+All builders return fresh, undirected :class:`networkx.Graph` instances with
+string node labels, so callers are free to mutate them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import networkx as nx
+
+from repro.exceptions import TopologyError
+
+
+def _build(name: str, nodes: List[str], edges: List[Tuple[str, str]]) -> nx.Graph:
+    graph = nx.Graph(name=name)
+    graph.add_nodes_from(nodes)
+    for u, v in edges:
+        if u not in graph or v not in graph:
+            raise TopologyError(f"edge ({u}, {v}) references an unknown node")
+        graph.add_edge(u, v)
+    graph.graph["zoo"] = True
+    return graph
+
+
+def claranet() -> nx.Graph:
+    """Stand-in for the Claranet European backbone (15 nodes, 17 edges, δ=1).
+
+    The shape is a backbone path of point-of-presence nodes with access
+    spurs and three redundancy chords, which is the documented structure of
+    the original network.
+    """
+    nodes = [
+        "London", "Paris", "Amsterdam", "Frankfurt", "Madrid", "Barcelona",
+        "Lisbon", "Porto", "Milan", "Rome", "Zurich", "Vienna", "Dublin",
+        "Manchester", "Brussels",
+    ]
+    spanning_tree = [
+        ("London", "Paris"),
+        ("Paris", "Amsterdam"),
+        ("Amsterdam", "Frankfurt"),
+        ("Paris", "Madrid"),
+        ("Madrid", "Barcelona"),
+        ("Madrid", "Lisbon"),
+        ("Lisbon", "Porto"),
+        ("Frankfurt", "Milan"),
+        ("Milan", "Rome"),
+        ("Frankfurt", "Zurich"),
+        ("Frankfurt", "Vienna"),
+        ("London", "Dublin"),
+        ("London", "Manchester"),
+        ("Paris", "Brussels"),
+    ]
+    chords = [
+        ("London", "Amsterdam"),
+        ("Milan", "Zurich"),
+        ("Barcelona", "Rome"),
+    ]
+    return _build("Claranet (synthetic stand-in)", nodes, spanning_tree + chords)
+
+
+def eunetworks() -> nx.Graph:
+    """Stand-in for the EuNetworks fibre backbone (14 nodes, 16 edges, δ=1)."""
+    nodes = [
+        "London", "Amsterdam", "Brussels", "Paris", "Frankfurt", "Berlin",
+        "Hamburg", "Dusseldorf", "Munich", "Zurich", "Geneva", "Milan",
+        "Strasbourg", "Manchester",
+    ]
+    spanning_tree = [
+        ("London", "Amsterdam"),
+        ("Amsterdam", "Brussels"),
+        ("Brussels", "Paris"),
+        ("Amsterdam", "Frankfurt"),
+        ("Frankfurt", "Berlin"),
+        ("Berlin", "Hamburg"),
+        ("Frankfurt", "Dusseldorf"),
+        ("Frankfurt", "Munich"),
+        ("Munich", "Zurich"),
+        ("Zurich", "Geneva"),
+        ("Zurich", "Milan"),
+        ("Paris", "Strasbourg"),
+        ("London", "Manchester"),
+    ]
+    chords = [
+        ("London", "Paris"),
+        ("Amsterdam", "Hamburg"),
+        ("Strasbourg", "Frankfurt"),
+    ]
+    return _build("EuNetworks (synthetic stand-in)", nodes, spanning_tree + chords)
+
+
+def dataxchange() -> nx.Graph:
+    """Stand-in for the DataXchange exchange fabric (6 nodes, 11 edges, δ=1).
+
+    A dense exchange core of five sites plus one singly-attached customer
+    site, matching the |V| = 6, |E| = 11, δ = 1 row of Table 5.
+    """
+    nodes = ["ix1", "ix2", "ix3", "ix4", "ix5", "cust"]
+    core = [
+        ("ix1", "ix2"), ("ix1", "ix3"), ("ix1", "ix4"), ("ix1", "ix5"),
+        ("ix2", "ix3"), ("ix2", "ix4"), ("ix2", "ix5"),
+        ("ix3", "ix4"), ("ix3", "ix5"),
+        ("ix4", "ix5"),
+    ]
+    spur = [("ix1", "cust")]
+    return _build("DataXchange (synthetic stand-in)", nodes, core + spur)
+
+
+def gridnetwork() -> nx.Graph:
+    """Stand-in for the "GridNetwork" topology of Table 9 (7 nodes, average
+    degree 4, i.e. 14 edges)."""
+    nodes = ["g1", "g2", "g3", "g4", "g5", "g6", "g7"]
+    edges = [
+        ("g1", "g2"), ("g1", "g3"), ("g1", "g4"), ("g1", "g5"),
+        ("g2", "g3"), ("g2", "g6"), ("g2", "g7"),
+        ("g3", "g4"), ("g3", "g7"),
+        ("g4", "g5"), ("g4", "g6"),
+        ("g5", "g6"), ("g5", "g7"),
+        ("g6", "g7"),
+    ]
+    return _build("GridNetwork (synthetic stand-in)", nodes, edges)
+
+
+def eunetwork_small() -> nx.Graph:
+    """Stand-in for the 7-node "EuNetwork" of Table 10 (average degree 2).
+
+    A ring of six nodes with one pendant node, giving 7 edges and δ = 1.
+    """
+    nodes = ["e1", "e2", "e3", "e4", "e5", "e6", "e7"]
+    edges = [
+        ("e1", "e2"), ("e2", "e3"), ("e3", "e4"),
+        ("e4", "e5"), ("e5", "e6"), ("e6", "e1"),
+        ("e3", "e7"),
+    ]
+    return _build("EuNetwork-7 (synthetic stand-in)", nodes, edges)
+
+
+def getnet() -> nx.Graph:
+    """Stand-in for the GetNet access network of Table 13 (9 nodes, quasi-tree)."""
+    nodes = ["n1", "n2", "n3", "n4", "n5", "n6", "n7", "n8", "n9"]
+    spanning_tree = [
+        ("n1", "n2"), ("n2", "n3"), ("n2", "n4"),
+        ("n1", "n5"), ("n5", "n6"), ("n5", "n7"),
+        ("n1", "n8"), ("n8", "n9"),
+    ]
+    chords = [
+        ("n3", "n4"),
+        ("n6", "n7"),
+        ("n2", "n8"),
+    ]
+    return _build("GetNet (synthetic stand-in)", nodes, spanning_tree + chords)
+
+
+#: Registry mapping network name -> builder, used by the experiment drivers
+#: and the command-line runner.
+ZOO_REGISTRY: Dict[str, Callable[[], nx.Graph]] = {
+    "claranet": claranet,
+    "eunetworks": eunetworks,
+    "dataxchange": dataxchange,
+    "gridnetwork": gridnetwork,
+    "eunetwork_small": eunetwork_small,
+    "getnet": getnet,
+}
+
+
+def load(name: str) -> nx.Graph:
+    """Load a zoo network by (case-insensitive) name.
+
+    >>> load("Claranet").number_of_nodes()
+    15
+    """
+    key = name.lower()
+    if key not in ZOO_REGISTRY:
+        raise TopologyError(
+            f"unknown zoo network {name!r}; available: {sorted(ZOO_REGISTRY)}"
+        )
+    return ZOO_REGISTRY[key]()
+
+
+def available_networks() -> List[str]:
+    """Sorted list of zoo network names."""
+    return sorted(ZOO_REGISTRY)

@@ -1,0 +1,20 @@
+"""Small shared utilities: bitset helpers, deterministic RNG handling and
+formatting helpers used by the analysis/experiment layers."""
+
+from repro.utils.bitset import (
+    bit_count,
+    bits_of,
+    mask_from_indices,
+    union_masks,
+)
+from repro.utils.seeds import resolve_rng
+from repro.utils.tables import format_table
+
+__all__ = [
+    "bit_count",
+    "bits_of",
+    "mask_from_indices",
+    "union_masks",
+    "resolve_rng",
+    "format_table",
+]

@@ -1,0 +1,73 @@
+"""Bitmask helpers.
+
+Measurement paths are indexed ``0 .. |P|-1`` and the set of paths crossing a
+node (``P(v)`` in the paper) is stored as a Python integer used as a bitmask.
+Unions of path sets — ``P(U) = \\bigcup_{u in U} P(u)`` — are then plain
+bitwise ORs, which keeps the exhaustive identifiability search fast even with
+tens of thousands of paths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+
+def mask_from_indices(indices: Iterable[int]) -> int:
+    """Build a bitmask with the given bit positions set.
+
+    >>> bin(mask_from_indices([0, 2, 3]))
+    '0b1101'
+    """
+    mask = 0
+    for index in indices:
+        if index < 0:
+            raise ValueError(f"bit index must be non-negative, got {index}")
+        mask |= 1 << index
+    return mask
+
+
+def union_masks(masks: Iterable[int]) -> int:
+    """Bitwise OR of an iterable of masks (the union of the path sets)."""
+    result = 0
+    for mask in masks:
+        result |= mask
+    return result
+
+
+def bit_count(mask: int) -> int:
+    """Number of set bits (size of the represented path set)."""
+    return mask.bit_count()
+
+
+def bits_of(mask: int) -> Iterator[int]:
+    """Yield the indices of the set bits of ``mask`` in increasing order.
+
+    >>> list(bits_of(0b1101))
+    [0, 2, 3]
+    """
+    index = 0
+    while mask:
+        if mask & 1:
+            yield index
+        mask >>= 1
+        index += 1
+
+
+def masks_for_nodes(
+    node_order: Sequence, membership: Mapping, universe_size: int
+) -> Mapping:
+    """Utility used in tests: build ``node -> mask`` from ``node -> iterable``.
+
+    ``membership[node]`` must be an iterable of path indices smaller than
+    ``universe_size``.
+    """
+    result = {}
+    for node in node_order:
+        indices = list(membership.get(node, ()))
+        for index in indices:
+            if index >= universe_size:
+                raise ValueError(
+                    f"path index {index} out of range for universe of size {universe_size}"
+                )
+        result[node] = mask_from_indices(indices)
+    return result

@@ -1,0 +1,41 @@
+"""Deterministic random-number handling.
+
+Every stochastic component in the library (Agrid edge selection, MDMP tie
+breaking, random monitor placement, Erdős–Rényi generation, failure sampling)
+accepts either an integer seed, an existing :class:`random.Random` instance or
+``None``.  :func:`resolve_rng` normalises all three into a ``random.Random``
+so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+RngLike = Union[int, random.Random, None]
+
+
+def resolve_rng(rng: RngLike = None) -> random.Random:
+    """Return a :class:`random.Random` for ``rng``.
+
+    * ``None`` -> a fresh, OS-seeded generator (non-reproducible);
+    * ``int``  -> a generator seeded with that integer;
+    * ``random.Random`` -> returned unchanged (shared state).
+    """
+    if rng is None:
+        return random.Random()
+    if isinstance(rng, random.Random):
+        return rng
+    if isinstance(rng, int):
+        return random.Random(rng)
+    raise TypeError(f"rng must be None, int or random.Random, got {type(rng)!r}")
+
+
+def spawn_rng(rng: RngLike, salt: int) -> random.Random:
+    """Derive an independent child generator from ``rng`` and an integer salt.
+
+    Used by the experiment drivers so each trial gets its own reproducible
+    stream regardless of how many random draws earlier trials consumed.
+    """
+    base = resolve_rng(rng)
+    return random.Random(f"{base.getrandbits(64)}:{salt}")

@@ -1,0 +1,193 @@
+"""Integration tests for the experiment drivers (Tables 3-13 and ablations).
+
+These use reduced trial counts so the whole suite stays fast; the benchmark
+harness runs the paper-sized versions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.ablation import placement_ablation, selector_ablation
+from repro.experiments.common import (
+    compare_with_agrid,
+    dimension_log,
+    dimension_sqrt_log,
+    measure_network,
+    resolve_dimension,
+)
+from repro.experiments.random_graphs import (
+    run_random_graph_cell,
+    run_table6,
+    run_table7,
+)
+from repro.experiments.random_monitors import run_random_monitor_experiment
+from repro.experiments.real_networks import (
+    REAL_NETWORK_TABLES,
+    run_real_network,
+    run_table5,
+)
+from repro.experiments.truncated import run_truncated_experiment
+from repro.experiments import runner
+from repro.monitors.heuristics import mdmp_placement
+from repro.topology.zoo import dataxchange, eunetwork_small, getnet, gridnetwork
+
+
+class TestDimensionRules:
+    def test_log_rule_values(self):
+        assert dimension_log(15) == 3
+        assert dimension_log(14) == 3
+        assert dimension_log(6) == 2
+
+    def test_sqrt_log_rule_values(self):
+        assert dimension_sqrt_log(15) == 2
+        assert dimension_sqrt_log(6) == 2
+
+    def test_bump_when_graph_already_dense(self):
+        graph = gridnetwork()  # minimal degree 4 > log(7) ~ 2
+        assert dimension_log(graph.number_of_nodes(), graph) > 2
+
+    def test_resolve_dimension_unknown_rule(self):
+        with pytest.raises(ExperimentError):
+            resolve_dimension("cubic", dataxchange())
+
+    def test_rules_reject_tiny_graphs(self):
+        with pytest.raises(ExperimentError):
+            dimension_log(1)
+
+
+class TestCommonHelpers:
+    def test_measure_network_fields(self):
+        graph = eunetwork_small()
+        placement = mdmp_placement(graph, 2)
+        measurement = measure_network(graph, placement)
+        assert measurement.n_edges == graph.number_of_edges()
+        assert measurement.n_monitors == 4
+        assert measurement.mu >= 0
+
+    def test_compare_with_agrid_never_decreases(self):
+        comparison = compare_with_agrid(eunetwork_small(), 2, rng=0)
+        assert comparison.improvement >= 0
+        assert comparison.boosted.min_degree >= 2
+
+    def test_compare_with_custom_placement_builder(self):
+        from repro.monitors.heuristics import random_placement
+
+        comparison = compare_with_agrid(
+            eunetwork_small(),
+            2,
+            rng=0,
+            placement_builder=lambda g, d: random_placement(g, d, d, rng=1),
+        )
+        assert comparison.original.n_monitors == 4
+
+
+class TestRealNetworks:
+    def test_table5_structure(self):
+        result = run_table5(rng=1)
+        assert result.n_nodes == 6
+        assert result.never_decreases
+        rows = result.rows()
+        assert rows[0][0] == "mu"
+        assert "DataXchange" in result.render()
+
+    def test_table_registry_names(self):
+        assert set(REAL_NETWORK_TABLES) == {"claranet", "eunetworks", "dataxchange"}
+
+    def test_run_real_network_on_small_net_is_consistent(self):
+        result = run_real_network("dataxchange", rng=7)
+        # The boosted graph always has at least as many edges and a higher
+        # minimal degree than the original.
+        for comparison in (result.sqrt_log, result.log):
+            assert comparison.boosted.n_edges >= comparison.original.n_edges
+            assert comparison.boosted.min_degree >= comparison.original.min_degree
+
+
+class TestRandomGraphs:
+    def test_cell_counts_add_up(self):
+        cell = run_random_graph_cell(5, 6, "log", rng=3)
+        assert cell.n_improved + cell.n_equal + cell.n_decreased == 6
+        assert cell.never_decreased
+        assert "%" in cell.render_cell()
+
+    def test_cell_rejects_bad_arguments(self):
+        with pytest.raises(ExperimentError):
+            run_random_graph_cell(5, 0)
+        with pytest.raises(ExperimentError):
+            run_random_graph_cell(5, 5, "cubic")
+
+    def test_table_render_contains_all_cells(self):
+        table = run_table6(node_counts=(5,), batch_sizes=(3,), rng=4)
+        assert (3, 5) in table.cells
+        assert table.never_decreased
+        assert "n=5" in table.render()
+
+    def test_table7_uses_log_rule(self):
+        table = run_table7(node_counts=(5,), batch_sizes=(2,), rng=4)
+        assert table.dimension_rule == "log"
+
+
+class TestTruncatedExperiments:
+    def test_distribution_sums_to_samples(self):
+        result = run_truncated_experiment(eunetwork_small(), n_samples=4, rng=2)
+        assert result.boosted.n_samples == 4
+        assert result.original.n_samples == 1
+        assert abs(sum(result.boosted.fraction(v) for v in result.boosted.support()) - 1.0) < 1e-9
+
+    def test_boosted_dominates(self):
+        result = run_truncated_experiment(eunetwork_small(), n_samples=4, rng=2)
+        assert result.boosted_dominates
+        assert "G^A" in result.render()
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ExperimentError):
+            run_truncated_experiment(eunetwork_small(), n_samples=0)
+
+
+class TestRandomMonitorExperiments:
+    def test_distributions_have_right_sample_count(self):
+        result = run_random_monitor_experiment(getnet(), n_placements=4, rng=2)
+        assert result.original.n_samples == 4
+        assert result.boosted.n_samples == 4
+
+    def test_boosted_dominates_on_getnet(self):
+        result = run_random_monitor_experiment(getnet(), n_placements=4, rng=2)
+        assert result.boosted_dominates
+        assert "random monitors" in result.render()
+
+    def test_rejects_zero_placements(self):
+        with pytest.raises(ExperimentError):
+            run_random_monitor_experiment(getnet(), n_placements=0)
+
+
+class TestAblation:
+    def test_placement_ablation_variants(self):
+        result = placement_ablation(eunetwork_small(), n_runs=2, rng=1)
+        assert set(result.cells) == {"mdmp", "random", "degree_extremes"}
+        assert result.best_variant() in result.cells
+        assert "mean mu" in result.render("Ablation")
+
+    def test_selector_ablation_variants(self):
+        result = selector_ablation(eunetwork_small(), n_runs=2, rng=1)
+        assert set(result.cells) == {"uniform", "low_degree", "far_away"}
+
+    def test_rejects_zero_runs(self):
+        with pytest.raises(ExperimentError):
+            placement_ablation(eunetwork_small(), n_runs=0)
+
+
+class TestRunner:
+    def test_available_groups(self):
+        assert "all" in runner.available_groups()
+        assert "real" in runner.available_groups()
+
+    def test_parser_defaults(self):
+        args = runner.build_parser().parse_args([])
+        assert args.tables == "all"
+        assert args.seed == 2018
+
+    def test_run_single_group(self, capsys):
+        # The 'truncated' group on reduced-size zoo networks is the fastest.
+        sections = runner.run("ablation", seed=1)
+        assert sections and all(isinstance(section, str) for section in sections)

@@ -1,0 +1,236 @@
+"""Tests for monitor placements: the value object, χ_g, χ_t, MDMP and random."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import MonitorPlacementError, TopologyError
+from repro.monitors.grid_placement import (
+    chi_corners,
+    chi_g,
+    complex_sources,
+    reduced_chi_g,
+    simple_sources,
+)
+from repro.monitors.heuristics import (
+    all_pairs_placement,
+    degree_extremes_placement,
+    mdmp_placement,
+    random_placement,
+)
+from repro.monitors.placement import MonitorPlacement
+from repro.monitors.tree_placement import (
+    balanced_leaf_placement,
+    chi_t,
+    chi_t_with_missing_leaf,
+    is_monitor_balanced,
+    unbalanced_witness,
+)
+from repro.topology.grids import directed_grid, undirected_hypergrid
+from repro.topology.trees import caterpillar_tree, complete_kary_tree
+from repro.topology.zoo import claranet, eunetworks
+
+
+class TestMonitorPlacement:
+    def test_basic_properties(self):
+        placement = MonitorPlacement.of(inputs={1, 2}, outputs={3})
+        assert placement.n_inputs == 2
+        assert placement.n_outputs == 1
+        assert placement.n_monitors == 3
+        assert placement.monitor_nodes == frozenset({1, 2, 3})
+
+    def test_dlp_candidates(self):
+        placement = MonitorPlacement.of(inputs={1, 2}, outputs={2, 3})
+        assert placement.dlp_candidates == frozenset({2})
+
+    def test_requires_nonempty_sides(self):
+        with pytest.raises(MonitorPlacementError):
+            MonitorPlacement.of(inputs=set(), outputs={1})
+        with pytest.raises(MonitorPlacementError):
+            MonitorPlacement.of(inputs={1}, outputs=set())
+
+    def test_validate_against_graph(self):
+        graph = nx.path_graph(3)
+        placement = MonitorPlacement.of(inputs={0}, outputs={5})
+        with pytest.raises(MonitorPlacementError):
+            placement.validate(graph)
+
+    def test_swapped(self):
+        placement = MonitorPlacement.of(inputs={1}, outputs={2})
+        assert placement.swapped().inputs == frozenset({2})
+
+    def test_restricted_to(self):
+        graph = nx.path_graph(3)
+        placement = MonitorPlacement.of(inputs={0, 9}, outputs={2})
+        restricted = placement.restricted_to(graph)
+        assert restricted.inputs == frozenset({0})
+
+    def test_restricted_to_failure(self):
+        graph = nx.path_graph(3)
+        placement = MonitorPlacement.of(inputs={9}, outputs={2})
+        with pytest.raises(MonitorPlacementError):
+            placement.restricted_to(graph)
+
+    def test_hashable(self):
+        a = MonitorPlacement.of(inputs={1}, outputs={2})
+        b = MonitorPlacement.of(inputs={1}, outputs={2})
+        assert a == b and hash(a) == hash(b)
+
+
+class TestChiG:
+    def test_inputs_and_outputs_cover_low_and_high_faces(self):
+        grid = directed_grid(4)
+        placement = chi_g(grid)
+        assert all(any(c == 1 for c in node) for node in placement.inputs)
+        assert all(any(c == 4 for c in node) for node in placement.outputs)
+
+    def test_monitor_count_matches_section_4_1(self):
+        # 4n - 2 monitors in the 2-dimensional case.
+        grid = directed_grid(4)
+        placement = chi_g(grid)
+        assert placement.n_monitors == 4 * 4 - 2
+
+    def test_complex_sources_are_all_inputs_but_the_origin(self):
+        grid = directed_grid(4)
+        placement = chi_g(grid)
+        assert complex_sources(grid) == placement.inputs - {(1, 1)}
+
+    def test_assumption_4_3_nodes_are_the_two_corners(self):
+        from repro.monitors.grid_placement import assumption_4_3_nodes
+
+        grid = directed_grid(4)
+        assert assumption_4_3_nodes(grid) == frozenset({(1, 4), (4, 1)})
+
+    def test_simple_source_is_origin(self):
+        grid = directed_grid(4)
+        assert simple_sources(grid) == frozenset({(1, 1)})
+
+    def test_reduced_chi_g_removes_two_inputs(self):
+        grid = directed_grid(4)
+        full = chi_g(grid)
+        reduced = reduced_chi_g(grid)
+        assert full.inputs - reduced.inputs == frozenset({(1, 2), (2, 1)})
+
+    def test_reduced_chi_g_requires_dimension_two(self):
+        from repro.topology.grids import directed_hypergrid
+
+        with pytest.raises(MonitorPlacementError):
+            reduced_chi_g(directed_hypergrid(3, 3))
+
+    def test_chi_g_rejects_non_grid(self):
+        with pytest.raises(MonitorPlacementError):
+            chi_g(nx.path_graph(4))
+
+    def test_chi_corners_uses_2d_monitors(self):
+        grid = undirected_hypergrid(3, 3)
+        placement = chi_corners(grid)
+        assert placement.n_inputs == 3 and placement.n_outputs == 3
+        assert placement.inputs.isdisjoint(placement.outputs)
+
+
+class TestChiT:
+    def test_downward_tree_placement(self):
+        tree = complete_kary_tree(2, 2)
+        placement = chi_t(tree)
+        assert placement.inputs == frozenset({""})
+        assert placement.outputs == frozenset({"00", "01", "10", "11"})
+
+    def test_upward_tree_placement(self):
+        tree = complete_kary_tree(2, 2, direction="up")
+        placement = chi_t(tree)
+        assert placement.outputs == frozenset({""})
+        assert len(placement.inputs) == 4
+
+    def test_chi_t_rejects_non_tree(self):
+        with pytest.raises(MonitorPlacementError):
+            chi_t(directed_grid(3))
+
+    def test_missing_leaf_variant(self):
+        tree = complete_kary_tree(2, 2)
+        placement = chi_t_with_missing_leaf(tree, "00")
+        assert "00" not in placement.outputs
+        assert len(placement.outputs) == 3
+
+    def test_missing_leaf_requires_a_leaf(self):
+        tree = complete_kary_tree(2, 2)
+        with pytest.raises(MonitorPlacementError):
+            chi_t_with_missing_leaf(tree, "0")
+
+
+class TestMonitorBalance:
+    def test_balanced_leaf_placement_is_balanced(self):
+        tree = complete_kary_tree(3, 2).to_undirected()
+        placement = balanced_leaf_placement(tree)
+        assert is_monitor_balanced(tree, placement)
+        assert unbalanced_witness(tree, placement) == {}
+
+    def test_unbalanced_placement_detected(self):
+        tree = caterpillar_tree(3, legs=2)
+        leaves = [n for n in tree.nodes if tree.degree(n) == 1]
+        placement = MonitorPlacement.of(inputs={leaves[0]}, outputs=set(leaves[1:]))
+        assert not is_monitor_balanced(tree, placement)
+        witness = unbalanced_witness(tree, placement)
+        assert witness and witness["input_trees"] < 2
+
+    def test_is_monitor_balanced_rejects_directed(self):
+        tree = complete_kary_tree(2, 2)
+        placement = chi_t(tree)
+        with pytest.raises(TopologyError):
+            is_monitor_balanced(tree, placement)
+
+    def test_balanced_leaf_placement_needs_four_leaves(self):
+        tiny = nx.path_graph(3)
+        with pytest.raises((MonitorPlacementError, TopologyError)):
+            balanced_leaf_placement(tiny)
+
+
+class TestHeuristics:
+    def test_mdmp_places_2d_distinct_minimal_degree_nodes(self):
+        graph = claranet()
+        placement = mdmp_placement(graph, 3)
+        assert placement.n_inputs == 3 and placement.n_outputs == 3
+        assert placement.inputs.isdisjoint(placement.outputs)
+        max_chosen_degree = max(graph.degree(v) for v in placement.monitor_nodes)
+        unchosen = set(graph.nodes) - placement.monitor_nodes
+        # No unchosen node has strictly smaller degree than every chosen node.
+        assert min(graph.degree(v) for v in unchosen) >= min(
+            graph.degree(v) for v in placement.monitor_nodes
+        )
+        assert max_chosen_degree <= max(graph.degree(v) for v in graph.nodes)
+
+    def test_mdmp_is_deterministic(self):
+        graph = eunetworks()
+        assert mdmp_placement(graph, 3) == mdmp_placement(graph, 3)
+
+    def test_mdmp_budget_check(self):
+        with pytest.raises(MonitorPlacementError):
+            mdmp_placement(nx.path_graph(3), 2)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_random_placement_sizes_and_disjointness(self, seed):
+        graph = claranet()
+        placement = random_placement(graph, 3, 3, rng=seed)
+        assert placement.n_inputs == 3 and placement.n_outputs == 3
+        assert placement.inputs.isdisjoint(placement.outputs)
+        placement.validate(graph)
+
+    def test_random_placement_deterministic_for_seed(self):
+        graph = claranet()
+        assert random_placement(graph, 2, 2, rng=5) == random_placement(graph, 2, 2, rng=5)
+
+    def test_degree_extremes_placement(self):
+        graph = claranet()
+        placement = degree_extremes_placement(graph, 2)
+        input_degrees = [graph.degree(v) for v in placement.inputs]
+        output_degrees = [graph.degree(v) for v in placement.outputs]
+        assert max(input_degrees) <= min(output_degrees)
+
+    def test_all_pairs_placement(self):
+        graph = nx.path_graph(4)
+        placement = all_pairs_placement(graph)
+        assert placement.inputs == placement.outputs == frozenset(graph.nodes)
+        assert placement.dlp_candidates == frozenset(graph.nodes)

@@ -1,0 +1,186 @@
+"""Tests for routing mechanisms and measurement-path enumeration."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PathExplosionError, RoutingError
+from repro.monitors.placement import MonitorPlacement
+from repro.monitors.grid_placement import chi_g
+from repro.routing.mechanisms import RoutingMechanism
+from repro.routing.paths import (
+    PathSet,
+    count_paths,
+    enumerate_paths,
+    path_length_histogram,
+)
+from repro.topology.grids import directed_grid, undirected_grid
+from repro.topology.lines import line_graph
+
+
+class TestRoutingMechanism:
+    def test_parse_strings(self):
+        assert RoutingMechanism.parse("csp") is RoutingMechanism.CSP
+        assert RoutingMechanism.parse("CAP-") is RoutingMechanism.CAP_MINUS
+        assert RoutingMechanism.parse("cap_minus") is RoutingMechanism.CAP_MINUS
+        assert RoutingMechanism.parse("CAP") is RoutingMechanism.CAP
+
+    def test_parse_enum_passthrough(self):
+        assert RoutingMechanism.parse(RoutingMechanism.CSP) is RoutingMechanism.CSP
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError):
+            RoutingMechanism.parse("UDP")
+
+    def test_flags(self):
+        assert RoutingMechanism.CAP.allows_dlp
+        assert not RoutingMechanism.CAP_MINUS.allows_dlp
+        assert RoutingMechanism.CAP_MINUS.allows_cycles
+        assert not RoutingMechanism.CSP.allows_cycles
+        assert RoutingMechanism.CSP.requires_distinct_endpoints
+
+
+class TestPathSet:
+    def _toy(self) -> PathSet:
+        return PathSet(nodes=("a", "b", "c", "d"), paths=(("a", "b"), ("b", "c"), ("a", "c")))
+
+    def test_paths_through(self):
+        pathset = self._toy()
+        assert pathset.paths_through("b") == 0b011
+        assert pathset.path_indices_through("b") == (0, 1)
+
+    def test_paths_through_set_union(self):
+        pathset = self._toy()
+        assert pathset.paths_through_set({"a", "c"}) == 0b111
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(RoutingError):
+            self._toy().paths_through("z")
+
+    def test_path_outside_universe_rejected(self):
+        with pytest.raises(RoutingError):
+            PathSet(nodes=("a",), paths=(("a", "z"),))
+
+    def test_uncovered_nodes(self):
+        pathset = self._toy()
+        assert pathset.uncovered_nodes() == frozenset({"d"})
+        assert pathset.touched_nodes() == frozenset({"a", "b", "c"})
+
+    def test_separates(self):
+        pathset = self._toy()
+        assert pathset.separates({"a"}, {"b"})
+        # {a} and {a, d} are NOT separated: d lies on no path.
+        assert not pathset.separates({"a"}, {"a", "d"})
+
+    def test_separating_paths(self):
+        pathset = self._toy()
+        witnesses = pathset.separating_paths({"a"}, {"b"})
+        assert ("a", "c") in witnesses and ("b", "c") in witnesses
+
+    def test_restrict_to_paths(self):
+        restricted = self._toy().restrict_to_paths([0])
+        assert restricted.n_paths == 1
+        assert restricted.paths_through("c") == 0
+
+    def test_describe_mentions_counts(self):
+        assert "|P|=3" in self._toy().describe()
+
+
+class TestEnumerationCSP:
+    def test_line_graph_paths(self):
+        graph = line_graph(4)
+        placement = MonitorPlacement.of(inputs={0}, outputs={3})
+        pathset = enumerate_paths(graph, placement, "CSP")
+        assert pathset.paths == ((0, 1, 2, 3),)
+
+    def test_csp_excludes_same_endpoint(self):
+        graph = nx.cycle_graph(4)
+        placement = MonitorPlacement.of(inputs={0}, outputs={0, 2})
+        pathset = enumerate_paths(graph, placement, "CSP")
+        assert all(path[0] != path[-1] for path in pathset.paths)
+
+    def test_all_paths_start_in_inputs_and_end_in_outputs(self, directed_grid_4, grid4_pathset):
+        placement = chi_g(directed_grid_4)
+        for path in grid4_pathset.paths:
+            assert path[0] in placement.inputs
+            assert path[-1] in placement.outputs
+
+    def test_paths_are_simple_under_csp(self, grid4_pathset):
+        for path in grid4_pathset.paths:
+            assert len(set(path)) == len(path)
+
+    def test_paths_follow_edges(self, directed_grid_4, grid4_pathset):
+        for path in grid4_pathset.paths[:50]:
+            for u, v in zip(path, path[1:]):
+                assert directed_grid_4.has_edge(u, v)
+
+    def test_count_paths_matches_enumeration(self, directed_grid_4, grid4_pathset):
+        assert count_paths(directed_grid_4, chi_g(directed_grid_4)) == grid4_pathset.n_paths
+
+    def test_no_paths_raises(self):
+        graph = nx.DiGraph()
+        graph.add_edge("a", "b")
+        graph.add_node("c")
+        placement = MonitorPlacement.of(inputs={"b"}, outputs={"c"})
+        with pytest.raises(RoutingError):
+            enumerate_paths(graph, placement, "CSP")
+
+    def test_max_paths_guard(self, directed_grid_4):
+        with pytest.raises(PathExplosionError):
+            enumerate_paths(directed_grid_4, chi_g(directed_grid_4), "CSP", max_paths=10)
+
+    def test_cutoff_limits_path_length(self):
+        graph = undirected_grid(3)
+        placement = MonitorPlacement.of(inputs={(1, 1)}, outputs={(3, 3)})
+        pathset = enumerate_paths(graph, placement, "CSP", cutoff=4)
+        assert all(len(path) <= 5 for path in pathset.paths)
+
+
+class TestEnumerationCapVariants:
+    def test_cap_includes_dlp_for_double_monitored_node(self):
+        graph = nx.cycle_graph(4)
+        placement = MonitorPlacement.of(inputs={0, 1}, outputs={0, 2})
+        cap = enumerate_paths(graph, placement, "CAP")
+        cap_minus = enumerate_paths(graph, placement, "CAP-")
+        assert (0, 0) in cap.paths
+        assert (0, 0) not in cap_minus.paths
+
+    def test_cap_minus_superset_of_csp(self):
+        graph = nx.cycle_graph(5)
+        placement = MonitorPlacement.of(inputs={0, 1}, outputs={0, 3})
+        csp = set(enumerate_paths(graph, placement, "CSP").paths)
+        cap_minus = set(enumerate_paths(graph, placement, "CAP-").paths)
+        assert csp <= cap_minus
+
+    def test_cap_minus_cycles_are_anchored_at_dlp_candidates(self):
+        graph = nx.cycle_graph(5)
+        placement = MonitorPlacement.of(inputs={0}, outputs={0, 2})
+        cap_minus = enumerate_paths(graph, placement, "CAP-")
+        cycles = [p for p in cap_minus.paths if p[0] == p[-1] and len(p) > 1]
+        assert cycles, "the input/output node 0 should anchor at least one cycle"
+        assert all(p[0] == 0 for p in cycles)
+
+    def test_directed_cycle_enumeration(self):
+        graph = nx.DiGraph([(0, 1), (1, 2), (2, 0)])
+        placement = MonitorPlacement.of(inputs={0}, outputs={0})
+        cap_minus = enumerate_paths(graph, placement, "CAP-")
+        assert (0, 1, 2, 0) in cap_minus.paths
+
+
+class TestHistogram:
+    def test_path_length_histogram(self):
+        pathset = PathSet(nodes=(0, 1, 2, 3), paths=((0, 1), (0, 1, 2), (1, 2, 3)))
+        assert path_length_histogram(pathset) == {1: 1, 2: 2}
+
+
+@given(n=st.integers(min_value=3, max_value=5))
+@settings(max_examples=5, deadline=None)
+def test_number_of_grid_paths_grows_with_n(n):
+    """More rows/columns means more monitor pairs and more simple paths."""
+    smaller = count_paths(directed_grid(n), chi_g(directed_grid(n)))
+    if n < 5:
+        larger = count_paths(directed_grid(n + 1), chi_g(directed_grid(n + 1)))
+        assert larger > smaller

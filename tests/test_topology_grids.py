@@ -1,0 +1,157 @@
+"""Tests for hypergrid topologies (Section 2 definitions, Figure 1)."""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TopologyError
+from repro.topology.grids import (
+    border_nodes,
+    boundary,
+    corner_nodes,
+    directed_grid,
+    directed_hypergrid,
+    expected_mu_directed,
+    expected_mu_undirected_bounds,
+    grid_nodes,
+    grid_parameters,
+    is_internal,
+    monitor_count_directed,
+    undirected_grid,
+    undirected_hypergrid,
+)
+
+
+class TestDirectedHypergrid:
+    def test_node_count_is_n_to_the_d(self):
+        grid = directed_hypergrid(4, 2)
+        assert grid.number_of_nodes() == 16
+
+    def test_three_dimensional_node_count(self):
+        grid = directed_hypergrid(3, 3)
+        assert grid.number_of_nodes() == 27
+
+    def test_edge_count_formula(self):
+        # d * n^(d-1) * (n-1) directed edges.
+        grid = directed_hypergrid(4, 2)
+        assert grid.number_of_edges() == 2 * 4 * 3
+
+    def test_edges_increase_exactly_one_coordinate(self):
+        grid = directed_hypergrid(3, 2)
+        for (x, y) in grid.edges:
+            diffs = [b - a for a, b in zip(x, y)]
+            assert sorted(diffs) == [0, 1]
+
+    def test_is_directed_acyclic(self):
+        grid = directed_hypergrid(3, 3)
+        assert nx.is_directed_acyclic_graph(grid)
+
+    def test_unique_source_and_sink(self):
+        grid = directed_hypergrid(4, 2)
+        sources = [n for n, d in grid.in_degree() if d == 0]
+        sinks = [n for n, d in grid.out_degree() if d == 0]
+        assert sources == [(1, 1)]
+        assert sinks == [(4, 4)]
+
+    def test_figure_1_example_h4(self):
+        # Figure 1: H_4 = H_{4,2}; corner (1,1) reaches every node.
+        grid = directed_grid(4)
+        assert set(nx.descendants(grid, (1, 1))) | {(1, 1)} == set(grid.nodes)
+
+    def test_rejects_small_support(self):
+        with pytest.raises(TopologyError):
+            directed_hypergrid(1, 2)
+
+    def test_rejects_nonpositive_dimension(self):
+        with pytest.raises(TopologyError):
+            directed_hypergrid(4, 0)
+
+
+class TestUndirectedHypergrid:
+    def test_same_edges_as_directed_ignoring_orientation(self):
+        directed = directed_hypergrid(3, 2)
+        undirected = undirected_hypergrid(3, 2)
+        assert undirected.number_of_edges() == directed.number_of_edges()
+        for u, v in directed.edges:
+            assert undirected.has_edge(u, v)
+
+    def test_degree_of_internal_node_is_2d(self):
+        grid = undirected_hypergrid(3, 2)
+        assert grid.degree((2, 2)) == 4
+
+    def test_degree_of_corner_is_d(self):
+        grid = undirected_hypergrid(3, 3)
+        assert grid.degree((1, 1, 1)) == 3
+
+    def test_connected(self):
+        assert nx.is_connected(undirected_hypergrid(3, 3))
+
+
+class TestGridStructure:
+    def test_grid_parameters_roundtrip(self):
+        grid = undirected_hypergrid(4, 3)
+        assert grid_parameters(grid) == (4, 3)
+
+    def test_grid_parameters_rejects_plain_graph(self):
+        with pytest.raises(TopologyError):
+            grid_parameters(nx.path_graph(4))
+
+    def test_boundary_is_face(self):
+        grid = directed_hypergrid(3, 2)
+        assert boundary(grid, 0) == frozenset({(1, 1), (1, 2), (1, 3)})
+
+    def test_boundary_rejects_bad_axis(self):
+        grid = directed_hypergrid(3, 2)
+        with pytest.raises(TopologyError):
+            boundary(grid, 2)
+
+    def test_border_nodes_of_3x3(self):
+        grid = undirected_grid(3)
+        assert border_nodes(grid) == frozenset(set(grid.nodes) - {(2, 2)})
+
+    def test_corner_count_is_2_to_the_d(self):
+        assert len(corner_nodes(undirected_hypergrid(3, 3))) == 8
+
+    def test_is_internal(self):
+        grid = undirected_grid(4)
+        assert is_internal(grid, (2, 2))
+        assert not is_internal(grid, (1, 3))
+
+    def test_is_internal_unknown_node(self):
+        with pytest.raises(TopologyError):
+            is_internal(undirected_grid(3), (9, 9))
+
+    def test_grid_nodes_iteration_order_and_count(self):
+        nodes = list(grid_nodes(3, 2))
+        assert len(nodes) == 9
+        assert nodes[0] == (1, 1) and nodes[-1] == (3, 3)
+
+
+class TestTheoryHelpers:
+    def test_expected_mu_directed(self):
+        assert expected_mu_directed(2) == 2
+        assert expected_mu_directed(3) == 3
+        assert expected_mu_directed(1) == 0
+
+    def test_expected_mu_undirected_bounds(self):
+        assert expected_mu_undirected_bounds(3) == (2, 3)
+        assert expected_mu_undirected_bounds(1) == (0, 1)
+
+    def test_monitor_count_directed_matches_abstract(self):
+        # The abstract: 2d(n-1)+2 monitors; for d=2 this is 4n-2.
+        assert monitor_count_directed(4, 2) == 14
+        assert monitor_count_directed(3, 3) == 14
+
+    @given(n=st.integers(min_value=2, max_value=5), d=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=20, deadline=None)
+    def test_node_count_property(self, n, d):
+        grid = directed_hypergrid(n, d)
+        assert grid.number_of_nodes() == n**d
+        # Every node has out-degree equal to the number of coordinates below n.
+        for node in itertools.islice(grid.nodes, 10):
+            assert grid.out_degree(node) == sum(1 for c in node if c < n)

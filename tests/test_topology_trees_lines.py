@@ -1,0 +1,165 @@
+"""Tests for tree and line topologies (Sections 3.3, 4 and 5)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TopologyError
+from repro.topology.lines import find_lines, is_line, is_line_free, line_graph
+from repro.topology.trees import (
+    caterpillar_tree,
+    complete_kary_tree,
+    internal_nodes,
+    is_downward_tree,
+    is_line_free_tree,
+    is_tree,
+    is_upward_tree,
+    node_subtrees,
+    random_tree,
+    subtree_after_cut,
+    tree_leaves,
+    tree_root,
+)
+
+
+class TestCompleteKaryTree:
+    def test_node_count(self):
+        tree = complete_kary_tree(depth=2, arity=2)
+        assert tree.number_of_nodes() == 7
+
+    def test_downward_orientation(self):
+        tree = complete_kary_tree(depth=2, arity=3)
+        assert is_downward_tree(tree)
+        assert not is_upward_tree(tree)
+
+    def test_upward_orientation(self):
+        tree = complete_kary_tree(depth=2, arity=2, direction="up")
+        assert is_upward_tree(tree)
+        assert not is_downward_tree(tree)
+
+    def test_root_and_leaves_downward(self):
+        tree = complete_kary_tree(depth=2, arity=2)
+        assert tree_root(tree) == ""
+        assert tree_leaves(tree) == frozenset({"00", "01", "10", "11"})
+
+    def test_root_and_leaves_upward(self):
+        tree = complete_kary_tree(depth=1, arity=3, direction="up")
+        assert tree_root(tree) == ""
+        assert tree_leaves(tree) == frozenset({"0", "1", "2"})
+
+    def test_rejects_arity_one(self):
+        with pytest.raises(TopologyError):
+            complete_kary_tree(depth=2, arity=1)
+
+    def test_rejects_bad_direction(self):
+        with pytest.raises(TopologyError):
+            complete_kary_tree(depth=2, arity=2, direction="sideways")
+
+    def test_line_free(self):
+        assert is_line_free_tree(complete_kary_tree(3, 2))
+
+
+class TestRandomTree:
+    @given(n=st.integers(min_value=2, max_value=30), seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_tree_is_tree(self, n, seed):
+        tree = random_tree(n, rng=seed, direction=None)
+        assert nx.is_tree(tree)
+        assert tree.number_of_nodes() == n
+
+    @given(n=st.integers(min_value=2, max_value=20), seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_downward_tree(self, n, seed):
+        tree = random_tree(n, rng=seed, direction="down")
+        assert is_downward_tree(tree)
+        assert tree_root(tree) == 0
+
+    def test_deterministic_for_fixed_seed(self):
+        first = random_tree(12, rng=99, direction=None)
+        second = random_tree(12, rng=99, direction=None)
+        assert set(first.edges) == set(second.edges)
+
+    def test_rejects_single_node(self):
+        with pytest.raises(TopologyError):
+            random_tree(1)
+
+
+class TestSubtrees:
+    def test_subtree_after_cut_partitions_nodes(self):
+        tree = caterpillar_tree(3, legs=2)
+        u, v = ("s", 0), ("s", 1)
+        left = subtree_after_cut(tree, u, v)
+        right = subtree_after_cut(tree, v, u)
+        assert set(left.nodes) | set(right.nodes) == set(tree.nodes)
+        assert set(left.nodes) & set(right.nodes) == set()
+
+    def test_subtree_after_cut_requires_edge(self):
+        tree = caterpillar_tree(2, legs=1)
+        with pytest.raises(TopologyError):
+            subtree_after_cut(tree, ("s", 0), ("l", 1, 0))
+
+    def test_node_subtrees_keys_are_neighbours(self):
+        tree = caterpillar_tree(3, legs=2)
+        node = ("s", 1)
+        subtrees = node_subtrees(tree, node)
+        assert set(subtrees) == set(tree.neighbors(node))
+
+    def test_internal_nodes_of_caterpillar(self):
+        tree = caterpillar_tree(3, legs=2)
+        assert internal_nodes(tree) == frozenset({("s", 0), ("s", 1), ("s", 2)})
+
+    def test_is_tree_rejects_cycle(self):
+        assert not is_tree(nx.cycle_graph(4))
+
+
+class TestLines:
+    def test_line_graph_identifiability_zero_shape(self):
+        graph = line_graph(5)
+        assert graph.number_of_edges() == 4
+        assert not is_line_free(graph)
+
+    def test_is_line_on_path_graph(self):
+        graph = line_graph(5)
+        assert is_line(graph, (0, 1, 2, 3, 4))
+
+    def test_is_line_false_when_interior_has_extra_neighbour(self):
+        graph = line_graph(5)
+        graph.add_edge(2, 5)
+        assert not is_line(graph, (0, 1, 2, 3, 4))
+
+    def test_is_line_rejects_non_edges(self):
+        graph = line_graph(4)
+        with pytest.raises(TopologyError):
+            is_line(graph, (0, 2))
+
+    def test_find_lines_on_path(self):
+        graph = line_graph(6)
+        lines = find_lines(graph)
+        assert len(lines) == 1
+        assert set(lines[0]) == set(range(6))
+
+    def test_find_lines_on_grid_are_only_corner_segments(self):
+        # The only degree-2 nodes of an undirected grid are its four corners,
+        # so the only lines are the 3-node segments through a corner.
+        from repro.topology.grids import corner_nodes, undirected_grid
+
+        grid = undirected_grid(3)
+        lines = find_lines(grid)
+        assert len(lines) == 4
+        corners = corner_nodes(grid)
+        assert all(len(line) == 3 and line[1] in corners for line in lines)
+
+    def test_find_lines_empty_on_complete_graph(self):
+        assert find_lines(nx.complete_graph(5)) == []
+
+    def test_grid_is_line_free(self):
+        from repro.topology.grids import undirected_grid
+
+        assert is_line_free(undirected_grid(3))
+
+    def test_line_free_requires_two_neighbours(self):
+        star = nx.star_graph(3)
+        assert not is_line_free(star)

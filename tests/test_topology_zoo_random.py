@@ -1,0 +1,132 @@
+"""Tests for the zoo stand-in networks and the random graph generators."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TopologyError
+from repro.topology.base import GraphSummary, average_degree, min_degree
+from repro.topology.random_graphs import (
+    erdos_renyi,
+    erdos_renyi_connected,
+    random_connected_sparse,
+)
+from repro.topology.zoo import (
+    ZOO_REGISTRY,
+    available_networks,
+    claranet,
+    dataxchange,
+    eunetwork_small,
+    eunetworks,
+    getnet,
+    gridnetwork,
+    load,
+)
+
+#: Vital statistics the stand-ins must match (see the module docstring of
+#: repro.topology.zoo and DESIGN.md §3).
+EXPECTED_STATS = {
+    "claranet": (15, 17, 1),
+    "eunetworks": (14, 16, 1),
+    "dataxchange": (6, 11, 1),
+    "gridnetwork": (7, 14, 4),
+    "eunetwork_small": (7, 7, 1),
+    "getnet": (9, 11, 1),
+}
+
+
+class TestZooNetworks:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_STATS))
+    def test_vital_statistics(self, name):
+        n_nodes, n_edges, delta = EXPECTED_STATS[name]
+        graph = load(name)
+        assert graph.number_of_nodes() == n_nodes
+        assert graph.number_of_edges() == n_edges
+        assert min_degree(graph) == delta
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_STATS))
+    def test_connected_and_undirected(self, name):
+        graph = load(name)
+        assert not graph.is_directed()
+        assert nx.is_connected(graph)
+
+    def test_registry_and_listing_agree(self):
+        assert available_networks() == sorted(ZOO_REGISTRY)
+        assert set(available_networks()) == set(EXPECTED_STATS)
+
+    def test_load_is_case_insensitive(self):
+        assert load("Claranet").number_of_nodes() == 15
+
+    def test_load_unknown_raises(self):
+        with pytest.raises(TopologyError):
+            load("arpanet")
+
+    def test_builders_return_fresh_copies(self):
+        first = claranet()
+        first.add_edge("London", "Rome")
+        second = claranet()
+        assert not second.has_edge("London", "Rome")
+
+    def test_gridnetwork_average_degree_is_four(self):
+        assert average_degree(gridnetwork()) == pytest.approx(4.0)
+
+    def test_eunetwork_small_average_degree_is_two(self):
+        assert average_degree(eunetwork_small()) == pytest.approx(2.0)
+
+    def test_graph_summary(self):
+        summary = GraphSummary.of(getnet())
+        assert summary.n_nodes == 9
+        assert summary.connected
+        assert not summary.directed
+        assert summary.min_degree == 1
+
+
+class TestRandomGraphs:
+    @given(
+        n=st.integers(min_value=2, max_value=15),
+        p=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_erdos_renyi_node_count_and_simple(self, n, p, seed):
+        graph = erdos_renyi(n, p, rng=seed)
+        assert graph.number_of_nodes() == n
+        assert not any(u == v for u, v in graph.edges)
+
+    def test_erdos_renyi_deterministic_for_seed(self):
+        assert set(erdos_renyi(10, 0.5, rng=3).edges) == set(
+            erdos_renyi(10, 0.5, rng=3).edges
+        )
+
+    def test_erdos_renyi_extreme_probabilities(self):
+        assert erdos_renyi(6, 0.0, rng=1).number_of_edges() == 0
+        assert erdos_renyi(6, 1.0, rng=1).number_of_edges() == 15
+
+    @given(n=st.integers(min_value=3, max_value=12), seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_erdos_renyi_connected_is_connected(self, n, seed):
+        graph = erdos_renyi_connected(n, 0.5, rng=seed)
+        assert nx.is_connected(graph)
+
+    def test_erdos_renyi_rejects_bad_probability(self):
+        with pytest.raises(TopologyError):
+            erdos_renyi(5, 1.5)
+
+    @given(
+        n=st.integers(min_value=3, max_value=12),
+        extra=st.integers(min_value=0, max_value=5),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_connected_sparse_edge_count(self, n, extra, seed):
+        extra = min(extra, n * (n - 1) // 2 - (n - 1))
+        graph = random_connected_sparse(n, extra, rng=seed)
+        assert nx.is_connected(graph)
+        assert graph.number_of_edges() == n - 1 + extra
+
+    def test_random_connected_sparse_rejects_too_many_chords(self):
+        with pytest.raises(TopologyError):
+            random_connected_sparse(4, 100)
