@@ -1,0 +1,77 @@
+"""Micro-benchmark: python big-int vs numpy packed signature backends.
+
+For each topology — undirected grids under the corner placement and the
+paper's ISP (topology-zoo) networks under MDMP — the exact µ search is run
+once per backend on a freshly built engine (memoisation bypassed so the
+timing includes signature interning).  Both backends must report identical µ;
+the per-row timings are printed as a paper-style table and attached to
+``benchmark.extra_info``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from conftest import run_once
+
+from repro.core.bounds import structural_upper_bound
+from repro.engine import available_backends
+from repro.engine.signatures import SignatureEngine
+from repro.monitors.grid_placement import chi_corners
+from repro.monitors.heuristics import mdmp_placement
+from repro.routing.paths import enumerate_paths
+from repro.topology import zoo
+from repro.topology.grids import undirected_grid
+from repro.utils.tables import format_table
+
+
+def _cases() -> List[Tuple[str, object, object]]:
+    cases: List[Tuple[str, object, object]] = []
+    for n in (3, 4):
+        grid = undirected_grid(n)
+        cases.append((f"H_{n} grid (corners)", grid, chi_corners(grid)))
+    for name in ("claranet", "eunetworks"):
+        graph = zoo.load(name)
+        cases.append((f"{graph.name or name} (MDMP d=3)", graph, mdmp_placement(graph, 3)))
+    return cases
+
+
+def _run_backend_suite() -> Dict[str, Dict[str, object]]:
+    results: Dict[str, Dict[str, object]] = {}
+    for label, graph, placement in _cases():
+        pathset = enumerate_paths(graph, placement)
+        cap = structural_upper_bound(graph, placement).combined + 1
+        row: Dict[str, object] = {"n_paths": pathset.n_paths}
+        for backend in available_backends():
+            start = time.perf_counter()
+            engine = SignatureEngine.from_pathset(pathset, backend)
+            result = engine.identifiability(max_size=cap)
+            row[f"{backend}_seconds"] = time.perf_counter() - start
+            row[f"{backend}_mu"] = result.value
+        results[label] = row
+    return results
+
+
+def test_engine_backends(benchmark):
+    results = run_once(benchmark, _run_backend_suite)
+
+    backends = available_backends()
+    for label, row in results.items():
+        values = {row[f"{b}_mu"] for b in backends}
+        assert len(values) == 1, f"{label}: backends disagree on mu ({values})"
+
+    headers = ["topology", "|P|", "mu"] + [f"{b} (s)" for b in backends]
+    rows = [
+        [label, row["n_paths"], row[f"{backends[0]}_mu"]]
+        + [row[f"{b}_seconds"] for b in backends]
+        for label, row in results.items()
+    ]
+    print()
+    print(format_table(headers, rows, title="Signature-engine backend comparison"))
+
+    benchmark.extra_info["experiment"] = "engine backend comparison (grids + ISP)"
+    benchmark.extra_info["measured"] = {
+        label: {key: value for key, value in row.items()}
+        for label, row in results.items()
+    }

@@ -14,9 +14,13 @@ The package provides:
   the MDMP heuristic and random placements.
 * **Routing** (:mod:`repro.routing`) — CAP / CAP⁻ / CSP measurement-path
   enumeration.
+* **Signature engine** (:mod:`repro.engine`) — the shared substrate for all
+  identifiability queries: interned path-mask signatures, equivalence-class
+  collapsing, incremental subset search with dominance pruning, python/numpy
+  backends and the keyed pathset cache.
 * **Identifiability core** (:mod:`repro.core`) — exact maximal identifiability
   µ, truncated µ_α, local identifiability, structural upper bounds and
-  separation primitives.
+  separation primitives (thin clients of the engine).
 * **Boolean tomography** (:mod:`repro.tomography`) — the measurement system of
   Equation (1), failure simulation and localisation.
 * **Embeddings** (:mod:`repro.embeddings`) — order embeddings, distance
@@ -40,6 +44,12 @@ Quickstart
 from repro.__about__ import __version__
 from repro.agrid import agrid, design_network
 from repro.analysis import verify
+from repro.engine import (
+    SignatureEngine,
+    available_backends,
+    cached_enumerate_paths,
+    select_backend,
+)
 from repro.core import (
     is_k_identifiable,
     maximal_identifiability,
@@ -77,6 +87,11 @@ __all__ = [
     "is_k_identifiable",
     "structural_upper_bound",
     "verify",
+    # signature engine
+    "SignatureEngine",
+    "select_backend",
+    "available_backends",
+    "cached_enumerate_paths",
     # routing
     "PathSet",
     "RoutingMechanism",

@@ -9,8 +9,8 @@ Exact algorithm
 
 Enumerate node subsets in order of increasing size (including the empty set —
 a node crossed by no path is confusable with ∅ and forces µ = 0).  Each
-subset's *signature* is the bitmask of the paths it touches.  The first size
-``s`` at which a signature collision occurs yields ``µ = s − 1``:
+subset's *signature* is the set of paths it touches.  The first size ``s`` at
+which a signature collision occurs yields ``µ = s − 1``:
 
 * a collision between subsets of sizes ``s₁ ≤ s₂ = s`` falsifies
   ``s``-identifiability (both sets have size ≤ s and differ);
@@ -18,7 +18,11 @@ subset's *signature* is the bitmask of the paths it touches.  The first size
   earlier), so ``(s−1)``-identifiability holds;
 * monotonicity (noted after Definition 2.2) does the rest.
 
-The search is capped by the structural bounds of Section 3 (see
+This module is a thin client of the :mod:`repro.engine` subsystem: the search
+itself — equivalence-class fast paths, incremental DFS with prefix unions,
+subset-dominance pruning, interchangeable python/numpy signature backends —
+lives in :class:`repro.engine.signatures.SignatureEngine`.  The search is
+capped by the structural bounds of Section 3 (see
 :func:`repro.core.bounds.structural_upper_bound`), so the computation is exact
 whenever the cap itself is a correct upper bound — which the paper proves for
 CSP and CAP⁻ — and otherwise explores up to ``max_size`` subsets.
@@ -26,74 +30,35 @@ CSP and CAP⁻ — and otherwise explores up to ``max_size`` subsets.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
 from repro._typing import AnyGraph, Node
-from repro.exceptions import IdentifiabilityError
 from repro.core.bounds import structural_upper_bound
+from repro.engine.backends import BackendSpec
+from repro.engine.signatures import ConfusablePair, IdentifiabilityResult
+from repro.exceptions import IdentifiabilityError
 from repro.monitors.placement import MonitorPlacement
 from repro.routing.mechanisms import RoutingMechanism
 from repro.routing.paths import PathSet, enumerate_paths
 
-
-@dataclass(frozen=True)
-class ConfusablePair:
-    """A witness that identifiability fails at level ``max(|U|, |W|)``.
-
-    ``U`` and ``W`` are distinct node sets with identical path sets
-    (``P(U) = P(W)``); no measurement can tell the corresponding failure sets
-    apart.
-    """
-
-    first: FrozenSet[Node]
-    second: FrozenSet[Node]
-
-    @property
-    def level(self) -> int:
-        """The identifiability level this pair falsifies."""
-        return max(len(self.first), len(self.second))
-
-    def __iter__(self) -> Iterator[FrozenSet[Node]]:
-        return iter((self.first, self.second))
-
-
-@dataclass(frozen=True)
-class IdentifiabilityResult:
-    """Outcome of a maximal-identifiability computation.
-
-    Attributes
-    ----------
-    value:
-        The computed µ.  When ``exhausted_search`` is False this is exact;
-        otherwise it is a certified lower bound (identifiability holds at this
-        level but the search stopped before finding a failure).
-    witness:
-        The confusable pair proving ``µ < value + 1``, when one was found.
-    searched_up_to:
-        The largest subset size whose subsets were fully enumerated.
-    exhausted_search:
-        True when the search hit its size cap without finding a collision.
-    """
-
-    value: int
-    witness: Optional[ConfusablePair]
-    searched_up_to: int
-    exhausted_search: bool
-
-    def __int__(self) -> int:
-        return self.value
-
-
-def _subsets_of_size(nodes: Tuple[Node, ...], size: int) -> Iterator[Tuple[Node, ...]]:
-    return itertools.combinations(nodes, size)
+__all__ = [
+    "ConfusablePair",
+    "IdentifiabilityResult",
+    "maximal_identifiability_detailed",
+    "maximal_identifiability",
+    "is_k_identifiable",
+    "find_confusable_pair",
+    "mu",
+    "mu_detailed",
+    "separability_matrix",
+]
 
 
 def maximal_identifiability_detailed(
     pathset: PathSet,
     max_size: Optional[int] = None,
     nodes: Optional[Iterable[Node]] = None,
+    backend: BackendSpec = None,
 ) -> IdentifiabilityResult:
     """Compute µ with full diagnostics.
 
@@ -108,48 +73,38 @@ def maximal_identifiability_detailed(
     nodes:
         Restrict the universe to these nodes (defaults to the pathset's node
         universe).  Used by the local-identifiability and what-if analyses.
+    backend:
+        Signature backend override (see :func:`repro.engine.select_backend`).
     """
-    universe: Tuple[Node, ...] = (
-        tuple(sorted(set(nodes), key=repr)) if nodes is not None else pathset.nodes
-    )
-    if not universe:
-        raise IdentifiabilityError("the node universe is empty")
-    n = len(universe)
-    cap = n if max_size is None else max(0, min(max_size, n))
-
-    signatures: Dict[int, Tuple[Node, ...]] = {}
-    searched = -1
-    for size in range(0, cap + 1):
-        for subset in _subsets_of_size(universe, size):
-            signature = pathset.paths_through_set(subset)
-            if signature in signatures:
-                witness = ConfusablePair(
-                    frozenset(signatures[signature]), frozenset(subset)
-                )
-                return IdentifiabilityResult(
-                    value=size - 1,
-                    witness=witness,
-                    searched_up_to=size,
-                    exhausted_search=False,
-                )
-            signatures[signature] = subset
-        searched = size
-    return IdentifiabilityResult(
-        value=cap, witness=None, searched_up_to=searched, exhausted_search=True
-    )
+    if nodes is None and (max_size is None or max_size >= 1) and pathset.nodes:
+        # µ = 0 early exit: an uncovered node is confusable with the empty
+        # set, so no subset enumeration (or engine construction) is needed.
+        uncovered = pathset.uncovered_nodes()
+        if uncovered:
+            witness = ConfusablePair(
+                frozenset(), frozenset({min(uncovered, key=repr)})
+            )
+            return IdentifiabilityResult(
+                value=0, witness=witness, searched_up_to=1, exhausted_search=False
+            )
+    return pathset.engine(backend).identifiability(max_size=max_size, nodes=nodes)
 
 
 def maximal_identifiability(
     pathset: PathSet,
     max_size: Optional[int] = None,
     nodes: Optional[Iterable[Node]] = None,
+    backend: BackendSpec = None,
 ) -> int:
     """µ of the node universe with respect to ``pathset`` (Definition 2.2)."""
-    return maximal_identifiability_detailed(pathset, max_size, nodes).value
+    return maximal_identifiability_detailed(pathset, max_size, nodes, backend).value
 
 
 def is_k_identifiable(
-    pathset: PathSet, k: int, nodes: Optional[Iterable[Node]] = None
+    pathset: PathSet,
+    k: int,
+    nodes: Optional[Iterable[Node]] = None,
+    backend: BackendSpec = None,
 ) -> bool:
     """Definition 2.1: is the node universe k-identifiable w.r.t. ``pathset``?
 
@@ -159,15 +114,20 @@ def is_k_identifiable(
         raise IdentifiabilityError(f"k must be >= 0, got {k}")
     if k == 0:
         return True
-    result = maximal_identifiability_detailed(pathset, max_size=k, nodes=nodes)
+    result = maximal_identifiability_detailed(
+        pathset, max_size=k, nodes=nodes, backend=backend
+    )
     return result.value >= k
 
 
 def find_confusable_pair(
-    pathset: PathSet, max_size: Optional[int] = None, nodes: Optional[Iterable[Node]] = None
+    pathset: PathSet,
+    max_size: Optional[int] = None,
+    nodes: Optional[Iterable[Node]] = None,
+    backend: BackendSpec = None,
 ) -> Optional[ConfusablePair]:
     """Smallest confusable pair (the witness of Section 2.0.1), if any."""
-    return maximal_identifiability_detailed(pathset, max_size, nodes).witness
+    return maximal_identifiability_detailed(pathset, max_size, nodes, backend).witness
 
 
 def mu(
@@ -177,6 +137,7 @@ def mu(
     max_size: Optional[int] = None,
     cutoff: Optional[int] = None,
     max_paths: Optional[int] = None,
+    backend: BackendSpec = None,
 ) -> int:
     """End-to-end convenience: µ(G|χ) under a routing mechanism.
 
@@ -185,7 +146,13 @@ def mu(
     CAP, where the degree bounds do not apply).
     """
     return mu_detailed(
-        graph, placement, mechanism, max_size=max_size, cutoff=cutoff, max_paths=max_paths
+        graph,
+        placement,
+        mechanism,
+        max_size=max_size,
+        cutoff=cutoff,
+        max_paths=max_paths,
+        backend=backend,
     ).value
 
 
@@ -196,6 +163,7 @@ def mu_detailed(
     max_size: Optional[int] = None,
     cutoff: Optional[int] = None,
     max_paths: Optional[int] = None,
+    backend: BackendSpec = None,
 ) -> IdentifiabilityResult:
     """Like :func:`mu` but returning the full :class:`IdentifiabilityResult`."""
     mechanism = RoutingMechanism.parse(mechanism)
@@ -211,24 +179,18 @@ def mu_detailed(
         # bound (a collision must exist there under CSP/CAP⁻) and keeps the
         # computation exact.
         max_size = bound.combined + 1
-    return maximal_identifiability_detailed(pathset, max_size=max_size)
+    return maximal_identifiability_detailed(pathset, max_size=max_size, backend=backend)
 
 
 def separability_matrix(
-    pathset: PathSet, size: int
+    pathset: PathSet, size: int, backend: BackendSpec = None
 ) -> Dict[Tuple[FrozenSet[Node], FrozenSet[Node]], bool]:
     """Explicit separation table for all pairs of node sets of a given size.
 
     Mainly a debugging/teaching aid (and used by small-scale tests): maps each
     unordered pair ``{U, W}`` of distinct subsets of the given size to whether
     a measurement path separates them.  Grows combinatorially — callers are
-    expected to use it on small universes only.
+    expected to use it on small universes only.  Signatures are computed once
+    per subset by the engine, so each pair costs one key comparison.
     """
-    if size < 1:
-        raise IdentifiabilityError(f"size must be >= 1, got {size}")
-    subsets = [frozenset(c) for c in itertools.combinations(pathset.nodes, size)]
-    table: Dict[Tuple[FrozenSet[Node], FrozenSet[Node]], bool] = {}
-    for i, first in enumerate(subsets):
-        for second in subsets[i + 1 :]:
-            table[(first, second)] = pathset.separates(first, second)
-    return table
+    return pathset.engine(backend).separability_matrix(size)

@@ -10,20 +10,48 @@ Local identifiability is what degenerate loop paths trivially boost (Section
 9): a DLP node ``v`` separates ``{v}`` from everything else, so its local
 identifiability w.r.t. ``S = {v}`` is as large as the universe.  The module
 exists both as public API and to back the DLP discussion tests.
+
+Like the global measure, the subset sweep runs on the signature engine
+(:meth:`PathSet.engine <repro.routing.paths.PathSet.engine>`): subsets are
+enumerated with incrementally-carried prefix unions instead of recomputing
+``P(U)`` per subset, and the signature keys group the S-projections.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Set
 
 from repro._typing import Node
+from repro.engine.backends import BackendSpec
 from repro.exceptions import IdentifiabilityError
 from repro.routing.paths import PathSet
 
 
+def _local_search(
+    pathset: PathSet,
+    scope_set: FrozenSet[Node],
+    cap: int,
+    backend: BackendSpec = None,
+) -> int:
+    """Largest k ≤ cap with local k-identifiability (cap when none fails).
+
+    Walks subsets in increasing size; a failure at size s is two subsets with
+    the same signature but different S-projections, giving ``s − 1``.
+    """
+    engine = pathset.engine(backend)
+    # signature key -> set of distinct S-projections observed so far.
+    projections: Dict[object, Set[FrozenSet[Node]]] = {}
+    for subset, signature_key in engine.iter_subset_signatures(range(0, cap + 1)):
+        projection = frozenset(subset) & scope_set
+        seen = projections.setdefault(signature_key, set())
+        if any(other != projection for other in seen):
+            return len(subset) - 1
+        seen.add(projection)
+    return cap
+
+
 def is_locally_k_identifiable(
-    pathset: PathSet, scope: Iterable[Node], k: int
+    pathset: PathSet, scope: Iterable[Node], k: int, backend: BackendSpec = None
 ) -> bool:
     """Local k-identifiability w.r.t. the scope ``S``.
 
@@ -38,22 +66,14 @@ def is_locally_k_identifiable(
         raise IdentifiabilityError(f"scope nodes {sorted(map(repr, unknown))} not in universe")
     if k == 0:
         return True
-    universe = pathset.nodes
-    # signature -> set of distinct S-projections observed for that signature.
-    projections: Dict[int, Set[FrozenSet[Node]]] = {}
-    for size in range(0, k + 1):
-        for subset in itertools.combinations(universe, size):
-            signature = pathset.paths_through_set(subset)
-            projection = frozenset(subset) & scope_set
-            seen = projections.setdefault(signature, set())
-            if any(other != projection for other in seen):
-                return False
-            seen.add(projection)
-    return True
+    return _local_search(pathset, scope_set, k, backend) >= k
 
 
 def local_maximal_identifiability(
-    pathset: PathSet, scope: Iterable[Node], max_size: Optional[int] = None
+    pathset: PathSet,
+    scope: Iterable[Node],
+    max_size: Optional[int] = None,
+    backend: BackendSpec = None,
 ) -> int:
     """The largest k such that the universe is locally k-identifiable w.r.t. S.
 
@@ -64,21 +84,11 @@ def local_maximal_identifiability(
     scope_set = frozenset(scope)
     n = len(pathset.nodes)
     cap = n if max_size is None else max(0, min(max_size, n))
-    universe = pathset.nodes
-    projections: Dict[int, Set[FrozenSet[Node]]] = {}
-    for size in range(0, cap + 1):
-        for subset in itertools.combinations(universe, size):
-            signature = pathset.paths_through_set(subset)
-            projection = frozenset(subset) & scope_set
-            seen = projections.setdefault(signature, set())
-            if any(other != projection for other in seen):
-                return size - 1
-            seen.add(projection)
-    return cap
+    return _local_search(pathset, scope_set, cap, backend)
 
 
 def local_identifiability_per_node(
-    pathset: PathSet, max_size: int = 3
+    pathset: PathSet, max_size: int = 3, backend: BackendSpec = None
 ) -> Dict[Node, int]:
     """Local maximal identifiability of every singleton scope ``S = {v}``.
 
@@ -87,6 +97,6 @@ def local_identifiability_per_node(
     stays at 0.  ``max_size`` caps the (expensive) per-node searches.
     """
     return {
-        node: local_maximal_identifiability(pathset, {node}, max_size=max_size)
+        node: local_maximal_identifiability(pathset, {node}, max_size=max_size, backend=backend)
         for node in pathset.nodes
     }

@@ -142,15 +142,10 @@ def inseparable_pairs_of_size(
     pathset: PathSet, size: int
 ) -> Tuple[Tuple[FrozenSet[Node], FrozenSet[Node]], ...]:
     """All unordered pairs of distinct node sets of exactly ``size`` nodes with
-    identical path sets.  Exponential; meant for diagnostics on small graphs."""
-    if size < 1:
-        raise IdentifiabilityError(f"size must be >= 1, got {size}")
-    groups: dict = {}
-    for combo in itertools.combinations(pathset.nodes, size):
-        groups.setdefault(pathset.paths_through_set(combo), []).append(frozenset(combo))
-    pairs = []
-    for members in groups.values():
-        for i, first in enumerate(members):
-            for second in members[i + 1 :]:
-                pairs.append((first, second))
-    return tuple(pairs)
+    identical path sets.  Exponential; meant for diagnostics on small graphs.
+
+    Delegates the signature grouping to the engine, which computes each
+    subset's signature incrementally instead of re-deriving ``P(U)`` per
+    subset.
+    """
+    return pathset.engine().inseparable_pairs(size)

@@ -23,6 +23,7 @@ from repro.core.identifiability import (
     IdentifiabilityResult,
     maximal_identifiability_detailed,
 )
+from repro.engine.backends import BackendSpec
 from repro.exceptions import IdentifiabilityError
 from repro.monitors.placement import MonitorPlacement
 from repro.routing.mechanisms import RoutingMechanism
@@ -31,22 +32,24 @@ from repro.topology.base import average_degree, min_degree
 
 
 def truncated_identifiability_detailed(
-    pathset: PathSet, alpha: int
+    pathset: PathSet, alpha: int, backend: BackendSpec = None
 ) -> IdentifiabilityResult:
-    """µ_α with diagnostics: the exhaustive search capped at subset size α."""
+    """µ_α with diagnostics: the engine search capped at subset size α."""
     if alpha < 1:
         raise IdentifiabilityError(f"alpha must be >= 1, got {alpha}")
-    return maximal_identifiability_detailed(pathset, max_size=alpha)
+    return maximal_identifiability_detailed(pathset, max_size=alpha, backend=backend)
 
 
-def truncated_identifiability(pathset: PathSet, alpha: int) -> int:
+def truncated_identifiability(
+    pathset: PathSet, alpha: int, backend: BackendSpec = None
+) -> int:
     """µ_α(G): the truncated maximal identifiability.
 
     Equal to µ whenever µ < α; otherwise the search certifies identifiability
     up to α and returns α (the truncated measure cannot distinguish higher
     values).
     """
-    return truncated_identifiability_detailed(pathset, alpha).value
+    return truncated_identifiability_detailed(pathset, alpha, backend).value
 
 
 def mu_truncated(
@@ -54,6 +57,7 @@ def mu_truncated(
     placement: MonitorPlacement,
     alpha: Optional[int] = None,
     mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
+    backend: BackendSpec = None,
 ) -> int:
     """End-to-end µ_α(G|χ).
 
@@ -62,7 +66,7 @@ def mu_truncated(
     if alpha is None:
         alpha = default_truncation_level(graph)
     pathset = enumerate_paths(graph, placement, mechanism)
-    return truncated_identifiability(pathset, alpha)
+    return truncated_identifiability(pathset, alpha, backend)
 
 
 def default_truncation_level(graph: AnyGraph) -> int:

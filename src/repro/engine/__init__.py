@@ -1,0 +1,91 @@
+"""repro.engine — the signature engine behind every identifiability query.
+
+This package is the computational substrate shared by the identifiability
+core (:mod:`repro.core`), the tomography layer (:mod:`repro.tomography`) and
+the experiment drivers (:mod:`repro.experiments`):
+
+* :class:`SignatureEngine` interns each node's path-mask once, collapses
+  nodes into signature equivalence classes (an O(|V|) µ = 0 fast path), and
+  runs the exact µ search as an incremental DFS with prefix-union carrying
+  and subset-dominance pruning — same results and witnesses as the naive
+  ``itertools.combinations`` sweep, at a fraction of the cost.
+* :mod:`repro.engine.backends` provides two interchangeable signature
+  representations: Python big-int bitmasks and numpy ``uint64``-packed rows.
+* :mod:`repro.engine.cache` memoises enumerated path sets (and thereby the
+  engines built on them) under content keys, so experiment tables stop
+  re-enumerating identical ``(graph, placement, mechanism)`` triples.
+
+Backend selection
+-----------------
+
+Engines built without an explicit backend follow the global policy:
+
+>>> import repro.engine
+>>> repro.engine.select_backend()          # the current policy
+'auto'
+>>> repro.engine.select_backend("python")  # force big-int masks everywhere
+'python'
+>>> repro.engine.select_backend("auto")    # back to the default
+'auto'
+
+Under ``"auto"`` the numpy backend is chosen when numpy is importable and
+the path universe has at least :data:`~repro.engine.backends.NUMPY_MIN_PATHS`
+paths; otherwise the dependency-free python backend is used.  A specific
+engine can always override the policy::
+
+    engine = pathset.engine(backend="numpy")   # this engine only
+
+numpy is optional: nothing in the library requires it, and
+``select_backend("numpy")`` raises a clear error when it is missing.
+"""
+
+from repro.engine.backends import (
+    NUMPY_MIN_PATHS,
+    NumpyBackend,
+    PythonBackend,
+    SignatureBackend,
+    available_backends,
+    numpy_available,
+    resolve_backend,
+    resolve_backend_name,
+    select_backend,
+)
+from repro.engine.cache import (
+    CacheStats,
+    PathSetCache,
+    cache_stats,
+    cached_enumerate_paths,
+    clear_pathset_cache,
+    graph_fingerprint,
+    pathset_cache,
+)
+from repro.engine.signatures import (
+    ConfusablePair,
+    IdentifiabilityResult,
+    SignatureEngine,
+)
+
+__all__ = [
+    # engine
+    "SignatureEngine",
+    "ConfusablePair",
+    "IdentifiabilityResult",
+    # backends
+    "SignatureBackend",
+    "PythonBackend",
+    "NumpyBackend",
+    "available_backends",
+    "numpy_available",
+    "resolve_backend",
+    "resolve_backend_name",
+    "select_backend",
+    "NUMPY_MIN_PATHS",
+    # cache
+    "PathSetCache",
+    "CacheStats",
+    "cached_enumerate_paths",
+    "cache_stats",
+    "clear_pathset_cache",
+    "pathset_cache",
+    "graph_fingerprint",
+]

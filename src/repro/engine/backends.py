@@ -1,0 +1,244 @@
+"""Interchangeable signature backends for the :class:`SignatureEngine`.
+
+A *signature* is the set of measurement paths touched by a node set —
+``P(U)`` in the paper — and every identifiability query reduces to unions,
+equality tests and subset tests over signatures.  Two representations are
+provided behind one interface:
+
+* :class:`PythonBackend` — a signature is a Python big integer used as a
+  bitmask (bit ``i`` set iff path ``i`` is touched).  No dependencies, fast
+  for small-to-medium path universes thanks to CPython's int ops.
+* :class:`NumpyBackend` — a signature is a read-only ``uint64`` array of
+  ``ceil(|P| / 64)`` words; unions and subset tests are vectorized bitwise
+  kernels and hashable keys are raw ``bytes``.  Preferable once ``|P|`` is
+  large enough that big-int hashing/allocation dominates.
+
+Backend selection
+-----------------
+
+:func:`resolve_backend` turns a backend spec (``None``, a name, or an
+instance) into a concrete backend.  ``None`` defers to the module-level
+policy set via :func:`select_backend`:
+
+* ``"auto"`` (the default) — numpy when it is importable **and** the path
+  universe has at least :data:`NUMPY_MIN_PATHS` paths, python otherwise;
+* ``"python"`` / ``"numpy"`` — force one backend for every engine.
+
+``select_backend("numpy")`` raises when numpy is not installed; the library
+never hard-requires numpy.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Optional, Tuple, Union
+
+from repro.exceptions import IdentifiabilityError
+from repro.utils.bitset import bits_of
+
+try:  # numpy is an optional dependency; the python backend always works.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    _np = None
+
+#: "auto" switches to the numpy backend at this many measurement paths.
+NUMPY_MIN_PATHS = 256
+
+_POLICIES = ("auto", "python", "numpy")
+
+_policy = "auto"
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can be constructed in this environment."""
+    return _np is not None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of the backends constructible in this environment."""
+    return ("python", "numpy") if numpy_available() else ("python",)
+
+
+def select_backend(name: Optional[str] = None) -> str:
+    """Get or set the global backend policy.
+
+    With no argument, returns the current policy.  With ``"auto"``,
+    ``"python"`` or ``"numpy"``, installs that policy for every engine built
+    without an explicit backend and returns it.  This is the escape hatch for
+    forcing a backend globally::
+
+        import repro.engine
+        repro.engine.select_backend("python")   # benchmark the big-int path
+    """
+    global _policy
+    if name is None:
+        return _policy
+    normalised = str(name).strip().lower()
+    if normalised not in _POLICIES:
+        raise IdentifiabilityError(
+            f"unknown backend policy {name!r}; expected one of {_POLICIES}"
+        )
+    if normalised == "numpy" and not numpy_available():
+        raise IdentifiabilityError(
+            "the numpy backend was requested but numpy is not installed"
+        )
+    _policy = normalised
+    return _policy
+
+
+class SignatureBackend(abc.ABC):
+    """Operations on packed path-set signatures.
+
+    Signatures are opaque to callers: build them with :meth:`pack`, combine
+    with :meth:`union`, and use :meth:`key` whenever a hashable/equatable
+    representative is needed (two signatures are equal iff their keys are).
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, n_paths: int) -> None:
+        if n_paths < 0:
+            raise IdentifiabilityError(f"n_paths must be >= 0, got {n_paths}")
+        self.n_paths = n_paths
+
+    @abc.abstractmethod
+    def pack(self, mask: int):
+        """Pack a Python big-int bitmask into this backend's representation."""
+
+    @abc.abstractmethod
+    def empty(self):
+        """The signature of the empty node set (no paths touched)."""
+
+    @abc.abstractmethod
+    def union(self, first, second):
+        """``P(U) ∪ P(W)`` — a new signature; operands are never mutated."""
+
+    @abc.abstractmethod
+    def key(self, signature):
+        """A hashable key; equal keys iff equal signatures."""
+
+    @abc.abstractmethod
+    def is_subset(self, first, second) -> bool:
+        """Whether ``first ⊆ second`` as path sets (dominance test)."""
+
+    @abc.abstractmethod
+    def is_empty(self, signature) -> bool:
+        """Whether the signature touches no path."""
+
+    @abc.abstractmethod
+    def bits(self, signature) -> Iterator[int]:
+        """The indices of the touched paths, in increasing order."""
+
+    @abc.abstractmethod
+    def indicator_vector(self, signature) -> Tuple[int, ...]:
+        """The 0/1 vector of length ``n_paths`` (the Boolean measurement)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n_paths={self.n_paths})"
+
+
+class PythonBackend(SignatureBackend):
+    """Signatures as Python big integers (the library's original encoding)."""
+
+    name = "python"
+
+    def pack(self, mask: int) -> int:
+        return mask
+
+    def empty(self) -> int:
+        return 0
+
+    def union(self, first: int, second: int) -> int:
+        return first | second
+
+    def key(self, signature: int) -> int:
+        return signature
+
+    def is_subset(self, first: int, second: int) -> bool:
+        return first | second == second
+
+    def is_empty(self, signature: int) -> bool:
+        return not signature
+
+    def bits(self, signature: int) -> Iterator[int]:
+        return bits_of(signature)
+
+    def indicator_vector(self, signature: int) -> Tuple[int, ...]:
+        vector = [0] * self.n_paths
+        for index in bits_of(signature):
+            vector[index] = 1
+        return tuple(vector)
+
+
+class NumpyBackend(SignatureBackend):
+    """Signatures as read-only little-endian ``uint64`` word arrays."""
+
+    name = "numpy"
+
+    def __init__(self, n_paths: int) -> None:
+        if _np is None:
+            raise IdentifiabilityError(
+                "the numpy backend was requested but numpy is not installed"
+            )
+        super().__init__(n_paths)
+        self.n_words = max(1, -(-n_paths // 64))
+
+    def pack(self, mask: int):
+        # frombuffer over the little-endian byte encoding yields a read-only
+        # array, which enforces the immutability the engine relies on.
+        return _np.frombuffer(
+            mask.to_bytes(self.n_words * 8, "little"), dtype="<u8"
+        )
+
+    def empty(self):
+        return self.pack(0)
+
+    def union(self, first, second):
+        out = _np.bitwise_or(first, second)
+        out.setflags(write=False)
+        return out
+
+    def key(self, signature) -> bytes:
+        return signature.tobytes()
+
+    def is_subset(self, first, second) -> bool:
+        return not bool(_np.any(first & ~second))
+
+    def is_empty(self, signature) -> bool:
+        return not bool(signature.any())
+
+    def bits(self, signature) -> Iterator[int]:
+        return bits_of(int.from_bytes(signature.tobytes(), "little"))
+
+    def indicator_vector(self, signature) -> Tuple[int, ...]:
+        unpacked = _np.unpackbits(
+            signature.view(_np.uint8), bitorder="little", count=self.n_paths
+        )
+        return tuple(int(bit) for bit in unpacked)
+
+
+BackendSpec = Union[None, str, SignatureBackend]
+
+
+def resolve_backend_name(backend: BackendSpec, n_paths: int) -> str:
+    """The concrete backend name a spec resolves to for a given ``|P|``."""
+    if isinstance(backend, SignatureBackend):
+        return backend.name
+    name = (_policy if backend is None else str(backend).strip().lower())
+    if name == "auto":
+        return "numpy" if numpy_available() and n_paths >= NUMPY_MIN_PATHS else "python"
+    if name not in ("python", "numpy"):
+        raise IdentifiabilityError(
+            f"unknown backend {backend!r}; expected 'auto', 'python' or 'numpy'"
+        )
+    return name
+
+
+def resolve_backend(backend: BackendSpec, n_paths: int) -> SignatureBackend:
+    """Turn a backend spec into a ready-to-use backend instance."""
+    if isinstance(backend, SignatureBackend):
+        return backend
+    name = resolve_backend_name(backend, n_paths)
+    if name == "numpy":
+        return NumpyBackend(n_paths)
+    return PythonBackend(n_paths)

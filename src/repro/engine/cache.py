@@ -1,0 +1,164 @@
+"""Keyed cache over path-set enumeration (and, transitively, signatures).
+
+Enumerating ``P(G|χ)`` is by far the most expensive step of every experiment
+row — ``networkx.all_simple_paths`` over all monitor pairs — and the table
+drivers routinely revisit the same ``(graph, placement, mechanism)`` triple
+(both dimension rules on the same network, repeated µ_α levels, ablation
+variants sharing a baseline).  :class:`PathSetCache` memoises the enumerated
+:class:`~repro.routing.paths.PathSet` under a *content* key — graph
+directedness, node set, edge set, placement, mechanism and the enumeration
+limits — so mutating or rebuilding an equal graph still hits.
+
+Because the cached object is the same :class:`PathSet` instance, the
+signature engines memoised on it (:meth:`PathSet.engine`) are reused too: a
+cache hit skips both the path enumeration *and* the signature interning.
+
+The module-level :func:`cached_enumerate_paths` is the drop-in replacement
+for :func:`~repro.routing.paths.enumerate_paths` used by the experiment
+drivers; :func:`cache_stats` / :func:`clear_pathset_cache` expose the global
+cache to the CLI and to tests.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+from repro._typing import AnyGraph
+from repro.monitors.placement import MonitorPlacement
+from repro.routing.mechanisms import RoutingMechanism
+from repro.routing.paths import (
+    DEFAULT_CUTOFF,
+    DEFAULT_MAX_PATHS,
+    PathSet,
+    enumerate_paths,
+)
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of a :class:`PathSetCache`."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"pathset cache: {self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate:.0%}), {self.size} entries"
+        )
+
+
+def graph_fingerprint(graph: AnyGraph) -> Hashable:
+    """A hashable content key for a graph: directedness, nodes and edges.
+
+    Undirected edges are canonicalised as frozensets so ``(u, v)`` and
+    ``(v, u)`` fingerprint identically; a self-loop becomes the singleton
+    frozenset.  Equal-content graphs — even distinct objects — share a key.
+    """
+    if graph.is_directed():
+        edges: Hashable = frozenset(graph.edges())
+    else:
+        edges = frozenset(frozenset(edge) for edge in graph.edges())
+    return (graph.is_directed(), frozenset(graph.nodes()), edges)
+
+
+class PathSetCache:
+    """LRU cache of enumerated path sets keyed by enumeration inputs."""
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, PathSet]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_for(
+        graph: AnyGraph,
+        placement: MonitorPlacement,
+        mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
+        cutoff: Optional[int] = DEFAULT_CUTOFF,
+        max_paths: int = DEFAULT_MAX_PATHS,
+    ) -> Hashable:
+        """The cache key of one enumeration request."""
+        mechanism = RoutingMechanism.parse(mechanism)
+        return (
+            graph_fingerprint(graph),
+            placement,
+            mechanism,
+            cutoff,
+            max_paths,
+        )
+
+    def get_or_enumerate(
+        self,
+        graph: AnyGraph,
+        placement: MonitorPlacement,
+        mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
+        cutoff: Optional[int] = DEFAULT_CUTOFF,
+        max_paths: int = DEFAULT_MAX_PATHS,
+    ) -> PathSet:
+        """The cached :class:`PathSet`, enumerating on first sight of the key."""
+        key = self.key_for(graph, placement, mechanism, cutoff, max_paths)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        pathset = enumerate_paths(graph, placement, mechanism, cutoff, max_paths)
+        self._entries[key] = pathset
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return pathset
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> CacheStats:
+        return CacheStats(hits=self.hits, misses=self.misses, size=len(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: The process-wide cache used by the experiment drivers.
+_GLOBAL_CACHE = PathSetCache()
+
+
+def pathset_cache() -> PathSetCache:
+    """The global :class:`PathSetCache` instance."""
+    return _GLOBAL_CACHE
+
+
+def cached_enumerate_paths(
+    graph: AnyGraph,
+    placement: MonitorPlacement,
+    mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
+    cutoff: Optional[int] = DEFAULT_CUTOFF,
+    max_paths: int = DEFAULT_MAX_PATHS,
+) -> PathSet:
+    """Drop-in cached variant of :func:`repro.routing.paths.enumerate_paths`."""
+    return _GLOBAL_CACHE.get_or_enumerate(graph, placement, mechanism, cutoff, max_paths)
+
+
+def cache_stats() -> CacheStats:
+    """Counters of the global cache."""
+    return _GLOBAL_CACHE.stats()
+
+
+def clear_pathset_cache() -> None:
+    """Reset the global cache (used between experiment groups and by tests)."""
+    _GLOBAL_CACHE.clear()

@@ -1,0 +1,426 @@
+"""The signature engine: the single substrate for identifiability queries.
+
+Every quantity the paper computes — µ, µ_α, local identifiability,
+separability tables, Boolean measurement vectors — reduces to questions about
+*signatures*: ``P(U)``, the set of measurement paths touched by a node set.
+:class:`SignatureEngine` interns the per-node signatures once (packed by a
+:mod:`~repro.engine.backends` backend), collapses nodes into signature
+equivalence classes, and answers all downstream queries without ever going
+back to the raw paths.
+
+The exact µ search
+------------------
+
+The naive reference implementation sweeps ``itertools.combinations`` and
+recomputes ``P(U)`` from scratch for every subset.  The engine keeps the same
+enumeration *order* (sizes increasing, lexicographic within a size) — so the
+computed µ, the ``searched_up_to`` bookkeeping and the exhaustion semantics
+are identical — but obtains each subset's signature differently:
+
+1. **Equivalence-class fast path.**  One O(|V|) pass compares the interned
+   per-node signature keys.  An uncovered node (empty signature) is
+   confusable with ∅ and two nodes in the same class are confusable with each
+   other, so any non-singleton class certifies µ = 0 immediately.  Past this
+   point every class is a singleton, i.e. the class universe *is* the node
+   universe, and the subset search runs over provably distinct signatures.
+2. **Incremental DFS.**  Subsets of each size are enumerated by a DFS that
+   carries the union of the chosen prefix, so extending a subset by one node
+   costs one backend union instead of ``|U|`` dict lookups and ORs.
+3. **Subset-dominance pruning.**  When the last node ``u`` of a candidate
+   ``U`` satisfies ``P(u) ⊆ P(U∖{u})``, then ``P(U) = P(U∖{u})`` and the
+   collision is certified immediately — no hashing, no partner lookup.
+   (Dominance can only fire on the final extension: an earlier firing would
+   exhibit a collision between two smaller subsets, which the completed
+   smaller sizes have already excluded.)
+4. **Signature table.**  Remaining candidates are checked against a
+   ``key -> subset`` table spanning all sizes searched so far, exactly like
+   the reference implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro._typing import Node
+from repro.engine.backends import (
+    BackendSpec,
+    SignatureBackend,
+    resolve_backend,
+)
+from repro.exceptions import IdentifiabilityError
+
+
+@dataclass(frozen=True)
+class ConfusablePair:
+    """A witness that identifiability fails at level ``max(|U|, |W|)``.
+
+    ``U`` and ``W`` are distinct node sets with identical path sets
+    (``P(U) = P(W)``); no measurement can tell the corresponding failure sets
+    apart.
+    """
+
+    first: FrozenSet[Node]
+    second: FrozenSet[Node]
+
+    @property
+    def level(self) -> int:
+        """The identifiability level this pair falsifies."""
+        return max(len(self.first), len(self.second))
+
+    def __iter__(self) -> Iterator[FrozenSet[Node]]:
+        return iter((self.first, self.second))
+
+
+@dataclass(frozen=True)
+class IdentifiabilityResult:
+    """Outcome of a maximal-identifiability computation.
+
+    Attributes
+    ----------
+    value:
+        The computed µ.  When ``exhausted_search`` is False this is exact;
+        otherwise it is a certified lower bound (identifiability holds at this
+        level but the search stopped before finding a failure).
+    witness:
+        The confusable pair proving ``µ < value + 1``, when one was found.
+    searched_up_to:
+        The largest subset size whose subsets were fully enumerated.
+    exhausted_search:
+        True when the search hit its size cap without finding a collision.
+    """
+
+    value: int
+    witness: Optional[ConfusablePair]
+    searched_up_to: int
+    exhausted_search: bool
+
+    def __int__(self) -> int:
+        return self.value
+
+
+class SignatureEngine:
+    """Interned, class-collapsed signature store over a fixed path universe.
+
+    Parameters
+    ----------
+    nodes:
+        The node universe, in canonical order (the enumeration order of every
+        subset search).
+    node_masks:
+        ``node -> P(v)`` as Python big-int bitmasks (the routing layer builds
+        these once per :class:`~repro.routing.paths.PathSet`).
+    n_paths:
+        ``|P|``, the width of the signature universe.
+    backend:
+        ``None`` (global policy), a backend name, or a
+        :class:`~repro.engine.backends.SignatureBackend` instance.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        node_masks: Mapping[Node, int],
+        n_paths: int,
+        backend: BackendSpec = None,
+    ) -> None:
+        self.nodes: Tuple[Node, ...] = tuple(nodes)
+        self.n_paths = n_paths
+        self.backend: SignatureBackend = resolve_backend(backend, n_paths)
+        pack = self.backend.pack
+        self._signatures = {node: pack(node_masks[node]) for node in self.nodes}
+        key = self.backend.key
+        self._keys = {
+            node: key(signature) for node, signature in self._signatures.items()
+        }
+
+    @classmethod
+    def from_pathset(cls, pathset, backend: BackendSpec = None) -> "SignatureEngine":
+        """Build an engine over a :class:`~repro.routing.paths.PathSet`.
+
+        Prefer :meth:`PathSet.engine() <repro.routing.paths.PathSet.engine>`,
+        which memoises the engine per backend.
+        """
+        masks = {node: pathset.paths_through(node) for node in pathset.nodes}
+        return cls(pathset.nodes, masks, pathset.n_paths, backend)
+
+    # -- signature accessors -------------------------------------------------
+    def signature(self, node: Node):
+        """The packed signature of ``P(v)``."""
+        try:
+            return self._signatures[node]
+        except KeyError as exc:
+            raise IdentifiabilityError(
+                f"{node!r} is not in the engine's node universe"
+            ) from exc
+
+    def signature_key(self, node: Node):
+        """The hashable key of ``P(v)`` (equal keys iff equal path sets)."""
+        try:
+            return self._keys[node]
+        except KeyError as exc:
+            raise IdentifiabilityError(
+                f"{node!r} is not in the engine's node universe"
+            ) from exc
+
+    def union_signature(self, nodes: Iterable[Node]):
+        """The packed signature of ``P(U) = ∪_{u in U} P(u)``."""
+        backend = self.backend
+        signature = backend.empty()
+        for node in nodes:
+            signature = backend.union(signature, self.signature(node))
+        return signature
+
+    def union_key(self, nodes: Iterable[Node]):
+        """The hashable key of ``P(U)``."""
+        return self.backend.key(self.union_signature(nodes))
+
+    def measurement_vector(self, failed: Iterable[Node]) -> Tuple[int, ...]:
+        """The Boolean measurement of Equation (1): bit ``i`` is 1 iff path
+        ``i`` crosses a node of ``failed``."""
+        return self.backend.indicator_vector(self.union_signature(failed))
+
+    # -- equivalence classes -------------------------------------------------
+    def equivalence_classes(
+        self, nodes: Optional[Iterable[Node]] = None
+    ) -> Tuple[Tuple[Node, ...], ...]:
+        """Partition of the universe into signature equivalence classes.
+
+        Nodes in the same class have identical ``P(v)`` and are therefore
+        pairwise confusable.  Classes are ordered by first appearance in the
+        canonical node order; members keep that order too.
+        """
+        grouped: Dict[object, List[Node]] = {}
+        for node in self._resolve_universe(nodes):
+            grouped.setdefault(self._keys[node], []).append(node)
+        return tuple(tuple(members) for members in grouped.values())
+
+    def confusable_singletons(
+        self, nodes: Optional[Iterable[Node]] = None
+    ) -> Optional[ConfusablePair]:
+        """The O(|V|) µ = 0 certificate, if one exists.
+
+        Scans the universe once in canonical order: the first node whose
+        signature is empty (confusable with ∅) or equal to an earlier node's
+        signature yields the witness; ``None`` means all singleton signatures
+        are distinct and non-empty, i.e. µ ≥ 1.
+        """
+        return self._confusable_singletons(self._resolve_universe(nodes))
+
+    def _confusable_singletons(
+        self, universe: Tuple[Node, ...]
+    ) -> Optional[ConfusablePair]:
+        backend = self.backend
+        empty_key = backend.key(backend.empty())
+        seen: Dict[object, Node] = {}
+        for node in universe:
+            key = self._keys[node]
+            if key == empty_key:
+                return ConfusablePair(frozenset(), frozenset({node}))
+            if key in seen:
+                return ConfusablePair(frozenset({seen[key]}), frozenset({node}))
+            seen[key] = node
+        return None
+
+    # -- subset enumeration --------------------------------------------------
+    def iter_subset_signatures(
+        self, sizes: Iterable[int], nodes: Optional[Iterable[Node]] = None
+    ) -> Iterator[Tuple[Tuple[Node, ...], object]]:
+        """Yield ``(subset, signature_key)`` for every subset of each size.
+
+        Subsets of one size are produced in lexicographic (canonical node
+        order) order — the same order as ``itertools.combinations`` — but the
+        signature of each subset is built incrementally from its prefix, so
+        the amortised cost per subset is a single backend union.
+        """
+        universe = self._resolve_universe(nodes)
+        signatures = [self._signatures[node] for node in universe]
+        backend = self.backend
+        union, key = backend.union, backend.key
+        n = len(universe)
+        for size in sizes:
+            if size < 0:
+                raise IdentifiabilityError(f"subset size must be >= 0, got {size}")
+            if size == 0:
+                yield (), key(backend.empty())
+                continue
+            if size > n:
+                continue
+            indices = list(range(size))
+            # prefix[d] is the union of the signatures at indices[:d].
+            prefix = [backend.empty()] * (size + 1)
+            for depth in range(size):
+                prefix[depth + 1] = union(prefix[depth], signatures[indices[depth]])
+            while True:
+                yield tuple(universe[i] for i in indices), key(prefix[size])
+                # Advance to the next combination, recomputing only the
+                # prefix unions right of the bumped position.
+                position = size - 1
+                while position >= 0 and indices[position] == position + n - size:
+                    position -= 1
+                if position < 0:
+                    break
+                indices[position] += 1
+                for depth in range(position + 1, size):
+                    indices[depth] = indices[depth - 1] + 1
+                for depth in range(position, size):
+                    prefix[depth + 1] = union(prefix[depth], signatures[indices[depth]])
+
+    # -- the exact µ search --------------------------------------------------
+    def identifiability(
+        self,
+        max_size: Optional[int] = None,
+        nodes: Optional[Iterable[Node]] = None,
+    ) -> IdentifiabilityResult:
+        """Exact maximal identifiability of the (possibly restricted) universe.
+
+        Semantics match the naive reference sweep exactly: the first subset
+        size ``s`` at which two subsets of size ≤ s share a signature gives
+        ``µ = s − 1``; searching up to the cap without a collision gives the
+        exhausted result.  See the module docstring for the fast paths.
+        """
+        universe = self._resolve_universe(nodes)
+        if not universe:
+            raise IdentifiabilityError("the node universe is empty")
+        n = len(universe)
+        cap = n if max_size is None else max(0, min(max_size, n))
+        if cap == 0:
+            return IdentifiabilityResult(
+                value=0, witness=None, searched_up_to=0, exhausted_search=True
+            )
+
+        # Size-0/size-1 fast path over the equivalence classes.
+        witness = self._confusable_singletons(universe)
+        if witness is not None:
+            return IdentifiabilityResult(
+                value=0, witness=witness, searched_up_to=1, exhausted_search=False
+            )
+        if cap == 1:
+            return IdentifiabilityResult(
+                value=1, witness=None, searched_up_to=1, exhausted_search=True
+            )
+
+        backend = self.backend
+        union, key, is_subset = backend.union, backend.key, backend.is_subset
+        signatures = [self._signatures[node] for node in universe]
+        # Signature table over all subsets enumerated so far.  The singleton
+        # pass found no collision, so seeding sizes 0 and 1 cannot collide.
+        seen: Dict[object, Tuple[Node, ...]] = {key(backend.empty()): ()}
+        for index, node in enumerate(universe):
+            seen[key(signatures[index])] = (node,)
+
+        for size in range(2, cap + 1):
+            indices = list(range(size))
+            prefix = [backend.empty()] * size
+            for depth in range(size - 1):
+                prefix[depth + 1] = union(prefix[depth], signatures[indices[depth]])
+            while True:
+                last = indices[size - 1]
+                rest = prefix[size - 1]
+                last_signature = signatures[last]
+                if is_subset(last_signature, rest):
+                    # Dominance: P(last) ⊆ P(U∖{last}), so U collides with
+                    # U∖{last} — certified without touching the table.
+                    smaller = frozenset(universe[i] for i in indices[:-1])
+                    return IdentifiabilityResult(
+                        value=size - 1,
+                        witness=ConfusablePair(
+                            smaller, smaller | {universe[last]}
+                        ),
+                        searched_up_to=size,
+                        exhausted_search=False,
+                    )
+                signature_key = key(union(rest, last_signature))
+                partner = seen.get(signature_key)
+                if partner is not None:
+                    subset = tuple(universe[i] for i in indices)
+                    return IdentifiabilityResult(
+                        value=size - 1,
+                        witness=ConfusablePair(frozenset(partner), frozenset(subset)),
+                        searched_up_to=size,
+                        exhausted_search=False,
+                    )
+                seen[signature_key] = tuple(universe[i] for i in indices)
+                position = size - 1
+                while position >= 0 and indices[position] == position + n - size:
+                    position -= 1
+                if position < 0:
+                    break
+                indices[position] += 1
+                for depth in range(position + 1, size):
+                    indices[depth] = indices[depth - 1] + 1
+                for depth in range(position, size - 1):
+                    prefix[depth + 1] = union(prefix[depth], signatures[indices[depth]])
+        return IdentifiabilityResult(
+            value=cap, witness=None, searched_up_to=cap, exhausted_search=True
+        )
+
+    # -- separation queries --------------------------------------------------
+    def separates(self, first: Iterable[Node], second: Iterable[Node]) -> bool:
+        """Whether some measurement path touches exactly one of the two sets."""
+        return self.union_key(first) != self.union_key(second)
+
+    def separability_matrix(
+        self, size: int, nodes: Optional[Iterable[Node]] = None
+    ) -> Dict[Tuple[FrozenSet[Node], FrozenSet[Node]], bool]:
+        """Pairwise separation table for all subsets of a given size."""
+        if size < 1:
+            raise IdentifiabilityError(f"size must be >= 1, got {size}")
+        entries = [
+            (frozenset(subset), signature_key)
+            for subset, signature_key in self.iter_subset_signatures([size], nodes)
+        ]
+        table: Dict[Tuple[FrozenSet[Node], FrozenSet[Node]], bool] = {}
+        for i, (first, first_key) in enumerate(entries):
+            for second, second_key in entries[i + 1 :]:
+                table[(first, second)] = first_key != second_key
+        return table
+
+    def inseparable_pairs(
+        self, size: int, nodes: Optional[Iterable[Node]] = None
+    ) -> Tuple[Tuple[FrozenSet[Node], FrozenSet[Node]], ...]:
+        """All unordered pairs of same-size subsets with identical path sets."""
+        if size < 1:
+            raise IdentifiabilityError(f"size must be >= 1, got {size}")
+        groups: Dict[object, List[FrozenSet[Node]]] = {}
+        for subset, signature_key in self.iter_subset_signatures([size], nodes):
+            groups.setdefault(signature_key, []).append(frozenset(subset))
+        pairs: List[Tuple[FrozenSet[Node], FrozenSet[Node]]] = []
+        for members in groups.values():
+            for i, first in enumerate(members):
+                for second in members[i + 1 :]:
+                    pairs.append((first, second))
+        return tuple(pairs)
+
+    # -- plumbing ------------------------------------------------------------
+    def _resolve_universe(
+        self, nodes: Optional[Iterable[Node]]
+    ) -> Tuple[Node, ...]:
+        """Canonicalise a universe restriction (sorted by repr, validated)."""
+        if nodes is None:
+            return self.nodes
+        universe = tuple(sorted(set(nodes), key=repr))
+        for node in universe:
+            if node not in self._signatures:
+                raise IdentifiabilityError(
+                    f"{node!r} is not in the engine's node universe"
+                )
+        return universe
+
+    def describe(self) -> str:
+        """One-line summary used by examples and benchmarks."""
+        classes = self.equivalence_classes()
+        return (
+            f"SignatureEngine(|V|={len(self.nodes)}, |P|={self.n_paths}, "
+            f"classes={len(classes)}, backend={self.backend.name})"
+        )

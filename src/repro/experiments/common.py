@@ -20,10 +20,11 @@ from repro.agrid.algorithm import AgridResult, agrid
 from repro.core.bounds import structural_upper_bound
 from repro.core.identifiability import maximal_identifiability_detailed
 from repro.core.truncated import truncated_identifiability
+from repro.engine.cache import cached_enumerate_paths
 from repro.exceptions import ExperimentError
 from repro.monitors.placement import MonitorPlacement
 from repro.routing.mechanisms import RoutingMechanism
-from repro.routing.paths import PathSet, enumerate_paths
+from repro.routing.paths import PathSet
 from repro.topology.base import min_degree
 from repro.utils.seeds import RngLike, resolve_rng
 
@@ -94,12 +95,18 @@ def measure_network(
     truncation: Optional[int] = None,
     max_paths: Optional[int] = None,
 ) -> NetworkMeasurement:
-    """Enumerate paths and compute (possibly truncated) µ for one network."""
+    """Enumerate paths and compute (possibly truncated) µ for one network.
+
+    Path sets are obtained through the keyed cache of
+    :mod:`repro.engine.cache`, so repeated table rows over the same
+    ``(graph, placement, mechanism)`` triple enumerate (and intern
+    signatures) only once per process.
+    """
     mechanism = RoutingMechanism.parse(mechanism)
     kwargs = {}
     if max_paths is not None:
         kwargs["max_paths"] = max_paths
-    pathset: PathSet = enumerate_paths(graph, placement, mechanism, **kwargs)
+    pathset: PathSet = cached_enumerate_paths(graph, placement, mechanism, **kwargs)
     if truncation is not None:
         mu_value = truncated_identifiability(pathset, truncation)
     else:

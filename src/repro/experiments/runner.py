@@ -18,6 +18,7 @@ import argparse
 import sys
 from typing import Callable, Dict, Iterable, List
 
+from repro.engine import cache_stats, clear_pathset_cache, select_backend
 from repro.experiments import (
     ablation,
     random_graphs,
@@ -107,11 +108,28 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=2018, help="master random seed (default: 2018)"
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=["auto", "python", "numpy"],
+        help="signature-engine backend policy for every µ computation "
+        "(default: the engine's 'auto' policy)",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print the pathset-cache hit/miss counters after the run",
+    )
     return parser
 
 
 def run(group: str, seed: int) -> List[str]:
-    """Run one group (or 'all') and return the printable sections."""
+    """Run one group (or 'all') and return the printable sections.
+
+    The pathset cache is cleared first so every invocation is reproducible
+    and its reported statistics describe this run only.
+    """
+    clear_pathset_cache()
     if group == "all":
         sections: List[str] = []
         for name in sorted(_GROUPS):
@@ -124,9 +142,13 @@ def main(argv: List[str] | None = None) -> int:
     """Console-script entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.backend is not None:
+        select_backend(args.backend)
     for section in run(args.tables, args.seed):
         print(section)
         print()
+    if args.cache_stats:
+        print(cache_stats())
     return 0
 
 

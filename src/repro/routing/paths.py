@@ -2,9 +2,12 @@
 
 The identifiability machinery never looks at a path beyond the *set of nodes
 it touches*, so :class:`PathSet` stores, for every node ``v``, the bitmask of
-indices of paths crossing ``v`` (``P(v)`` in the paper).  Unions over node
-sets — ``P(U)`` — are then single bitwise ORs, which is what makes the exact
-exhaustive µ computation fast enough for the paper's laptop-scale graphs.
+indices of paths crossing ``v`` (``P(v)`` in the paper; construction is
+delegated to :func:`repro.utils.bitset.masks_from_paths`).  Unions over node
+sets — ``P(U)`` — are then single bitwise ORs.  All heavy identifiability
+queries go through the :class:`~repro.engine.signatures.SignatureEngine`
+exposed by :meth:`PathSet.engine`, which interns these masks once per backend
+and shares them across the core, tomography and experiment layers.
 
 Enumeration per mechanism
 -------------------------
@@ -26,7 +29,17 @@ Enumeration per mechanism
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import networkx as nx
 
@@ -34,6 +47,10 @@ from repro._typing import AnyGraph, Node, Path
 from repro.exceptions import PathExplosionError, RoutingError
 from repro.monitors.placement import MonitorPlacement
 from repro.routing.mechanisms import RoutingMechanism
+from repro.utils.bitset import bits_of, masks_from_paths
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine sits above)
+    from repro.engine.signatures import SignatureEngine
 
 #: Paths longer than this (in nodes) are never enumerated unless the caller
 #: raises the cutoff explicitly.  ``None`` means "no limit".
@@ -59,19 +76,17 @@ class PathSet:
     nodes: Tuple[Node, ...]
     paths: Tuple[Path, ...]
     _node_masks: Dict[Node, int] = field(repr=False, compare=False, default_factory=dict)
+    _engines: Dict[str, "SignatureEngine"] = field(
+        repr=False, compare=False, default_factory=dict
+    )
 
     def __post_init__(self) -> None:
-        universe = set(self.nodes)
-        masks: Dict[Node, int] = {node: 0 for node in self.nodes}
-        for index, path in enumerate(self.paths):
-            bit = 1 << index
-            for node in set(path):
-                if node not in universe:
-                    raise RoutingError(
-                        f"path {index} touches {node!r} which is outside the node universe"
-                    )
-                masks[node] |= bit
+        try:
+            masks = masks_from_paths(self.nodes, self.paths)
+        except ValueError as exc:
+            raise RoutingError(str(exc)) from exc
         object.__setattr__(self, "_node_masks", masks)
+        object.__setattr__(self, "_engines", {})
 
     # -- basic accessors ---------------------------------------------------
     def __len__(self) -> int:
@@ -106,8 +121,7 @@ class PathSet:
 
     def path_indices_through(self, node: Node) -> Tuple[int, ...]:
         """The indices (not the bitmask) of paths crossing ``node``."""
-        mask = self.paths_through(node)
-        return tuple(i for i in range(len(self.paths)) if mask >> i & 1)
+        return tuple(bits_of(self.paths_through(node)))
 
     def touched_nodes(self) -> FrozenSet[Node]:
         """Nodes crossed by at least one measurement path."""
@@ -131,7 +145,33 @@ class PathSet:
     ) -> Tuple[Path, ...]:
         """The paths witnessing separation (those in the symmetric difference)."""
         diff = self.paths_through_set(first) ^ self.paths_through_set(second)
-        return tuple(self.paths[i] for i in range(len(self.paths)) if diff >> i & 1)
+        return tuple(self.paths[i] for i in bits_of(diff))
+
+    # -- signature engine ---------------------------------------------------
+    def engine(self, backend=None) -> "SignatureEngine":
+        """The :class:`~repro.engine.signatures.SignatureEngine` over this
+        path set's node masks.
+
+        Engines are memoised per resolved backend name, so every consumer of
+        the same :class:`PathSet` — the identifiability core, the tomography
+        layer, the experiment drivers — shares one interned signature store.
+        ``backend`` follows :func:`repro.engine.select_backend` semantics:
+        ``None`` defers to the global policy, a name forces that backend, and
+        a :class:`~repro.engine.backends.SignatureBackend` instance is used
+        as-is (not memoised).
+        """
+        # Imported lazily: the engine layer sits above routing.
+        from repro.engine.backends import SignatureBackend, resolve_backend_name
+        from repro.engine.signatures import SignatureEngine
+
+        if isinstance(backend, SignatureBackend):
+            return SignatureEngine(self.nodes, self._node_masks, len(self.paths), backend)
+        name = resolve_backend_name(backend, len(self.paths))
+        cached = self._engines.get(name)
+        if cached is None:
+            cached = SignatureEngine(self.nodes, self._node_masks, len(self.paths), name)
+            self._engines[name] = cached
+        return cached
 
     def restrict_to_paths(self, indices: Sequence[int]) -> "PathSet":
         """A new :class:`PathSet` over the same universe with a subset of paths."""
@@ -149,16 +189,22 @@ class PathSet:
 def _iter_simple_paths(
     graph: AnyGraph,
     source: Node,
-    target: Node,
+    targets: Iterable[Node],
     cutoff: Optional[int],
 ) -> Iterator[Path]:
-    """Yield all simple paths from ``source`` to ``target`` as node tuples."""
-    if source == target:
-        # networkx returns [source] for identical endpoints only via cycles
-        # handling below; the callers deal with the DLP/cycle cases.
+    """Yield all simple paths from ``source`` to any of ``targets``.
+
+    All targets are handed to networkx in a single call so the DFS is run
+    once per source instead of once per (source, target) pair — the shared
+    path prefixes between targets are walked only once, which dominates the
+    enumeration cost on dense monitor placements.  Paths from a node to
+    itself are excluded (the DLP/cycle cases are handled by the callers).
+    """
+    target_set = {t for t in targets if t != source}
+    if not target_set:
         return
     try:
-        for path in nx.all_simple_paths(graph, source, target, cutoff=cutoff):
+        for path in nx.all_simple_paths(graph, source, target_set, cutoff=cutoff):
             yield tuple(path)
     except nx.NodeNotFound as exc:  # pragma: no cover - guarded by validate()
         raise RoutingError(str(exc)) from exc
@@ -241,12 +287,10 @@ def enumerate_paths(
             )
 
     # Simple input -> output paths with distinct endpoints (all mechanisms).
+    # One multi-target traversal per source; see _iter_simple_paths.
     for source in sorted(placement.inputs, key=repr):
-        for target in sorted(placement.outputs, key=repr):
-            if source == target:
-                continue
-            for path in _iter_simple_paths(graph, source, target, cutoff):
-                push(path)
+        for path in _iter_simple_paths(graph, source, placement.outputs, cutoff):
+            push(path)
 
     if mechanism.allows_cycles:
         # Paths that start and end on the same node which is both an input and

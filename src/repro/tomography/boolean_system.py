@@ -128,11 +128,25 @@ class BooleanSystem:
             candidates &= frozenset(universe)
         ordered = sorted(candidates, key=repr)
         failing = self.failing_paths()
+        # Packed-signature formulation: index the failing clauses, give every
+        # candidate node the bitmask of clauses it would satisfy, and accept a
+        # combination iff the union of its masks covers every failing clause.
+        # This replaces the per-combination clause re-evaluation with one OR
+        # per node and one integer comparison per candidate set.
+        target = (1 << len(failing)) - 1
+        node_masks: Dict[Node, int] = {node: 0 for node in ordered}
+        for bit_index, equation in enumerate(failing):
+            bit = 1 << bit_index
+            for node in equation.variables:
+                if node in node_masks:
+                    node_masks[node] |= bit
         for size in range(0, max_failures + 1):
             for combo in itertools.combinations(ordered, size):
-                failure_set = frozenset(combo)
-                if all(eq.is_satisfied_by(failure_set) for eq in failing):
-                    yield failure_set
+                covered = 0
+                for node in combo:
+                    covered |= node_masks[node]
+                if covered == target:
+                    yield frozenset(combo)
 
     def minimal_solutions(
         self, max_failures: int, universe: Optional[Iterable[Node]] = None
@@ -151,7 +165,11 @@ def measurement_vector(pathset: PathSet, failure_set: Iterable[Node]) -> Measure
     """Simulate the end-to-end measurement: 1 for each path crossing a failure.
 
     This is the forward model of Boolean network tomography — a path reports 1
-    iff at least one of its nodes is in the failure set.
+    iff at least one of its nodes is in the failure set.  Computed from the
+    packed signatures of the pathset's engine: the observation vector is the
+    indicator of ``P(F)``, the union signature of the failed nodes, unpacked
+    in one vectorized pass (numpy backend) or one sparse bit walk (python
+    backend) instead of scanning every node of every path.
     """
     failed = frozenset(failure_set)
     unknown = failed - pathset.node_universe
@@ -159,9 +177,7 @@ def measurement_vector(pathset: PathSet, failure_set: Iterable[Node]) -> Measure
         raise IdentifiabilityError(
             f"failure nodes {sorted(map(repr, unknown))} are outside the node universe"
         )
-    return tuple(
-        int(any(node in failed for node in path)) for path in pathset.paths
-    )
+    return pathset.engine().measurement_vector(failed)
 
 
 def build_system(pathset: PathSet, failure_set: Iterable[Node]) -> BooleanSystem:

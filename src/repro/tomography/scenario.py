@@ -17,8 +17,9 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro._typing import AnyGraph, MeasurementVector, Node
+from repro.engine.backends import BackendSpec
+from repro.engine.signatures import SignatureEngine
 from repro.exceptions import IdentifiabilityError
-from repro.core.identifiability import maximal_identifiability_detailed
 from repro.core.bounds import structural_upper_bound
 from repro.monitors.placement import MonitorPlacement
 from repro.routing.mechanisms import RoutingMechanism
@@ -74,6 +75,7 @@ class TomographySession:
         mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
         cutoff: Optional[int] = None,
         max_paths: Optional[int] = None,
+        backend: BackendSpec = None,
     ) -> None:
         self.graph = graph
         self.placement = placement
@@ -86,6 +88,9 @@ class TomographySession:
         self.pathset: PathSet = enumerate_paths(
             graph, placement, self.mechanism, **kwargs
         )
+        #: The shared signature engine; every identifiability and measurement
+        #: query of the session runs on these packed signatures.
+        self.engine: SignatureEngine = self.pathset.engine(backend)
         self._mu_cache: Optional[int] = None
 
     # -- identifiability ----------------------------------------------------
@@ -94,9 +99,7 @@ class TomographySession:
         """Exact maximal identifiability of the session's path set (cached)."""
         if self._mu_cache is None:
             bound = structural_upper_bound(self.graph, self.placement, self.mechanism)
-            result = maximal_identifiability_detailed(
-                self.pathset, max_size=bound.combined + 1
-            )
+            result = self.engine.identifiability(max_size=bound.combined + 1)
             self._mu_cache = result.value
         return self._mu_cache
 

@@ -42,15 +42,39 @@ def bit_count(mask: int) -> int:
 def bits_of(mask: int) -> Iterator[int]:
     """Yield the indices of the set bits of ``mask`` in increasing order.
 
+    Jumps from set bit to set bit via the lowest-set-bit identity
+    ``mask & -mask`` instead of scanning every bit position, so the cost is
+    proportional to the *popcount* of the mask rather than to its width —
+    sparse masks over huge path universes iterate in a handful of steps.
+
     >>> list(bits_of(0b1101))
     [0, 2, 3]
     """
-    index = 0
     while mask:
-        if mask & 1:
-            yield index
-        mask >>= 1
-        index += 1
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def masks_from_paths(nodes: Sequence, paths: Sequence[Sequence]) -> dict:
+    """Build the ``node -> P(v)`` bitmask table from an indexed path family.
+
+    Path ``i`` contributes bit ``i`` to the mask of every node it touches.
+    Raises :class:`ValueError` when a path touches a node outside ``nodes``;
+    the routing layer re-raises that as a :class:`~repro.exceptions.RoutingError`.
+    This is the single mask-construction primitive shared by
+    :class:`repro.routing.paths.PathSet` and the signature engine.
+    """
+    masks = {node: 0 for node in nodes}
+    for index, path in enumerate(paths):
+        bit = 1 << index
+        for node in set(path):
+            if node not in masks:
+                raise ValueError(
+                    f"path {index} touches {node!r} which is outside the node universe"
+                )
+            masks[node] |= bit
+    return masks
 
 
 def masks_for_nodes(
