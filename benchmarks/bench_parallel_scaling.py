@@ -1,0 +1,90 @@
+"""Serial-vs-parallel scaling of the experiment pipeline (one Table 6 cell).
+
+The parallel runner fans a cell's Monte-Carlo trials out over a
+``ProcessPoolExecutor`` with precomputed per-trial seeds, so the two
+benchmarks below run the *same* 100 trials — bit-identical
+:class:`RandomGraphCell` results — and differ only in scheduling.  On a
+machine with >= 4 cores the ``jobs=4`` run is expected to finish at least
+2x faster than the serial one (trials dominate; pool startup and IPC are
+amortised over the batch); the explicit speedup assertion is skipped on
+smaller machines where the hardware cannot show it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from conftest import run_once
+
+from repro.experiments.random_graphs import run_random_graph_cell
+
+N_NODES = 8
+N_TRIALS = 100
+JOBS = 4
+
+#: Serial result shared across the module so the parallel benchmark can
+#: assert bit-identity without re-timing the serial path.
+_RESULTS: dict = {}
+
+
+def test_table6_cell_100_trials_serial(benchmark, bench_seed):
+    cell = run_once(
+        benchmark,
+        run_random_graph_cell,
+        N_NODES,
+        N_TRIALS,
+        "sqrt_log",
+        rng=bench_seed,
+        jobs=1,
+    )
+    _RESULTS["serial"] = cell
+    assert cell.n_trials == N_TRIALS
+    assert cell.never_decreased
+    benchmark.extra_info["cell"] = cell.render_cell()
+    benchmark.extra_info["jobs"] = 1
+
+
+def test_table6_cell_100_trials_parallel(benchmark, bench_seed):
+    cell = run_once(
+        benchmark,
+        run_random_graph_cell,
+        N_NODES,
+        N_TRIALS,
+        "sqrt_log",
+        rng=bench_seed,
+        jobs=JOBS,
+    )
+    if "serial" in _RESULTS:
+        assert cell == _RESULTS["serial"], "parallel must be bit-identical"
+    assert cell.n_trials == N_TRIALS
+    benchmark.extra_info["cell"] = cell.render_cell()
+    benchmark.extra_info["jobs"] = JOBS
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < JOBS,
+    reason=f"speedup measurement needs >= {JOBS} cores",
+)
+def test_parallel_speedup_at_jobs4(bench_seed):
+    """The acceptance bar: >= 2x wall-clock on a 100-trial cell at jobs=4."""
+    start = time.perf_counter()
+    serial = run_random_graph_cell(
+        N_NODES, N_TRIALS, "sqrt_log", rng=bench_seed, jobs=1
+    )
+    serial_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_random_graph_cell(
+        N_NODES, N_TRIALS, "sqrt_log", rng=bench_seed, jobs=JOBS
+    )
+    parallel_elapsed = time.perf_counter() - start
+
+    assert parallel == serial
+    assert serial_elapsed / parallel_elapsed >= 2.0, (
+        f"expected >= 2x speedup at jobs={JOBS}: "
+        f"serial {serial_elapsed:.2f}s vs parallel {parallel_elapsed:.2f}s"
+    )

@@ -45,6 +45,7 @@ from repro.engine.backends import (
     PythonBackend,
     SignatureBackend,
     available_backends,
+    backend_policy,
     numpy_available,
     resolve_backend,
     resolve_backend_name,
@@ -57,6 +58,7 @@ from repro.engine.cache import (
     cached_enumerate_paths,
     clear_pathset_cache,
     graph_fingerprint,
+    normalize_limits,
     pathset_cache,
 )
 from repro.engine.signatures import (
@@ -79,6 +81,7 @@ __all__ = [
     "resolve_backend",
     "resolve_backend_name",
     "select_backend",
+    "backend_policy",
     "NUMPY_MIN_PATHS",
     # cache
     "PathSetCache",
@@ -86,6 +89,7 @@ __all__ = [
     "cached_enumerate_paths",
     "cache_stats",
     "clear_pathset_cache",
+    "normalize_limits",
     "pathset_cache",
     "graph_fingerprint",
 ]

@@ -31,6 +31,7 @@ never hard-requires numpy.
 from __future__ import annotations
 
 import abc
+import contextlib
 from typing import Iterator, Optional, Tuple, Union
 
 from repro.exceptions import IdentifiabilityError
@@ -84,6 +85,29 @@ def select_backend(name: Optional[str] = None) -> str:
         )
     _policy = normalised
     return _policy
+
+
+@contextlib.contextmanager
+def backend_policy(name: Optional[str] = None) -> Iterator[str]:
+    """Scope a backend-policy change to a ``with`` block.
+
+    Installs ``name`` (when not ``None``) via :func:`select_backend` and
+    restores the previous policy on exit, so library callers — the CLI
+    runner's ``--backend`` flag in particular — never leak a policy change
+    into the host process::
+
+        with backend_policy("python") as policy:
+            ...  # every engine built here uses big-int masks
+
+    Yields the policy in effect inside the block.
+    """
+    previous = select_backend()
+    try:
+        if name is not None:
+            select_backend(name)
+        yield select_backend()
+    finally:
+        select_backend(previous)
 
 
 class SignatureBackend(abc.ABC):

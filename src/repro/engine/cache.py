@@ -70,6 +70,27 @@ def graph_fingerprint(graph: AnyGraph) -> Hashable:
     return (graph.is_directed(), frozenset(graph.nodes()), edges)
 
 
+def normalize_limits(
+    cutoff: Optional[int] = DEFAULT_CUTOFF,
+    max_paths: Optional[int] = DEFAULT_MAX_PATHS,
+) -> Tuple[Optional[int], int]:
+    """Canonicalise the enumeration limits of a request.
+
+    ``None`` for either limit means "the default" (no cutoff, the module's
+    path-explosion guard), so a caller that spells the defaults explicitly —
+    or passes ``max_paths=None`` where another passes nothing — always lands
+    on the same cache key.  A non-positive cutoff admits no path at all and
+    is rejected outright rather than silently cached.
+    """
+    if cutoff is None:
+        cutoff = DEFAULT_CUTOFF
+    elif cutoff < 1:
+        raise ValueError(f"cutoff must be >= 1 edge (or None), got {cutoff}")
+    if max_paths is None:
+        max_paths = DEFAULT_MAX_PATHS
+    return cutoff, max_paths
+
+
 class PathSetCache:
     """LRU cache of enumerated path sets keyed by enumeration inputs."""
 
@@ -82,15 +103,14 @@ class PathSetCache:
         self.misses = 0
 
     @staticmethod
-    def key_for(
+    def _key(
         graph: AnyGraph,
         placement: MonitorPlacement,
-        mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
-        cutoff: Optional[int] = DEFAULT_CUTOFF,
-        max_paths: int = DEFAULT_MAX_PATHS,
+        mechanism: RoutingMechanism,
+        cutoff: Optional[int],
+        max_paths: int,
     ) -> Hashable:
-        """The cache key of one enumeration request."""
-        mechanism = RoutingMechanism.parse(mechanism)
+        """Key construction over already-normalised inputs."""
         return (
             graph_fingerprint(graph),
             placement,
@@ -99,16 +119,32 @@ class PathSetCache:
             max_paths,
         )
 
+    @staticmethod
+    def key_for(
+        graph: AnyGraph,
+        placement: MonitorPlacement,
+        mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
+        cutoff: Optional[int] = DEFAULT_CUTOFF,
+        max_paths: Optional[int] = DEFAULT_MAX_PATHS,
+    ) -> Hashable:
+        """The cache key of one enumeration request (limits normalised, so
+        equal requests share an entry however the defaults are spelled)."""
+        mechanism = RoutingMechanism.parse(mechanism)
+        cutoff, max_paths = normalize_limits(cutoff, max_paths)
+        return PathSetCache._key(graph, placement, mechanism, cutoff, max_paths)
+
     def get_or_enumerate(
         self,
         graph: AnyGraph,
         placement: MonitorPlacement,
         mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
         cutoff: Optional[int] = DEFAULT_CUTOFF,
-        max_paths: int = DEFAULT_MAX_PATHS,
+        max_paths: Optional[int] = DEFAULT_MAX_PATHS,
     ) -> PathSet:
         """The cached :class:`PathSet`, enumerating on first sight of the key."""
-        key = self.key_for(graph, placement, mechanism, cutoff, max_paths)
+        mechanism = RoutingMechanism.parse(mechanism)
+        cutoff, max_paths = normalize_limits(cutoff, max_paths)
+        key = self._key(graph, placement, mechanism, cutoff, max_paths)
         cached = self._entries.get(key)
         if cached is not None:
             self._entries.move_to_end(key)
@@ -120,6 +156,21 @@ class PathSetCache:
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
         return pathset
+
+    def record_external(self, hits: int, misses: int) -> None:
+        """Fold hit/miss counters observed elsewhere into this cache's stats.
+
+        The parallel experiment runner gives every pool worker its own
+        process-local cache; after the fan-out, each worker's deltas are
+        merged back here so ``--cache-stats`` describes the whole run.  The
+        entries themselves stay in the workers (shipping path sets back would
+        cost more than re-enumerating), so ``size`` keeps counting only this
+        process's entries.
+        """
+        if hits < 0 or misses < 0:
+            raise ValueError(f"counters must be >= 0, got {hits=} {misses=}")
+        self.hits += hits
+        self.misses += misses
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
@@ -148,9 +199,14 @@ def cached_enumerate_paths(
     placement: MonitorPlacement,
     mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
     cutoff: Optional[int] = DEFAULT_CUTOFF,
-    max_paths: int = DEFAULT_MAX_PATHS,
+    max_paths: Optional[int] = DEFAULT_MAX_PATHS,
 ) -> PathSet:
-    """Drop-in cached variant of :func:`repro.routing.paths.enumerate_paths`."""
+    """Drop-in cached variant of :func:`repro.routing.paths.enumerate_paths`.
+
+    Both limits accept ``None`` for "the default"; they are normalised by
+    :func:`normalize_limits` before keying, so explicit-default and
+    omitted-default requests share one cache entry.
+    """
     return _GLOBAL_CACHE.get_or_enumerate(graph, placement, mechanism, cutoff, max_paths)
 
 
@@ -160,5 +216,10 @@ def cache_stats() -> CacheStats:
 
 
 def clear_pathset_cache() -> None:
-    """Reset the global cache (used between experiment groups and by tests)."""
+    """Reset the global cache.
+
+    Called once per :func:`repro.experiments.runner.run` invocation — not
+    between the groups inside an ``--tables all`` run, which deliberately
+    share entries — and by tests that need pristine counters.
+    """
     _GLOBAL_CACHE.clear()

@@ -4,6 +4,7 @@ ablations; see DESIGN.md for the experiment index."""
 from repro.experiments import (  # noqa: F401  (re-exported submodules)
     ablation,
     common,
+    parallel,
     random_graphs,
     random_monitors,
     real_networks,
@@ -14,6 +15,7 @@ from repro.experiments import (  # noqa: F401  (re-exported submodules)
 __all__ = [
     "ablation",
     "common",
+    "parallel",
     "random_graphs",
     "random_monitors",
     "real_networks",

@@ -16,8 +16,9 @@ benchmark harness can print a compact comparison table.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
 import networkx as nx
 
@@ -28,6 +29,7 @@ from repro.agrid.algorithm import (
 )
 from repro.exceptions import ExperimentError
 from repro.experiments.common import measure_network, resolve_dimension
+from repro.experiments.parallel import TrialSpec, run_trials
 from repro.monitors.heuristics import (
     degree_extremes_placement,
     mdmp_placement,
@@ -35,7 +37,7 @@ from repro.monitors.heuristics import (
 )
 from repro.monitors.placement import MonitorPlacement
 from repro.routing.mechanisms import RoutingMechanism
-from repro.utils.seeds import RngLike, spawn_rng
+from repro.utils.seeds import RngLike, spawn_rng, spawn_seed
 from repro.utils.tables import format_table
 
 
@@ -70,22 +72,79 @@ class AblationResult:
         return max(self.cells.values(), key=lambda cell: cell.mean_mu).variant
 
 
+def _place_mdmp(graph: nx.Graph, dimension: int, rng: random.Random) -> MonitorPlacement:
+    return mdmp_placement(graph, dimension)
+
+
+def _place_random(
+    graph: nx.Graph, dimension: int, rng: random.Random
+) -> MonitorPlacement:
+    return random_placement(graph, dimension, dimension, rng=rng)
+
+
+def _place_degree_extremes(
+    graph: nx.Graph, dimension: int, rng: random.Random
+) -> MonitorPlacement:
+    return degree_extremes_placement(graph, dimension)
+
+
+#: Named, module-level variant registries: picklable by qualified name, so an
+#: ablation trial can be shipped to a pool worker as (variant-name, seed).
+PLACEMENT_VARIANTS = {
+    "mdmp": _place_mdmp,
+    "random": _place_random,
+    "degree_extremes": _place_degree_extremes,
+}
+
+SELECTOR_VARIANTS = {
+    "uniform": None,
+    "low_degree": low_degree_selector,
+    "far_away": far_away_selector,
+}
+
+
+def ablation_trial(
+    graph: nx.Graph,
+    dimension: int,
+    selector_name: str,
+    placement_name: str,
+    mechanism: RoutingMechanism,
+    seed: str,
+) -> int:
+    """One ablation run: boost with the named selector, place with the named
+    heuristic, return µ(G^A).  Pure given its picklable arguments."""
+    run_rng = random.Random(seed)
+    selector = SELECTOR_VARIANTS[selector_name]
+    if selector is None:
+        boost = agrid(graph, dimension, rng=run_rng)
+    else:
+        boost = agrid(graph, dimension, rng=run_rng, selector=selector)
+    placement = PLACEMENT_VARIANTS[placement_name](boost.boosted, dimension, run_rng)
+    return measure_network(boost.boosted, placement, mechanism).mu
+
+
 def _run_variant(
     graph: nx.Graph,
     dimension: int,
     n_runs: int,
     rng: RngLike,
     variant: str,
-    boosted_builder: Callable[[nx.Graph, int, object], object],
-    placement_builder: Callable[[nx.Graph, int, object], MonitorPlacement],
+    selector_name: str,
+    placement_name: str,
     mechanism: RoutingMechanism | str,
+    jobs: int = 1,
 ) -> AblationCell:
-    values = []
-    for run in range(n_runs):
-        run_rng = spawn_rng(rng, run)
-        boost = boosted_builder(graph, dimension, run_rng)
-        placement = placement_builder(boost.boosted, dimension, run_rng)
-        values.append(measure_network(boost.boosted, placement, mechanism).mu)
+    mechanism = RoutingMechanism.parse(mechanism)
+    specs = [
+        TrialSpec(
+            ablation_trial,
+            (graph, dimension, selector_name, placement_name, mechanism,
+             spawn_seed(rng, run)),
+            label=f"ablation {variant} run={run}",
+        )
+        for run in range(n_runs)
+    ]
+    values = run_trials(specs, jobs=jobs)
     return AblationCell(
         variant=variant,
         n_runs=n_runs,
@@ -101,24 +160,24 @@ def placement_ablation(
     rng: RngLike = 2018,
     mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
     dimension: Optional[int] = None,
+    jobs: int = 1,
 ) -> AblationResult:
-    """Ablation 1: how the monitor-placement heuristic affects µ(G^A)."""
+    """Ablation 1: how the monitor-placement heuristic affects µ(G^A).
+
+    Each variant's runs are seeded by the variant's *position* in the
+    registry (an earlier version salted with ``hash(name)``, which Python
+    randomises per process, making results irreproducible across runs).
+    """
     if n_runs < 1:
         raise ExperimentError(f"n_runs must be >= 1, got {n_runs}")
     d = dimension if dimension is not None else resolve_dimension("log", graph)
 
-    def build(g: nx.Graph, dim: int, run_rng) -> object:
-        return agrid(g, dim, rng=run_rng)
-
-    variants: Dict[str, Callable[[nx.Graph, int, object], MonitorPlacement]] = {
-        "mdmp": lambda g, dim, run_rng: mdmp_placement(g, dim),
-        "random": lambda g, dim, run_rng: random_placement(g, dim, dim, rng=run_rng),
-        "degree_extremes": lambda g, dim, run_rng: degree_extremes_placement(g, dim),
-    }
     cells = {
-        name: _run_variant(graph, d, n_runs, spawn_rng(rng, hash(name) % 1000),
-                           name, build, builder, mechanism)
-        for name, builder in variants.items()
+        name: _run_variant(
+            graph, d, n_runs, spawn_rng(rng, index), name,
+            "uniform", name, mechanism, jobs=jobs,
+        )
+        for index, name in enumerate(PLACEMENT_VARIANTS)
     }
     return AblationResult(network=graph.name or "G", dimension=d, cells=cells)
 
@@ -129,32 +188,18 @@ def selector_ablation(
     rng: RngLike = 2018,
     mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
     dimension: Optional[int] = None,
+    jobs: int = 1,
 ) -> AblationResult:
     """Ablation 2: how Agrid's edge-selection rule affects µ(G^A)."""
     if n_runs < 1:
         raise ExperimentError(f"n_runs must be >= 1, got {n_runs}")
     d = dimension if dimension is not None else resolve_dimension("log", graph)
 
-    selectors = {
-        "uniform": None,
-        "low_degree": low_degree_selector,
-        "far_away": far_away_selector,
-    }
-
-    def make_builder(selector):
-        def build(g: nx.Graph, dim: int, run_rng) -> object:
-            if selector is None:
-                return agrid(g, dim, rng=run_rng)
-            return agrid(g, dim, rng=run_rng, selector=selector)
-
-        return build
-
-    placement_builder = lambda g, dim, run_rng: mdmp_placement(g, dim)
     cells = {
         name: _run_variant(
             graph, d, n_runs, spawn_rng(rng, index), name,
-            make_builder(selector), placement_builder, mechanism,
+            name, "mdmp", mechanism, jobs=jobs,
         )
-        for index, (name, selector) in enumerate(selectors.items())
+        for index, name in enumerate(SELECTOR_VARIANTS)
     }
     return AblationResult(network=graph.name or "G", dimension=d, cells=cells)

@@ -94,19 +94,22 @@ def measure_network(
     mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
     truncation: Optional[int] = None,
     max_paths: Optional[int] = None,
+    cutoff: Optional[int] = None,
 ) -> NetworkMeasurement:
     """Enumerate paths and compute (possibly truncated) µ for one network.
 
     Path sets are obtained through the keyed cache of
     :mod:`repro.engine.cache`, so repeated table rows over the same
     ``(graph, placement, mechanism)`` triple enumerate (and intern
-    signatures) only once per process.
+    signatures) only once per process.  The enumeration limits are forwarded
+    explicitly — ``None`` means "the enumeration default" for both — and the
+    cache normalises them, so equal requests always share one entry however
+    the defaults are spelled.
     """
     mechanism = RoutingMechanism.parse(mechanism)
-    kwargs = {}
-    if max_paths is not None:
-        kwargs["max_paths"] = max_paths
-    pathset: PathSet = cached_enumerate_paths(graph, placement, mechanism, **kwargs)
+    pathset: PathSet = cached_enumerate_paths(
+        graph, placement, mechanism, cutoff=cutoff, max_paths=max_paths
+    )
     if truncation is not None:
         mu_value = truncated_identifiability(pathset, truncation)
     else:

@@ -1,0 +1,148 @@
+"""Parallel trial execution for the Monte-Carlo experiment drivers.
+
+The paper's Tables 6-13 are batches of independent trials — sample a graph,
+run Agrid, place monitors, compute µ — so each batch driver decomposes its
+cell into a list of :class:`TrialSpec` (a pure, picklable function plus
+picklable arguments, including a precomputed seed string from
+:func:`repro.utils.seeds.spawn_seed`) and hands it to :func:`run_trials`:
+
+* ``jobs=1`` (the default) runs the specs in-process, one after the other —
+  exactly the pre-parallel serial path, sharing the process-global
+  :class:`~repro.engine.cache.PathSetCache`.
+* ``jobs>1`` fans the specs out over a ``ProcessPoolExecutor``.  Every worker
+  is a fresh process with its own process-global cache; an initializer
+  installs the parent's signature-backend policy so ``--backend`` reaches the
+  workers, and each trial reports its worker-cache hit/miss deltas back so
+  the parent can fold them into its own cache counters
+  (:meth:`PathSetCache.record_external`) for ``--cache-stats``.
+
+Because every trial's randomness is fully determined by its seed string and
+results are returned in spec order, a parallel run is **bit-identical** to a
+serial run of the same specs — the scheduling only changes wall-clock time.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.engine.backends import backend_policy, select_backend
+from repro.engine.cache import pathset_cache
+from repro.exceptions import ExperimentError
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One independent unit of work of a Monte-Carlo batch.
+
+    ``func`` must be a module-level function (so it pickles by qualified
+    name) and must be *pure given its arguments*: all randomness comes from
+    an explicit seed argument, never from process-global state.  ``args`` and
+    ``kwargs`` must themselves be picklable.
+    """
+
+    func: Callable[..., Any]
+    args: Tuple = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    def run(self) -> Any:
+        return self.func(*self.args, **self.kwargs)
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """The outcome of one executed :class:`TrialSpec`.
+
+    ``cache_hits``/``cache_misses`` are the deltas the trial produced on its
+    executing process's global :class:`PathSetCache` — the currency the
+    parent uses to merge worker statistics after a fan-out.
+    """
+
+    index: int
+    value: Any
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: ``None``/1 = serial, 0 = all cores."""
+    if jobs is None:
+        return 1
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ExperimentError(f"jobs must be >= 0 (0 = all cores), got {jobs}")
+    return jobs
+
+
+def _init_worker(backend: str) -> None:
+    """Pool initializer: propagate the backend policy, start a clean cache.
+
+    Clearing makes worker caches behave identically under ``fork`` (which
+    inherits a copy of the parent's entries) and ``spawn`` (which starts
+    empty), and makes the reported deltas describe this run only.
+    """
+    select_backend(backend)
+    pathset_cache().clear()
+
+
+def _run_spec(indexed_spec: Tuple[int, TrialSpec]) -> TrialResult:
+    """Worker-side execution of one spec, with cache-delta bookkeeping."""
+    index, spec = indexed_spec
+    cache = pathset_cache()
+    hits_before, misses_before = cache.hits, cache.misses
+    value = spec.run()
+    return TrialResult(
+        index=index,
+        value=value,
+        cache_hits=cache.hits - hits_before,
+        cache_misses=cache.misses - misses_before,
+    )
+
+
+def run_trials(
+    specs: Iterable[TrialSpec],
+    jobs: Optional[int] = 1,
+    backend: Optional[str] = None,
+) -> List[Any]:
+    """Execute the specs and return their values **in spec order**.
+
+    ``jobs`` follows :func:`resolve_jobs` (1 = serial in-process, 0 = all
+    cores, N = a pool of N workers).  ``backend`` overrides the signature
+    backend policy for the trials — installed in the workers, or scoped
+    around the serial loop; by default the parent's current policy
+    (:func:`select_backend`) applies, so a scoped ``backend_policy(...)``
+    block in the parent covers the whole fan-out.
+
+    Serial and parallel execution of the same specs produce identical values;
+    only wall-clock time and cache-statistics attribution differ (a path set
+    enumerated once by a shared serial cache may be enumerated independently
+    by several workers).
+    """
+    spec_list = list(specs)
+    n_jobs = resolve_jobs(jobs)
+    if not spec_list:
+        return []
+    if n_jobs == 1 or len(spec_list) == 1:
+        with backend_policy(backend):  # honor the override on the serial path too
+            return [spec.run() for spec in spec_list]
+
+    policy = backend if backend is not None else select_backend()
+    n_workers = min(n_jobs, len(spec_list))
+    # Chunking amortises IPC for large batches of cheap trials while still
+    # keeping every worker busy until the tail of the batch.
+    chunksize = max(1, len(spec_list) // (n_workers * 4))
+    with ProcessPoolExecutor(
+        max_workers=n_workers, initializer=_init_worker, initargs=(policy,)
+    ) as pool:
+        results = list(
+            pool.map(_run_spec, enumerate(spec_list), chunksize=chunksize)
+        )
+    pathset_cache().record_external(
+        hits=sum(result.cache_hits for result in results),
+        misses=sum(result.cache_misses for result in results),
+    )
+    return [result.value for result in results]

@@ -11,14 +11,16 @@ paper's cells).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.exceptions import ExperimentError
 from repro.experiments.common import DIMENSION_RULES, compare_with_agrid
+from repro.experiments.parallel import TrialSpec, run_trials
 from repro.routing.mechanisms import RoutingMechanism
 from repro.topology.random_graphs import DEFAULT_EDGE_PROBABILITY, erdos_renyi_connected
-from repro.utils.seeds import RngLike, spawn_rng
+from repro.utils.seeds import RngLike, spawn_rng, spawn_seed
 from repro.utils.tables import format_percentage, format_table
 
 #: Node counts used by the paper.
@@ -61,6 +63,31 @@ class RandomGraphCell:
         )
 
 
+def random_graph_trial(
+    n_nodes: int,
+    probability: float,
+    dimension_rule: str,
+    mechanism: RoutingMechanism,
+    seed: str,
+) -> int:
+    """One Table-6/7 trial: sample G, boost it, return µ(G^A) − µ(G).
+
+    Pure given its (picklable) arguments — the seed string fully determines
+    both the sampled graph and Agrid's randomness — so one cell's trials can
+    be fanned out over a process pool by :mod:`repro.experiments.parallel`.
+    """
+    trial_rng = random.Random(seed)
+    graph = erdos_renyi_connected(n_nodes, probability, trial_rng)
+    dimension = DIMENSION_RULES[dimension_rule](n_nodes, graph)
+    # Agrid needs d <= n - 1 new-neighbour candidates and MDMP needs 2d
+    # distinct monitor nodes, so cap the dimension accordingly.
+    dimension = min(dimension, n_nodes - 1, n_nodes // 2)
+    comparison = compare_with_agrid(
+        graph, dimension, rng=trial_rng, mechanism=mechanism
+    )
+    return comparison.improvement
+
+
 def run_random_graph_cell(
     n_nodes: int,
     n_trials: int,
@@ -68,8 +95,9 @@ def run_random_graph_cell(
     probability: float = DEFAULT_EDGE_PROBABILITY,
     rng: RngLike = 2018,
     mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
+    jobs: int = 1,
 ) -> RandomGraphCell:
-    """Run one batch of Agrid-on-random-graph trials."""
+    """Run one batch of Agrid-on-random-graph trials (``jobs`` workers)."""
     if n_trials < 1:
         raise ExperimentError(f"n_trials must be >= 1, got {n_trials}")
     if dimension_rule not in DIMENSION_RULES:
@@ -77,25 +105,20 @@ def run_random_graph_cell(
             f"unknown dimension rule {dimension_rule!r}; "
             f"expected one of {sorted(DIMENSION_RULES)}"
         )
-    improved = equal = decreased = 0
-    max_increment = 0
-    for trial in range(n_trials):
-        trial_rng = spawn_rng(rng, trial)
-        graph = erdos_renyi_connected(n_nodes, probability, trial_rng)
-        dimension = DIMENSION_RULES[dimension_rule](n_nodes, graph)
-        # Agrid needs d <= n - 1 new-neighbour candidates and MDMP needs 2d
-        # distinct monitor nodes, so cap the dimension accordingly.
-        dimension = min(dimension, n_nodes - 1, n_nodes // 2)
-        comparison = compare_with_agrid(
-            graph, dimension, rng=trial_rng, mechanism=mechanism
+    mechanism = RoutingMechanism.parse(mechanism)
+    specs = [
+        TrialSpec(
+            random_graph_trial,
+            (n_nodes, probability, dimension_rule, mechanism, spawn_seed(rng, trial)),
+            label=f"random-graph n={n_nodes} trial={trial}",
         )
-        if comparison.improvement > 0:
-            improved += 1
-        elif comparison.improvement == 0:
-            equal += 1
-        else:
-            decreased += 1
-        max_increment = max(max_increment, comparison.improvement)
+        for trial in range(n_trials)
+    ]
+    improvements = run_trials(specs, jobs=jobs)
+    improved = sum(1 for delta in improvements if delta > 0)
+    equal = sum(1 for delta in improvements if delta == 0)
+    decreased = sum(1 for delta in improvements if delta < 0)
+    max_increment = max(max(improvements), 0)
     return RandomGraphCell(
         n_nodes=n_nodes,
         n_trials=n_trials,
@@ -139,11 +162,13 @@ def run_random_graph_table(
     batch_sizes: Sequence[int] = (50, 100),
     probability: float = DEFAULT_EDGE_PROBABILITY,
     rng: RngLike = 2018,
+    jobs: int = 1,
 ) -> RandomGraphTable:
     """Run a full random-graph table.
 
     ``batch_sizes`` defaults to (50, 100); pass ``PAPER_BATCH_SIZES`` to add
     the 500-trial row of the paper (slower, same qualitative picture).
+    ``jobs`` fans each cell's trials out over that many worker processes.
     """
     cells: Dict[Tuple[int, int], RandomGraphCell] = {}
     for batch_index, batch in enumerate(batch_sizes):
@@ -155,6 +180,7 @@ def run_random_graph_table(
                 dimension_rule=dimension_rule,
                 probability=probability,
                 rng=cell_rng,
+                jobs=jobs,
             )
     return RandomGraphTable(dimension_rule=dimension_rule, cells=cells)
 
@@ -163,15 +189,19 @@ def run_table6(
     node_counts: Sequence[int] = PAPER_NODE_COUNTS,
     batch_sizes: Sequence[int] = (50, 100),
     rng: RngLike = 2018,
+    jobs: int = 1,
 ) -> RandomGraphTable:
     """Table 6: the d = sqrt(log n) case."""
-    return run_random_graph_table("sqrt_log", node_counts, batch_sizes, rng=rng)
+    return run_random_graph_table(
+        "sqrt_log", node_counts, batch_sizes, rng=rng, jobs=jobs
+    )
 
 
 def run_table7(
     node_counts: Sequence[int] = PAPER_NODE_COUNTS,
     batch_sizes: Sequence[int] = (50, 100),
     rng: RngLike = 2018,
+    jobs: int = 1,
 ) -> RandomGraphTable:
     """Table 7: the d = log n case."""
-    return run_random_graph_table("log", node_counts, batch_sizes, rng=rng)
+    return run_random_graph_table("log", node_counts, batch_sizes, rng=rng, jobs=jobs)

@@ -10,6 +10,7 @@ of µ values for G and for G^A — the layout of Tables 11, 12 and 13.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -18,10 +19,11 @@ import networkx as nx
 from repro.agrid.algorithm import agrid
 from repro.exceptions import ExperimentError
 from repro.experiments.common import measure_network, resolve_dimension
+from repro.experiments.parallel import TrialSpec, run_trials
 from repro.monitors.heuristics import random_placement
 from repro.routing.mechanisms import RoutingMechanism
 from repro.topology import zoo
-from repro.utils.seeds import RngLike, spawn_rng
+from repro.utils.seeds import RngLike, spawn_rng, spawn_seed
 from repro.utils.tables import format_percentage, format_table
 
 #: The networks of Tables 11, 12 and 13 in paper order.
@@ -90,28 +92,65 @@ class RandomMonitorResult:
         return self.boosted.mean >= self.original.mean
 
 
+def random_monitor_trial(
+    graph: nx.Graph,
+    boosted: nx.Graph,
+    dimension: int,
+    mechanism: RoutingMechanism,
+    seed_original: str,
+    seed_boosted: str,
+) -> Tuple[int, int]:
+    """One Table-11/12/13 trial: draw a random placement pair, measure both µ.
+
+    Pure given its picklable arguments, so a batch of placements can be
+    fanned out over a process pool by :mod:`repro.experiments.parallel`.
+    """
+    placement_original = random_placement(
+        graph, dimension, dimension, rng=random.Random(seed_original)
+    )
+    placement_boosted = random_placement(
+        boosted, dimension, dimension, rng=random.Random(seed_boosted)
+    )
+    mu_original = measure_network(graph, placement_original, mechanism).mu
+    mu_boosted = measure_network(boosted, placement_boosted, mechanism).mu
+    return mu_original, mu_boosted
+
+
 def run_random_monitor_experiment(
     graph: nx.Graph,
     n_placements: int = PAPER_N_PLACEMENTS,
     rng: RngLike = 2018,
     mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
     dimension: Optional[int] = None,
+    jobs: int = 1,
 ) -> RandomMonitorResult:
-    """Run the random-monitor comparison on one network."""
+    """Run the random-monitor comparison on one network (``jobs`` workers)."""
     if n_placements < 1:
         raise ExperimentError(f"n_placements must be >= 1, got {n_placements}")
+    mechanism = RoutingMechanism.parse(mechanism)
     d = dimension if dimension is not None else resolve_dimension("log", graph)
     boost = agrid(graph, d, rng=spawn_rng(rng, 0))
 
+    # Seeds are derived in the exact order the serial loop would have used
+    # them, so serial and parallel runs see identical placements.
+    specs = [
+        TrialSpec(
+            random_monitor_trial,
+            (
+                graph,
+                boost.boosted,
+                d,
+                mechanism,
+                spawn_seed(rng, 2 * trial + 1),
+                spawn_seed(rng, 2 * trial + 2),
+            ),
+            label=f"random-monitor {graph.name or 'G'} trial={trial}",
+        )
+        for trial in range(n_placements)
+    ]
     original_counts: Dict[int, int] = {}
     boosted_counts: Dict[int, int] = {}
-    for trial in range(n_placements):
-        placement_original = random_placement(graph, d, d, rng=spawn_rng(rng, 2 * trial + 1))
-        placement_boosted = random_placement(
-            boost.boosted, d, d, rng=spawn_rng(rng, 2 * trial + 2)
-        )
-        mu_original = measure_network(graph, placement_original, mechanism).mu
-        mu_boosted = measure_network(boost.boosted, placement_boosted, mechanism).mu
+    for mu_original, mu_boosted in run_trials(specs, jobs=jobs):
         original_counts[mu_original] = original_counts.get(mu_original, 0) + 1
         boosted_counts[mu_boosted] = boosted_counts.get(mu_boosted, 0) + 1
     return RandomMonitorResult(
@@ -124,33 +163,33 @@ def run_random_monitor_experiment(
 
 
 def run_table11(
-    n_placements: int = PAPER_N_PLACEMENTS, rng: RngLike = 2018
+    n_placements: int = PAPER_N_PLACEMENTS, rng: RngLike = 2018, jobs: int = 1
 ) -> RandomMonitorResult:
     """Table 11: Claranet with random monitors."""
-    return run_random_monitor_experiment(zoo.claranet(), n_placements, rng)
+    return run_random_monitor_experiment(zoo.claranet(), n_placements, rng, jobs=jobs)
 
 
 def run_table12(
-    n_placements: int = PAPER_N_PLACEMENTS, rng: RngLike = 2018
+    n_placements: int = PAPER_N_PLACEMENTS, rng: RngLike = 2018, jobs: int = 1
 ) -> RandomMonitorResult:
     """Table 12: EuNetworks with random monitors."""
-    return run_random_monitor_experiment(zoo.eunetworks(), n_placements, rng)
+    return run_random_monitor_experiment(zoo.eunetworks(), n_placements, rng, jobs=jobs)
 
 
 def run_table13(
-    n_placements: int = PAPER_N_PLACEMENTS, rng: RngLike = 2018
+    n_placements: int = PAPER_N_PLACEMENTS, rng: RngLike = 2018, jobs: int = 1
 ) -> RandomMonitorResult:
     """Table 13: GetNet with random monitors."""
-    return run_random_monitor_experiment(zoo.getnet(), n_placements, rng)
+    return run_random_monitor_experiment(zoo.getnet(), n_placements, rng, jobs=jobs)
 
 
 def run_all_random_monitors(
-    n_placements: int = PAPER_N_PLACEMENTS, rng: RngLike = 2018
+    n_placements: int = PAPER_N_PLACEMENTS, rng: RngLike = 2018, jobs: int = 1
 ) -> Dict[str, RandomMonitorResult]:
     """Run Tables 11-13 and return results keyed by network name."""
     return {
         name: run_random_monitor_experiment(
-            zoo.load(name), n_placements, spawn_rng(rng, index)
+            zoo.load(name), n_placements, spawn_rng(rng, index), jobs=jobs
         )
         for index, name in enumerate(RANDOM_MONITOR_TABLES)
     }

@@ -2,23 +2,33 @@
 
 Installed as the ``repro-experiments`` console script.  Examples::
 
-    repro-experiments --tables real            # Tables 3-5
-    repro-experiments --tables random          # Tables 6-7 (reduced batches)
-    repro-experiments --tables truncated       # Tables 8-10
-    repro-experiments --tables monitors        # Tables 11-13
-    repro-experiments --tables all --seed 7    # everything, custom seed
+    repro-experiments --tables real               # Tables 3-5
+    repro-experiments --tables random             # Tables 6-7 (reduced batches)
+    repro-experiments --tables truncated          # Tables 8-10
+    repro-experiments --tables monitors           # Tables 11-13
+    repro-experiments --tables all --seed 7       # everything, custom seed
+    repro-experiments --tables random --jobs 4    # fan trials out over 4 workers
+    repro-experiments --tables random --trials 10 --format json --output out.json
 
-Output is plain text, one paper-style table per experiment, suitable for
-pasting into EXPERIMENTS.md.
+The default ``--format text`` prints one paper-style table per experiment,
+suitable for pasting into EXPERIMENTS.md; ``--format json`` emits one
+machine-readable document carrying both the rendered text and the structured
+result data of every section.  ``--jobs N`` parallelises the Monte-Carlo
+batches over N worker processes (0 = all cores) with bit-identical output to
+a serial run of the same seed.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import enum
+import json
 import sys
-from typing import Callable, Dict, Iterable, List
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
-from repro.engine import cache_stats, clear_pathset_cache, select_backend
+from repro.engine import backend_policy, cache_stats, clear_pathset_cache
 from repro.experiments import (
     ablation,
     random_graphs,
@@ -28,12 +38,58 @@ from repro.experiments import (
 )
 from repro.topology import zoo
 
-#: Mapping of CLI group name -> callable(seed) -> list of printable sections.
-_GROUPS: Dict[str, Callable[[int], List[str]]] = {}
+
+@dataclass(frozen=True)
+class Section:
+    """One printable/serialisable experiment artifact (one table)."""
+
+    group: str
+    title: str
+    body: str
+    data: Any
+
+    def render(self) -> str:
+        return f"== {self.title} ==\n{self.body}"
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert a result object into JSON-serialisable data.
+
+    Dataclasses become dicts of their public fields, enums their values,
+    non-string dict keys are joined/stringified (``(50, 5)`` -> ``"50,5"``),
+    and anything else unrecognised falls back to ``str``.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: to_jsonable(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+            if not field.name.startswith("_")
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, dict):
+        return {_json_key(key): to_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(value) for value in obj]
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    return str(obj)
+
+
+def _json_key(key: Any) -> str:
+    if isinstance(key, str):
+        return key
+    if isinstance(key, tuple):
+        return ",".join(str(part) for part in key)
+    return str(key)
+
+
+#: Mapping of CLI group name -> callable(seed, jobs, trials) -> sections.
+_GROUPS: Dict[str, Callable[[int, int, Optional[int]], List[Section]]] = {}
 
 
 def _register(name: str):
-    def decorator(func: Callable[[int], List[str]]):
+    def decorator(func: Callable[[int, int, Optional[int]], List[Section]]):
         _GROUPS[name] = func
         return func
 
@@ -41,50 +97,82 @@ def _register(name: str):
 
 
 @_register("real")
-def _run_real(seed: int) -> List[str]:
+def _run_real(seed: int, jobs: int, trials: Optional[int]) -> List[Section]:
+    # Tables 3-5 are single deterministic measurements per network — there is
+    # no trial batch to fan out, so ``jobs``/``trials`` are ignored here.
     sections = []
     for table_name, result in real_networks.run_all_real_networks(rng=seed).items():
         label = real_networks.REAL_NETWORK_TABLES[table_name]
-        sections.append(f"== {label} ==\n{result.render()}")
+        sections.append(
+            Section(group="real", title=label, body=result.render(),
+                    data=to_jsonable(result))
+        )
     return sections
 
 
 @_register("random")
-def _run_random(seed: int) -> List[str]:
-    table6 = random_graphs.run_table6(rng=seed)
-    table7 = random_graphs.run_table7(rng=seed)
-    return [
-        f"== Table 6 ==\n{table6.render()}",
-        f"== Table 7 ==\n{table7.render()}",
-    ]
+def _run_random(seed: int, jobs: int, trials: Optional[int]) -> List[Section]:
+    batch_sizes = (trials,) if trials else (50, 100)
+    sections = []
+    for title, run_table in (("Table 6", random_graphs.run_table6),
+                             ("Table 7", random_graphs.run_table7)):
+        table = run_table(batch_sizes=batch_sizes, rng=seed, jobs=jobs)
+        sections.append(
+            Section(group="random", title=title, body=table.render(),
+                    data=to_jsonable(table))
+        )
+    return sections
 
 
 @_register("truncated")
-def _run_truncated(seed: int) -> List[str]:
+def _run_truncated(seed: int, jobs: int, trials: Optional[int]) -> List[Section]:
+    n_samples = trials if trials else truncated.PAPER_N_SAMPLES
     sections = []
-    for name, result in truncated.run_all_truncated(rng=seed).items():
+    results = truncated.run_all_truncated(n_samples=n_samples, rng=seed, jobs=jobs)
+    for name, result in results.items():
         label = truncated.TRUNCATED_TABLES[name]
-        sections.append(f"== {label} ==\n{result.render()}")
+        sections.append(
+            Section(group="truncated", title=label, body=result.render(),
+                    data=to_jsonable(result))
+        )
     return sections
 
 
 @_register("monitors")
-def _run_monitors(seed: int) -> List[str]:
+def _run_monitors(seed: int, jobs: int, trials: Optional[int]) -> List[Section]:
+    n_placements = trials if trials else random_monitors.PAPER_N_PLACEMENTS
     sections = []
-    for name, result in random_monitors.run_all_random_monitors(rng=seed).items():
+    results = random_monitors.run_all_random_monitors(
+        n_placements=n_placements, rng=seed, jobs=jobs
+    )
+    for name, result in results.items():
         label = random_monitors.RANDOM_MONITOR_TABLES[name]
-        sections.append(f"== {label} ==\n{result.render()}")
+        sections.append(
+            Section(group="monitors", title=label, body=result.render(),
+                    data=to_jsonable(result))
+        )
     return sections
 
 
 @_register("ablation")
-def _run_ablation(seed: int) -> List[str]:
+def _run_ablation(seed: int, jobs: int, trials: Optional[int]) -> List[Section]:
     graph = zoo.eunetworks()
-    placement = ablation.placement_ablation(graph, rng=seed)
-    selector = ablation.selector_ablation(graph, rng=seed)
+    n_runs = trials if trials else 5
+    placement = ablation.placement_ablation(graph, n_runs=n_runs, rng=seed, jobs=jobs)
+    selector = ablation.selector_ablation(graph, n_runs=n_runs, rng=seed, jobs=jobs)
     return [
-        placement.render("Ablation: monitor placement heuristic"),
-        selector.render("Ablation: Agrid edge-selection rule"),
+        Section(
+            group="ablation",
+            title="Ablation: monitor placement heuristic",
+            body=placement.render("Ablation: monitor placement heuristic"),
+            data=to_jsonable(placement),
+        ),
+        Section(
+            group="ablation",
+            title="Ablation: Agrid edge-selection rule",
+            body=selector.render("Ablation: Agrid edge-selection rule"),
+            data=to_jsonable(selector),
+        ),
     ]
 
 
@@ -109,46 +197,121 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=2018, help="master random seed (default: 2018)"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the Monte-Carlo batches "
+        "(default: 1 = serial; 0 = all cores); output is bit-identical "
+        "to a serial run of the same seed",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the per-cell trial/sample/placement/run count with a "
+        "reduced batch (smoke tests, CI); default: the paper-scaled counts",
+    )
+    parser.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="output format: paper-style text tables or one JSON document "
+        "(default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the rendered output to FILE instead of stdout",
+    )
+    parser.add_argument(
         "--backend",
         default=None,
         choices=["auto", "python", "numpy"],
-        help="signature-engine backend policy for every µ computation "
-        "(default: the engine's 'auto' policy)",
+        help="signature-engine backend policy for every µ computation, "
+        "propagated to pool workers and restored after the run "
+        "(default: the engine's current policy)",
     )
     parser.add_argument(
         "--cache-stats",
         action="store_true",
-        help="print the pathset-cache hit/miss counters after the run",
+        help="print the pathset-cache hit/miss counters (worker deltas "
+        "merged in) to stderr after the run",
     )
     return parser
 
 
-def run(group: str, seed: int) -> List[str]:
-    """Run one group (or 'all') and return the printable sections.
+def run(
+    group: str,
+    seed: int,
+    jobs: int = 1,
+    trials: Optional[int] = None,
+) -> List[Section]:
+    """Run one group (or 'all') and return the result sections.
 
-    The pathset cache is cleared first so every invocation is reproducible
-    and its reported statistics describe this run only.
+    The pathset cache is cleared once per invocation — groups inside an
+    ``'all'`` run deliberately share entries — so every invocation is
+    reproducible and its reported statistics describe this run only.
     """
+    if trials is not None and trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
     clear_pathset_cache()
     if group == "all":
-        sections: List[str] = []
+        sections: List[Section] = []
         for name in sorted(_GROUPS):
-            sections.extend(_GROUPS[name](seed))
+            sections.extend(_GROUPS[name](seed, jobs, trials))
         return sections
-    return _GROUPS[group](seed)
+    return _GROUPS[group](seed, jobs, trials)
+
+
+def render_text(sections: Iterable[Section]) -> str:
+    """The classic plain-text rendering: one table per section."""
+    return "\n\n".join(section.render() for section in sections) + "\n"
+
+
+def render_json(
+    sections: Iterable[Section], seed: int, jobs: int = 1
+) -> str:
+    """One JSON document carrying every section's text and structured data."""
+    document = {
+        "seed": seed,
+        "jobs": jobs,
+        "sections": [
+            {
+                "group": section.group,
+                "title": section.title,
+                "text": section.body,
+                "data": section.data,
+            }
+            for section in sections
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=False) + "\n"
 
 
 def main(argv: List[str] | None = None) -> int:
-    """Console-script entry point."""
+    """Console-script entry point.
+
+    The ``--backend`` selection is scoped to this call (and propagated into
+    any pool workers), so invoking ``main`` as a library function never
+    leaks an engine-policy change into the host process.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.backend is not None:
-        select_backend(args.backend)
-    for section in run(args.tables, args.seed):
-        print(section)
-        print()
-    if args.cache_stats:
-        print(cache_stats())
+    with backend_policy(args.backend):
+        sections = run(args.tables, args.seed, jobs=args.jobs, trials=args.trials)
+        if args.format == "json":
+            payload = render_json(sections, args.seed, args.jobs)
+        else:
+            payload = render_text(sections)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+        else:
+            sys.stdout.write(payload)
+        if args.cache_stats:
+            print(cache_stats(), file=sys.stderr)
     return 0
 
 

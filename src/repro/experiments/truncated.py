@@ -11,6 +11,7 @@ and 10.  Only the ``d = log N`` case is reported, as in the paper.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -20,10 +21,11 @@ from repro.agrid.algorithm import agrid
 from repro.core.truncated import default_truncation_level
 from repro.exceptions import ExperimentError
 from repro.experiments.common import measure_network, resolve_dimension
+from repro.experiments.parallel import TrialSpec, run_trials
 from repro.routing.mechanisms import RoutingMechanism
 from repro.topology import zoo
 from repro.topology.base import average_degree
-from repro.utils.seeds import RngLike, spawn_rng
+from repro.utils.seeds import RngLike, spawn_rng, spawn_seed
 from repro.utils.tables import format_percentage, format_table
 
 #: The networks of Tables 8, 9 and 10 in paper order.
@@ -92,16 +94,40 @@ class TruncatedResult:
         return self.boosted.mean >= self.original.mean
 
 
+def truncated_trial(
+    graph: nx.Graph,
+    dimension: int,
+    mechanism: RoutingMechanism,
+    seed: str,
+) -> Tuple[int, int]:
+    """One Table-8/9/10 sample: draw G^A, return (µ_λ(G^A), λ).
+
+    Pure given its picklable arguments, so the Agrid samples can be fanned
+    out over a process pool by :mod:`repro.experiments.parallel`.
+    """
+    result = agrid(graph, dimension, rng=random.Random(seed))
+    truncation = default_truncation_level(result.boosted)
+    measurement = measure_network(
+        result.boosted,
+        result.placement_boosted,
+        mechanism,
+        truncation=truncation,
+    )
+    return measurement.mu, truncation
+
+
 def run_truncated_experiment(
     graph: nx.Graph,
     n_samples: int = PAPER_N_SAMPLES,
     rng: RngLike = 2018,
     mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
     dimension: Optional[int] = None,
+    jobs: int = 1,
 ) -> TruncatedResult:
-    """Run the µ_λ comparison on one network."""
+    """Run the µ_λ comparison on one network (``jobs`` workers)."""
     if n_samples < 1:
         raise ExperimentError(f"n_samples must be >= 1, got {n_samples}")
+    mechanism = RoutingMechanism.parse(mechanism)
     d = dimension if dimension is not None else resolve_dimension("log", graph)
 
     # The truncation level is the average degree of the graph being measured.
@@ -114,18 +140,19 @@ def run_truncated_experiment(
         truncation=original_truncation, counts={original_measure.mu: 1}
     )
 
+    specs = [
+        TrialSpec(
+            truncated_trial,
+            (graph, d, mechanism, spawn_seed(rng, sample + 1)),
+            label=f"truncated {graph.name or 'G'} sample={sample}",
+        )
+        for sample in range(n_samples)
+    ]
     boosted_counts: Dict[int, int] = {}
     boosted_truncation = original_truncation
-    for sample in range(n_samples):
-        result = agrid(graph, d, rng=spawn_rng(rng, sample + 1))
-        boosted_truncation = default_truncation_level(result.boosted)
-        measurement = measure_network(
-            result.boosted,
-            result.placement_boosted,
-            mechanism,
-            truncation=boosted_truncation,
-        )
-        boosted_counts[measurement.mu] = boosted_counts.get(measurement.mu, 0) + 1
+    for mu, truncation in run_trials(specs, jobs=jobs):
+        boosted_truncation = truncation
+        boosted_counts[mu] = boosted_counts.get(mu, 0) + 1
     boosted = TruncatedDistribution(truncation=boosted_truncation, counts=boosted_counts)
     return TruncatedResult(
         network=graph.name or "G",
@@ -136,26 +163,34 @@ def run_truncated_experiment(
     )
 
 
-def run_table8(n_samples: int = PAPER_N_SAMPLES, rng: RngLike = 2018) -> TruncatedResult:
+def run_table8(
+    n_samples: int = PAPER_N_SAMPLES, rng: RngLike = 2018, jobs: int = 1
+) -> TruncatedResult:
     """Table 8: Claranet."""
-    return run_truncated_experiment(zoo.claranet(), n_samples, rng)
+    return run_truncated_experiment(zoo.claranet(), n_samples, rng, jobs=jobs)
 
 
-def run_table9(n_samples: int = PAPER_N_SAMPLES, rng: RngLike = 2018) -> TruncatedResult:
+def run_table9(
+    n_samples: int = PAPER_N_SAMPLES, rng: RngLike = 2018, jobs: int = 1
+) -> TruncatedResult:
     """Table 9: GridNetwork (|V| = 7)."""
-    return run_truncated_experiment(zoo.gridnetwork(), n_samples, rng)
+    return run_truncated_experiment(zoo.gridnetwork(), n_samples, rng, jobs=jobs)
 
 
-def run_table10(n_samples: int = PAPER_N_SAMPLES, rng: RngLike = 2018) -> TruncatedResult:
+def run_table10(
+    n_samples: int = PAPER_N_SAMPLES, rng: RngLike = 2018, jobs: int = 1
+) -> TruncatedResult:
     """Table 10: the 7-node EuNetwork."""
-    return run_truncated_experiment(zoo.eunetwork_small(), n_samples, rng)
+    return run_truncated_experiment(zoo.eunetwork_small(), n_samples, rng, jobs=jobs)
 
 
 def run_all_truncated(
-    n_samples: int = PAPER_N_SAMPLES, rng: RngLike = 2018
+    n_samples: int = PAPER_N_SAMPLES, rng: RngLike = 2018, jobs: int = 1
 ) -> Dict[str, TruncatedResult]:
     """Run Tables 8-10 and return results keyed by network name."""
     return {
-        name: run_truncated_experiment(zoo.load(name), n_samples, spawn_rng(rng, i))
+        name: run_truncated_experiment(
+            zoo.load(name), n_samples, spawn_rng(rng, i), jobs=jobs
+        )
         for i, name in enumerate(TRUNCATED_TABLES)
     }

@@ -226,6 +226,12 @@ def _monitor_cycles(
             for path in nx.all_simple_paths(graph, successor, anchor, cutoff=cutoff):
                 yield (anchor,) + tuple(path)
     else:
+        # Dedup by the canonical *edge* set, not the node set: two genuinely
+        # different simple cycles can visit the same nodes in different orders
+        # (e.g. (a,b,c,d,a) vs (a,c,b,d,a) in K4) and must both be kept, while
+        # a pure reversal traverses the same undirected edges and is
+        # suppressed.  A simple cycle never repeats an undirected edge, so a
+        # frozenset of unordered endpoint pairs is a faithful canonical form.
         seen: set = set()
         for neighbour in graph.neighbors(anchor):
             for path in nx.all_simple_paths(graph, neighbour, anchor, cutoff=cutoff):
@@ -233,7 +239,9 @@ def _monitor_cycles(
                     # (neighbour, anchor) would retrace the same edge.
                     continue
                 cycle = (anchor,) + tuple(path)
-                key = frozenset(cycle)
+                key = frozenset(
+                    frozenset(pair) for pair in zip(cycle, cycle[1:])
+                )
                 if key not in seen:
                     seen.add(key)
                     yield cycle

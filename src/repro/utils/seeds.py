@@ -31,11 +31,25 @@ def resolve_rng(rng: RngLike = None) -> random.Random:
     raise TypeError(f"rng must be None, int or random.Random, got {type(rng)!r}")
 
 
+def spawn_seed(rng: RngLike, salt: int) -> str:
+    """Derive the seed material of an independent child stream.
+
+    The returned string fully determines the child generator
+    (``random.Random(spawn_seed(rng, salt))`` equals ``spawn_rng(rng, salt)``),
+    so it can be computed up front in a parent process and shipped — as a
+    plain picklable string — to pool workers, which then reproduce exactly
+    the generator a serial run would have used.  Note that deriving a seed
+    consumes 64 bits from ``rng`` when it is a shared generator, so seeds
+    must be derived in the same order as the serial code would.
+    """
+    base = resolve_rng(rng)
+    return f"{base.getrandbits(64)}:{salt}"
+
+
 def spawn_rng(rng: RngLike, salt: int) -> random.Random:
     """Derive an independent child generator from ``rng`` and an integer salt.
 
     Used by the experiment drivers so each trial gets its own reproducible
     stream regardless of how many random draws earlier trials consumed.
     """
-    base = resolve_rng(rng)
-    return random.Random(f"{base.getrandbits(64)}:{salt}")
+    return random.Random(spawn_seed(rng, salt))

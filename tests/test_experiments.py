@@ -186,8 +186,51 @@ class TestRunner:
         args = runner.build_parser().parse_args([])
         assert args.tables == "all"
         assert args.seed == 2018
+        assert args.jobs == 1
+        assert args.format == "text"
+        assert args.output is None
+        assert args.trials is None
 
-    def test_run_single_group(self, capsys):
-        # The 'truncated' group on reduced-size zoo networks is the fastest.
-        sections = runner.run("ablation", seed=1)
-        assert sections and all(isinstance(section, str) for section in sections)
+    def test_run_single_group(self):
+        sections = runner.run("ablation", seed=1, trials=2)
+        assert sections
+        for section in sections:
+            assert isinstance(section, runner.Section)
+            assert section.group == "ablation"
+            assert section.title in section.render()
+            assert isinstance(section.data, dict)
+
+    def test_run_rejects_bad_trials(self):
+        with pytest.raises(ValueError):
+            runner.run("ablation", seed=1, trials=0)
+
+    def test_run_clears_and_populates_cache_stats(self):
+        from repro.engine import cache_stats, clear_pathset_cache
+
+        # run() clears once per invocation: the stats describe that run only.
+        runner.run("ablation", seed=1, trials=1)
+        stats = cache_stats()
+        assert stats.misses > 0
+        runner.run("ablation", seed=1, trials=1)
+        assert cache_stats().misses == stats.misses  # identical fresh run
+        clear_pathset_cache()
+        assert cache_stats().misses == 0
+
+    def test_render_text_contains_every_title(self):
+        sections = runner.run("ablation", seed=1, trials=1)
+        text = runner.render_text(sections)
+        for section in sections:
+            assert section.title in text
+
+    def test_main_backend_selection_is_scoped(self, tmp_path):
+        from repro.engine import select_backend
+
+        before = select_backend()
+        assert before == "auto"
+        out = tmp_path / "out.txt"
+        runner.main(
+            ["--tables", "ablation", "--trials", "1", "--backend", "python",
+             "--output", str(out)]
+        )
+        assert select_backend() == before
+        assert "Ablation" in out.read_text()

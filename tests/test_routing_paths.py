@@ -169,6 +169,34 @@ class TestEnumerationCapVariants:
         cap_minus = enumerate_paths(graph, placement, "CAP-")
         assert (0, 1, 2, 0) in cap_minus.paths
 
+    def test_k4_distinct_cycles_over_same_node_set_both_kept(self):
+        # Regression: cycles used to be deduped by *node set*, collapsing
+        # genuinely different simple cycles like (0,1,2,3,0) and (0,2,1,3,0)
+        # — different edge sets, same nodes — and undercounting |P|.
+        graph = nx.complete_graph(4)
+        placement = MonitorPlacement.of(inputs={0}, outputs={0, 2})
+        cap_minus = enumerate_paths(graph, placement, "CAP-")
+        cycles = [p for p in cap_minus.paths if p[0] == 0 and p[-1] == 0 and len(p) > 2]
+        edge_sets = {
+            frozenset(frozenset(pair) for pair in zip(cycle, cycle[1:]))
+            for cycle in cycles
+        }
+        # K4 through a fixed node: 3 triangles + 3 quadrilaterals, one
+        # representative each (reversals still suppressed).
+        assert len(cycles) == 6
+        assert len(edge_sets) == 6, "every kept cycle has a distinct edge set"
+        four_cycles = {cycle for cycle in cycles if len(cycle) == 5}
+        assert {frozenset(c[1:-1]) for c in four_cycles} == {frozenset({1, 2, 3})}
+        assert len(four_cycles) == 3
+
+    def test_undirected_cycle_reversals_still_suppressed(self):
+        graph = nx.cycle_graph(5)
+        placement = MonitorPlacement.of(inputs={0}, outputs={0, 2})
+        cap_minus = enumerate_paths(graph, placement, "CAP-")
+        cycles = [p for p in cap_minus.paths if p[0] == 0 and p[-1] == 0 and len(p) > 2]
+        # C5 has exactly one simple cycle; only one orientation is kept.
+        assert len(cycles) == 1
+
 
 class TestHistogram:
     def test_path_length_histogram(self):
