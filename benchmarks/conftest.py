@@ -7,16 +7,36 @@ pytest-benchmark records the runtime.  Results that belong in EXPERIMENTS.md
 are attached to ``benchmark.extra_info`` so a ``--benchmark-json`` run carries
 the measured values alongside the timings.
 
+Machine-readable output
+-----------------------
+
+Setting the ``BENCH_JSON`` environment variable to a file path makes the
+session write one JSON document collecting every benchmark that went through
+:func:`run_once`: name, wall-clock seconds and the final ``extra_info``
+payload (serialised with ``default=str`` so tuples/nodes degrade gracefully).
+CI uses this to append a point to the perf trajectory (``BENCH_pr<N>.json``)
+without depending on pytest-benchmark's own storage format.
+
 Trial counts are reduced relative to the paper where the paper-sized run would
 take minutes (the drivers accept the full counts; see each module docstring).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from typing import Any, Dict, List
+
 import pytest
 
 #: Master seed used by every benchmark for reproducibility.
 BENCH_SEED = 2018
+
+#: Records collected by run_once for the BENCH_JSON emitter.  Each entry
+#: keeps a live reference to the benchmark's extra_info dict, so values the
+#: test attaches *after* run_once returns are still serialised.
+_RECORDS: List[Dict[str, Any]] = []
 
 
 @pytest.fixture(scope="session")
@@ -31,4 +51,28 @@ def run_once(benchmark, func, *args, **kwargs):
     them only burns wall-clock time; one round with one iteration is enough
     for a stable, meaningful measurement of the end-to-end experiment cost.
     """
-    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    start = time.perf_counter()
+    result = benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    _RECORDS.append(
+        {
+            "benchmark": getattr(benchmark, "name", None) or func.__name__,
+            "seconds": time.perf_counter() - start,
+            "extra_info": benchmark.extra_info,
+        }
+    )
+    return result
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the collected records to ``$BENCH_JSON``, if requested."""
+    path = os.environ.get("BENCH_JSON")
+    if not path or not _RECORDS:
+        return
+    document = {
+        "seed": BENCH_SEED,
+        "exit_status": int(exitstatus),
+        "benchmarks": _RECORDS,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, default=str)
+        handle.write("\n")

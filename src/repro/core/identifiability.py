@@ -59,6 +59,7 @@ def maximal_identifiability_detailed(
     max_size: Optional[int] = None,
     nodes: Optional[Iterable[Node]] = None,
     backend: BackendSpec = None,
+    compress: Optional[bool] = None,
 ) -> IdentifiabilityResult:
     """Compute µ with full diagnostics.
 
@@ -75,6 +76,10 @@ def maximal_identifiability_detailed(
         universe).  Used by the local-identifiability and what-if analyses.
     backend:
         Signature backend override (see :func:`repro.engine.select_backend`).
+    compress:
+        Signature-universe compression override (see
+        :func:`repro.engine.select_compression`); ``None`` follows the global
+        policy.  The computed result is identical either way.
     """
     if nodes is None and (max_size is None or max_size >= 1) and pathset.nodes:
         # µ = 0 early exit: an uncovered node is confusable with the empty
@@ -87,7 +92,9 @@ def maximal_identifiability_detailed(
             return IdentifiabilityResult(
                 value=0, witness=witness, searched_up_to=1, exhausted_search=False
             )
-    return pathset.engine(backend).identifiability(max_size=max_size, nodes=nodes)
+    return pathset.engine(backend, compress).identifiability(
+        max_size=max_size, nodes=nodes
+    )
 
 
 def maximal_identifiability(
@@ -95,9 +102,12 @@ def maximal_identifiability(
     max_size: Optional[int] = None,
     nodes: Optional[Iterable[Node]] = None,
     backend: BackendSpec = None,
+    compress: Optional[bool] = None,
 ) -> int:
     """µ of the node universe with respect to ``pathset`` (Definition 2.2)."""
-    return maximal_identifiability_detailed(pathset, max_size, nodes, backend).value
+    return maximal_identifiability_detailed(
+        pathset, max_size, nodes, backend, compress
+    ).value
 
 
 def is_k_identifiable(
@@ -183,7 +193,10 @@ def mu_detailed(
 
 
 def separability_matrix(
-    pathset: PathSet, size: int, backend: BackendSpec = None
+    pathset: PathSet,
+    size: int,
+    backend: BackendSpec = None,
+    compress: Optional[bool] = None,
 ) -> Dict[Tuple[FrozenSet[Node], FrozenSet[Node]], bool]:
     """Explicit separation table for all pairs of node sets of a given size.
 
@@ -193,4 +206,4 @@ def separability_matrix(
     expected to use it on small universes only.  Signatures are computed once
     per subset by the engine, so each pair costs one key comparison.
     """
-    return pathset.engine(backend).separability_matrix(size)
+    return pathset.engine(backend, compress).separability_matrix(size)

@@ -32,13 +32,14 @@ def _local_search(
     scope_set: FrozenSet[Node],
     cap: int,
     backend: BackendSpec = None,
+    compress: Optional[bool] = None,
 ) -> int:
     """Largest k ≤ cap with local k-identifiability (cap when none fails).
 
     Walks subsets in increasing size; a failure at size s is two subsets with
     the same signature but different S-projections, giving ``s − 1``.
     """
-    engine = pathset.engine(backend)
+    engine = pathset.engine(backend, compress)
     # signature key -> set of distinct S-projections observed so far.
     projections: Dict[object, Set[FrozenSet[Node]]] = {}
     for subset, signature_key in engine.iter_subset_signatures(range(0, cap + 1)):
@@ -51,7 +52,11 @@ def _local_search(
 
 
 def is_locally_k_identifiable(
-    pathset: PathSet, scope: Iterable[Node], k: int, backend: BackendSpec = None
+    pathset: PathSet,
+    scope: Iterable[Node],
+    k: int,
+    backend: BackendSpec = None,
+    compress: Optional[bool] = None,
 ) -> bool:
     """Local k-identifiability w.r.t. the scope ``S``.
 
@@ -66,7 +71,7 @@ def is_locally_k_identifiable(
         raise IdentifiabilityError(f"scope nodes {sorted(map(repr, unknown))} not in universe")
     if k == 0:
         return True
-    return _local_search(pathset, scope_set, k, backend) >= k
+    return _local_search(pathset, scope_set, k, backend, compress) >= k
 
 
 def local_maximal_identifiability(
@@ -74,6 +79,7 @@ def local_maximal_identifiability(
     scope: Iterable[Node],
     max_size: Optional[int] = None,
     backend: BackendSpec = None,
+    compress: Optional[bool] = None,
 ) -> int:
     """The largest k such that the universe is locally k-identifiable w.r.t. S.
 
@@ -84,11 +90,14 @@ def local_maximal_identifiability(
     scope_set = frozenset(scope)
     n = len(pathset.nodes)
     cap = n if max_size is None else max(0, min(max_size, n))
-    return _local_search(pathset, scope_set, cap, backend)
+    return _local_search(pathset, scope_set, cap, backend, compress)
 
 
 def local_identifiability_per_node(
-    pathset: PathSet, max_size: int = 3, backend: BackendSpec = None
+    pathset: PathSet,
+    max_size: int = 3,
+    backend: BackendSpec = None,
+    compress: Optional[bool] = None,
 ) -> Dict[Node, int]:
     """Local maximal identifiability of every singleton scope ``S = {v}``.
 
@@ -97,6 +106,8 @@ def local_identifiability_per_node(
     stays at 0.  ``max_size`` caps the (expensive) per-node searches.
     """
     return {
-        node: local_maximal_identifiability(pathset, {node}, max_size=max_size, backend=backend)
+        node: local_maximal_identifiability(
+            pathset, {node}, max_size=max_size, backend=backend, compress=compress
+        )
         for node in pathset.nodes
     }

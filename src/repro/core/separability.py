@@ -139,7 +139,7 @@ def _simple_paths_or_single(
 
 
 def inseparable_pairs_of_size(
-    pathset: PathSet, size: int
+    pathset: PathSet, size: int, compress: Optional[bool] = None
 ) -> Tuple[Tuple[FrozenSet[Node], FrozenSet[Node]], ...]:
     """All unordered pairs of distinct node sets of exactly ``size`` nodes with
     identical path sets.  Exponential; meant for diagnostics on small graphs.
@@ -148,4 +148,4 @@ def inseparable_pairs_of_size(
     subset's signature incrementally instead of re-deriving ``P(U)`` per
     subset.
     """
-    return pathset.engine().inseparable_pairs(size)
+    return pathset.engine(compress=compress).inseparable_pairs(size)

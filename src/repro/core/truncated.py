@@ -32,16 +32,24 @@ from repro.topology.base import average_degree, min_degree
 
 
 def truncated_identifiability_detailed(
-    pathset: PathSet, alpha: int, backend: BackendSpec = None
+    pathset: PathSet,
+    alpha: int,
+    backend: BackendSpec = None,
+    compress: Optional[bool] = None,
 ) -> IdentifiabilityResult:
     """µ_α with diagnostics: the engine search capped at subset size α."""
     if alpha < 1:
         raise IdentifiabilityError(f"alpha must be >= 1, got {alpha}")
-    return maximal_identifiability_detailed(pathset, max_size=alpha, backend=backend)
+    return maximal_identifiability_detailed(
+        pathset, max_size=alpha, backend=backend, compress=compress
+    )
 
 
 def truncated_identifiability(
-    pathset: PathSet, alpha: int, backend: BackendSpec = None
+    pathset: PathSet,
+    alpha: int,
+    backend: BackendSpec = None,
+    compress: Optional[bool] = None,
 ) -> int:
     """µ_α(G): the truncated maximal identifiability.
 
@@ -49,7 +57,7 @@ def truncated_identifiability(
     up to α and returns α (the truncated measure cannot distinguish higher
     values).
     """
-    return truncated_identifiability_detailed(pathset, alpha, backend).value
+    return truncated_identifiability_detailed(pathset, alpha, backend, compress).value
 
 
 def mu_truncated(

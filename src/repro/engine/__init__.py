@@ -11,6 +11,12 @@ the experiment drivers (:mod:`repro.experiments`):
   ``itertools.combinations`` sweep, at a fraction of the cost.
 * :mod:`repro.engine.backends` provides two interchangeable signature
   representations: Python big-int bitmasks and numpy ``uint64``-packed rows.
+* :mod:`repro.engine.compress` collapses duplicate path columns (and drops
+  all-zero columns) before the signatures are packed, shrinking the mask
+  width every query pays for; results are bit-identical and the
+  :class:`CompressionPlan` expands measurement vectors back to original path
+  indices.  On by default — ``select_compression(False)`` /
+  ``compression_policy(False)`` scope the raw behaviour.
 * :mod:`repro.engine.cache` memoises enumerated path sets (and thereby the
   engines built on them) under content keys, so experiment tables stop
   re-enumerating identical ``(graph, placement, mechanism)`` triples.
@@ -46,10 +52,18 @@ from repro.engine.backends import (
     SignatureBackend,
     available_backends,
     backend_policy,
+    normalize_backend_spec,
     numpy_available,
     resolve_backend,
     resolve_backend_name,
     select_backend,
+)
+from repro.engine.compress import (
+    CompressionPlan,
+    compress_universe,
+    compression_enabled,
+    compression_policy,
+    select_compression,
 )
 from repro.engine.cache import (
     CacheStats,
@@ -78,11 +92,18 @@ __all__ = [
     "NumpyBackend",
     "available_backends",
     "numpy_available",
+    "normalize_backend_spec",
     "resolve_backend",
     "resolve_backend_name",
     "select_backend",
     "backend_policy",
     "NUMPY_MIN_PATHS",
+    # compression
+    "CompressionPlan",
+    "compress_universe",
+    "compression_enabled",
+    "compression_policy",
+    "select_compression",
     # cache
     "PathSetCache",
     "CacheStats",

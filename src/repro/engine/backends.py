@@ -244,17 +244,34 @@ class NumpyBackend(SignatureBackend):
 BackendSpec = Union[None, str, SignatureBackend]
 
 
-def resolve_backend_name(backend: BackendSpec, n_paths: int) -> str:
-    """The concrete backend name a spec resolves to for a given ``|P|``."""
+def normalize_backend_spec(backend: BackendSpec) -> str:
+    """Canonicalise a backend spec *without* resolving ``"auto"``.
+
+    ``None`` becomes the current global policy; strings are normalised and
+    validated; instances map to their concrete name.  Callers that memoise
+    engines key on this — keeping ``"auto"`` symbolic lets the engine resolve
+    it against the width it will actually operate on (the compressed width),
+    so every construction route picks the same backend.
+    """
     if isinstance(backend, SignatureBackend):
         return backend.name
     name = (_policy if backend is None else str(backend).strip().lower())
-    if name == "auto":
-        return "numpy" if numpy_available() and n_paths >= NUMPY_MIN_PATHS else "python"
-    if name not in ("python", "numpy"):
+    if name not in _POLICIES:
         raise IdentifiabilityError(
             f"unknown backend {backend!r}; expected 'auto', 'python' or 'numpy'"
         )
+    return name
+
+
+def resolve_backend_name(backend: BackendSpec, n_paths: int) -> str:
+    """The concrete backend name a spec resolves to for a given width.
+
+    ``n_paths`` is the width the backend will operate on — for a compressed
+    engine that is the number of distinct columns, not the raw ``|P|``.
+    """
+    name = normalize_backend_spec(backend)
+    if name == "auto":
+        return "numpy" if numpy_available() and n_paths >= NUMPY_MIN_PATHS else "python"
     return name
 
 

@@ -11,7 +11,11 @@ limits — so mutating or rebuilding an equal graph still hits.
 
 Because the cached object is the same :class:`PathSet` instance, the
 signature engines memoised on it (:meth:`PathSet.engine`) are reused too: a
-cache hit skips both the path enumeration *and* the signature interning.
+cache hit skips the path enumeration, the signature interning *and* the
+duplicate-column compression.  Neither the backend nor the compression flag
+belongs in the enumeration key — they are engine-level axes, keyed on the
+:class:`PathSet` itself — so one cache entry serves every
+(backend, compression) combination.
 
 The module-level :func:`cached_enumerate_paths` is the drop-in replacement
 for :func:`~repro.routing.paths.enumerate_paths` used by the experiment

@@ -1,0 +1,258 @@
+"""Signature-universe compression: duplicate path columns carry no information.
+
+The engine's data is the node×path incidence matrix: row ``v`` is the bitmask
+``P(v)`` and column ``j`` is the *touch-set* of path ``j`` (the nodes the path
+crosses).  Every identifiability query the engine answers — equality of
+``P(U)`` and ``P(W)``, the subset-dominance test ``P(u) ⊆ P(U∖{u})``, unions
+along the subset DFS — is a Boolean-lattice query over rows, and the runtime
+of each primitive scales with the *bit-width* of the rows.  This module
+shrinks that width by collapsing duplicate columns.
+
+Soundness of the collapse
+-------------------------
+
+Let ``c : {0..|P|-1} → {0..m-1}`` map each path column to its duplicate class
+(two columns are in one class iff their touch-sets are equal; all-zero
+columns — paths touching no node of the universe — are dropped entirely).
+Write ``φ(S)`` for the compressed image of a path set ``S``: bit ``k`` of
+``φ(S)`` is set iff some column of class ``k`` is in ``S``.
+
+Every mask the engine ever manipulates is a union ``P(U)`` of node rows, and
+node rows are *class-closed*: if path ``j`` crosses ``v`` then every duplicate
+of ``j`` crosses ``v`` too (equal touch-sets!), so ``P(U)`` contains either
+all columns of a class or none of them.  On class-closed sets ``φ`` is a
+bijection onto the compressed lattice that commutes with union, and therefore
+preserves equality and inclusion in both directions::
+
+    P(U) = P(W)  ⇔  φ(P(U)) = φ(P(W))
+    P(U) ⊆ P(W)  ⇔  φ(P(U)) ⊆ φ(P(W))
+    φ(P(U) ∪ P(W)) = φ(P(U)) ∪ φ(P(W))
+
+Since the µ search, ``iter_subset_signatures``, the separability tables and
+the equivalence-class fast path are compositions of exactly these three
+primitives over node rows, running them on the compressed rows takes the
+*same branches* in the same order and yields bit-identical results — µ,
+witnesses, ``searched_up_to``, exhaustion — at a fraction of the per-union
+cost.  (Gale duality offers the same picture: the paths form a point
+configuration and repeated points add nothing to its oriented-matroid data.)
+
+The one engine output phrased in path indices — the Boolean measurement
+vector of Equation (1) — is mapped back through :meth:`CompressionPlan.expand_indices`,
+so callers keep seeing original path indices; the plan records the full
+``class_of`` index remap and per-class ``multiplicity`` for that purpose.
+
+Compression is on by default.  :func:`select_compression` /
+:func:`compression_policy` mirror the backend-policy API so benchmarks, the
+CLI runner (``--no-compress``) and parity tests can scope the raw behaviour.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro._typing import Node
+from repro.exceptions import IdentifiabilityError
+from repro.utils.bitset import bit_indices, bits_of, mask_from_indices
+
+_compression_enabled = True
+
+
+def compression_enabled() -> bool:
+    """Whether engines built without an explicit ``compress=`` collapse
+    duplicate columns (the default)."""
+    return _compression_enabled
+
+
+def select_compression(enabled: Optional[bool] = None) -> bool:
+    """Get or set the global compression policy.
+
+    With no argument, returns the current policy; with a boolean, installs it
+    for every engine built without an explicit ``compress=`` argument and
+    returns the new value.  The counterpart of
+    :func:`repro.engine.backends.select_backend` for the compression axis.
+    """
+    global _compression_enabled
+    if enabled is not None:
+        _compression_enabled = bool(enabled)
+    return _compression_enabled
+
+
+@contextlib.contextmanager
+def compression_policy(enabled: Optional[bool] = None) -> Iterator[bool]:
+    """Scope a compression-policy change to a ``with`` block.
+
+    ``None`` leaves the policy untouched (the block still restores whatever
+    was in effect on entry, so nesting is safe)::
+
+        with compression_policy(False):
+            ...  # every default-built engine here runs on raw columns
+    """
+    previous = select_compression()
+    try:
+        yield select_compression(enabled)
+    finally:
+        select_compression(previous)
+
+
+@dataclass(frozen=True)
+class CompressionPlan:
+    """The recorded mapping between original and compressed path columns.
+
+    Attributes
+    ----------
+    n_original:
+        ``|P|``, the width of the uncompressed signature universe.
+    members:
+        ``members[k]`` is the ascending tuple of original path indices whose
+        columns were collapsed into compressed column ``k``.  Classes are
+        ordered by their smallest original index, so representative order is
+        stable and independent of node iteration order.
+    """
+
+    n_original: int
+    members: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def n_compressed(self) -> int:
+        """Width of the compressed universe (number of distinct columns)."""
+        return len(self.members)
+
+    @property
+    def is_identity(self) -> bool:
+        """True when no column was dropped or merged (nothing to gain)."""
+        return self.n_compressed == self.n_original
+
+    @cached_property
+    def multiplicity(self) -> Tuple[int, ...]:
+        """``multiplicity[k]``: how many original columns class ``k`` absorbed."""
+        return tuple(len(group) for group in self.members)
+
+    @cached_property
+    def representatives(self) -> Tuple[int, ...]:
+        """The smallest original index of each compressed column."""
+        return tuple(group[0] for group in self.members)
+
+    @cached_property
+    def class_of(self) -> Mapping[int, int]:
+        """The index remap ``original path index -> compressed column``.
+
+        Dropped (all-zero) columns are absent from the mapping.
+        """
+        return {
+            original_index: compressed_index
+            for compressed_index, group in enumerate(self.members)
+            for original_index in group
+        }
+
+    @cached_property
+    def _class_masks(self) -> Tuple[int, ...]:
+        """Original-space bitmask of each compressed column's members."""
+        return tuple(mask_from_indices(list(group)) for group in self.members)
+
+    # -- mask translation ---------------------------------------------------
+    def compress_mask(self, mask: int) -> int:
+        """Map an original-space path mask into the compressed space.
+
+        Only class-closed masks (unions of node rows) round-trip exactly;
+        those are the only masks the engine ever builds.
+        """
+        compressed = 0
+        class_of = self.class_of
+        for index in bits_of(mask):
+            if index >= self.n_original:
+                raise IdentifiabilityError(
+                    f"path index {index} out of range for a universe of width "
+                    f"{self.n_original}"
+                )
+            compressed_index = class_of.get(index)
+            if compressed_index is not None:
+                compressed |= 1 << compressed_index
+        return compressed
+
+    def expand_mask(self, compressed_mask: int) -> int:
+        """Map a compressed-space mask back to original path indices."""
+        expanded = 0
+        class_masks = self._class_masks
+        for index in bits_of(compressed_mask):
+            if index >= self.n_compressed:
+                raise IdentifiabilityError(
+                    f"compressed column {index} out of range for "
+                    f"{self.n_compressed} classes"
+                )
+            expanded |= class_masks[index]
+        return expanded
+
+    def expand_indices(self, compressed_bits: Iterable[int]) -> Tuple[int, ...]:
+        """Original path indices of a compressed bit iterable, ascending."""
+        indices: List[int] = []
+        for index in compressed_bits:
+            indices.extend(self.members[index])
+        indices.sort()
+        return tuple(indices)
+
+    def expand_indicator(self, compressed_bits: Iterable[int]) -> Tuple[int, ...]:
+        """The original-width 0/1 vector of a compressed bit iterable."""
+        vector = [0] * self.n_original
+        for index in compressed_bits:
+            for original_index in self.members[index]:
+                vector[original_index] = 1
+        return tuple(vector)
+
+    def describe(self) -> str:
+        """One-line summary used by benchmarks and ``SignatureEngine.describe``."""
+        dropped = self.n_original - sum(self.multiplicity)
+        return (
+            f"CompressionPlan({self.n_original} -> {self.n_compressed} columns, "
+            f"{dropped} dropped, ratio="
+            f"{self.n_original / self.n_compressed if self.n_compressed else 1.0:.2f})"
+        )
+
+
+def compress_universe(
+    nodes: Sequence[Node], node_masks: Mapping[Node, int], n_paths: int
+) -> Tuple[CompressionPlan, Dict[Node, int]]:
+    """Collapse duplicate path columns of a ``node -> P(v)`` mask table.
+
+    Returns the :class:`CompressionPlan` and the compressed mask table over
+    ``plan.n_compressed`` columns.  The construction is a single transpose of
+    the incidence — O(total incidence) — grouping columns by their touch-set
+    (as the tuple of node positions, which is canonical because the node
+    order is fixed); compressed node rows are built while the classes are
+    discovered, so no second pass over the masks is needed.
+    """
+    touch_sets: List[List[int]] = [[] for _ in range(n_paths)]
+    for position, node in enumerate(nodes):
+        mask = node_masks[node]
+        if mask < 0 or mask.bit_length() > n_paths:
+            raise IdentifiabilityError(
+                f"mask of {node!r} is wider than the declared universe "
+                f"({mask.bit_length()} > {n_paths} bits)"
+            )
+        for path_index in bit_indices(mask):
+            touch_sets[path_index].append(position)
+
+    classes: Dict[Tuple[int, ...], int] = {}
+    members: List[List[int]] = []
+    compressed_rows = [0] * len(nodes)
+    for path_index, touch in enumerate(touch_sets):
+        if not touch:
+            continue  # an all-zero column constrains nothing; drop it
+        key = tuple(touch)
+        compressed_index = classes.get(key)
+        if compressed_index is None:
+            compressed_index = len(members)
+            classes[key] = compressed_index
+            members.append([path_index])
+            bit = 1 << compressed_index
+            for position in touch:
+                compressed_rows[position] |= bit
+        else:
+            members[compressed_index].append(path_index)
+
+    plan = CompressionPlan(
+        n_original=n_paths, members=tuple(tuple(group) for group in members)
+    )
+    return plan, {node: compressed_rows[i] for i, node in enumerate(nodes)}

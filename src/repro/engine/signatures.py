@@ -8,6 +8,14 @@ separability tables, Boolean measurement vectors — reduces to questions about
 equivalence classes, and answers all downstream queries without ever going
 back to the raw paths.
 
+By default the engine first compresses the signature universe — duplicate
+path columns (paths with identical touch-sets) are collapsed and all-zero
+columns dropped, see :mod:`repro.engine.compress` — so every union, equality
+and subset test below runs over the distinct-column width rather than
+``|P|``.  Results are bit-identical to the raw universe; outputs phrased in
+path indices (the measurement vector) are expanded back before they leave
+the engine.
+
 The exact µ search
 ------------------
 
@@ -57,6 +65,11 @@ from repro.engine.backends import (
     BackendSpec,
     SignatureBackend,
     resolve_backend,
+)
+from repro.engine.compress import (
+    CompressionPlan,
+    compress_universe,
+    compression_enabled,
 )
 from repro.exceptions import IdentifiabilityError
 
@@ -121,10 +134,20 @@ class SignatureEngine:
         ``node -> P(v)`` as Python big-int bitmasks (the routing layer builds
         these once per :class:`~repro.routing.paths.PathSet`).
     n_paths:
-        ``|P|``, the width of the signature universe.
+        ``|P|``, the width of the *original* signature universe.  Reported
+        unchanged even under compression — only the internal column width
+        shrinks.
     backend:
         ``None`` (global policy), a backend name, or a
         :class:`~repro.engine.backends.SignatureBackend` instance.
+    compress:
+        Collapse duplicate path columns into a compressed universe (see
+        :mod:`repro.engine.compress` for the soundness argument).  ``None``
+        (the default) follows the global policy of
+        :func:`~repro.engine.compress.select_compression`, which is on.
+        Every result — µ, witnesses, ``searched_up_to``, separability
+        tables, measurement vectors — is bit-identical either way; only the
+        per-union cost changes.
     """
 
     def __init__(
@@ -133,10 +156,24 @@ class SignatureEngine:
         node_masks: Mapping[Node, int],
         n_paths: int,
         backend: BackendSpec = None,
+        compress: Optional[bool] = None,
     ) -> None:
         self.nodes: Tuple[Node, ...] = tuple(nodes)
         self.n_paths = n_paths
-        self.backend: SignatureBackend = resolve_backend(backend, n_paths)
+        if compress is None:
+            compress = compression_enabled()
+        plan: Optional[CompressionPlan] = None
+        if compress:
+            plan, compressed_masks = compress_universe(
+                self.nodes, node_masks, n_paths
+            )
+            if plan.is_identity:
+                plan = None  # nothing merged or dropped: skip the indirection
+            else:
+                node_masks = compressed_masks
+        self.compression = plan
+        width = plan.n_compressed if plan is not None else n_paths
+        self.backend: SignatureBackend = resolve_backend(backend, width)
         pack = self.backend.pack
         self._signatures = {node: pack(node_masks[node]) for node in self.nodes}
         key = self.backend.key
@@ -144,19 +181,35 @@ class SignatureEngine:
             node: key(signature) for node, signature in self._signatures.items()
         }
 
+    @property
+    def n_columns(self) -> int:
+        """The internal signature width (``n_paths`` unless compressed)."""
+        if self.compression is not None:
+            return self.compression.n_compressed
+        return self.n_paths
+
     @classmethod
-    def from_pathset(cls, pathset, backend: BackendSpec = None) -> "SignatureEngine":
+    def from_pathset(
+        cls, pathset, backend: BackendSpec = None, compress: Optional[bool] = None
+    ) -> "SignatureEngine":
         """Build an engine over a :class:`~repro.routing.paths.PathSet`.
 
         Prefer :meth:`PathSet.engine() <repro.routing.paths.PathSet.engine>`,
-        which memoises the engine per backend.
+        which memoises the engine per (backend, compression) pair.
         """
         masks = {node: pathset.paths_through(node) for node in pathset.nodes}
-        return cls(pathset.nodes, masks, pathset.n_paths, backend)
+        return cls(pathset.nodes, masks, pathset.n_paths, backend, compress)
 
     # -- signature accessors -------------------------------------------------
     def signature(self, node: Node):
-        """The packed signature of ``P(v)``."""
+        """The packed signature of ``P(v)``.
+
+        Packed signatures (and the keys derived from them) live in the
+        engine's internal column space — the compressed universe when
+        ``self.compression`` is set.  They are opaque: compare them via
+        :meth:`signature_key`, and use ``self.compression.expand_mask`` /
+        ``expand_indices`` to translate back to original path indices.
+        """
         try:
             return self._signatures[node]
         except KeyError as exc:
@@ -187,8 +240,17 @@ class SignatureEngine:
 
     def measurement_vector(self, failed: Iterable[Node]) -> Tuple[int, ...]:
         """The Boolean measurement of Equation (1): bit ``i`` is 1 iff path
-        ``i`` crosses a node of ``failed``."""
-        return self.backend.indicator_vector(self.union_signature(failed))
+        ``i`` crosses a node of ``failed``.
+
+        Always reported over the **original** path indices: under
+        compression the compressed indicator is mapped back through
+        :meth:`CompressionPlan.expand_indicator
+        <repro.engine.compress.CompressionPlan.expand_indicator>`.
+        """
+        signature = self.union_signature(failed)
+        if self.compression is not None:
+            return self.compression.expand_indicator(self.backend.bits(signature))
+        return self.backend.indicator_vector(signature)
 
     # -- equivalence classes -------------------------------------------------
     def equivalence_classes(
@@ -420,7 +482,10 @@ class SignatureEngine:
     def describe(self) -> str:
         """One-line summary used by examples and benchmarks."""
         classes = self.equivalence_classes()
+        width = (
+            f"columns={self.n_columns}" if self.compression is not None else "raw"
+        )
         return (
             f"SignatureEngine(|V|={len(self.nodes)}, |P|={self.n_paths}, "
-            f"classes={len(classes)}, backend={self.backend.name})"
+            f"{width}, classes={len(classes)}, backend={self.backend.name})"
         )

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.engine.backends import backend_policy, select_backend
+from repro.engine.compress import compression_enabled, select_compression
 from repro.engine.cache import pathset_cache
 from repro.exceptions import ExperimentError
 
@@ -78,14 +79,18 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-def _init_worker(backend: str) -> None:
-    """Pool initializer: propagate the backend policy, start a clean cache.
+def _init_worker(backend: str, compress: bool) -> None:
+    """Pool initializer: propagate the engine policies, start a clean cache.
 
-    Clearing makes worker caches behave identically under ``fork`` (which
-    inherits a copy of the parent's entries) and ``spawn`` (which starts
-    empty), and makes the reported deltas describe this run only.
+    Both the signature-backend policy (``--backend``) and the
+    signature-universe compression policy (``--no-compress``) are installed
+    so workers compute exactly as the parent would.  Clearing makes worker
+    caches behave identically under ``fork`` (which inherits a copy of the
+    parent's entries) and ``spawn`` (which starts empty), and makes the
+    reported deltas describe this run only.
     """
     select_backend(backend)
+    select_compression(compress)
     pathset_cache().clear()
 
 
@@ -136,7 +141,9 @@ def run_trials(
     # keeping every worker busy until the tail of the batch.
     chunksize = max(1, len(spec_list) // (n_workers * 4))
     with ProcessPoolExecutor(
-        max_workers=n_workers, initializer=_init_worker, initargs=(policy,)
+        max_workers=n_workers,
+        initializer=_init_worker,
+        initargs=(policy, compression_enabled()),
     ) as pool:
         results = list(
             pool.map(_run_spec, enumerate(spec_list), chunksize=chunksize)

@@ -28,7 +28,12 @@ import sys
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
-from repro.engine import backend_policy, cache_stats, clear_pathset_cache
+from repro.engine import (
+    backend_policy,
+    cache_stats,
+    clear_pathset_cache,
+    compression_policy,
+)
 from repro.experiments import (
     ablation,
     random_graphs,
@@ -234,6 +239,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: the engine's current policy)",
     )
     parser.add_argument(
+        "--no-compress",
+        action="store_true",
+        help="disable signature-universe compression (duplicate path columns "
+        "are collapsed by default; every reported value is identical either "
+        "way, only the µ-computation speed changes)",
+    )
+    parser.add_argument(
         "--cache-stats",
         action="store_true",
         help="print the pathset-cache hit/miss counters (worker deltas "
@@ -293,13 +305,16 @@ def render_json(
 def main(argv: List[str] | None = None) -> int:
     """Console-script entry point.
 
-    The ``--backend`` selection is scoped to this call (and propagated into
-    any pool workers), so invoking ``main`` as a library function never
-    leaks an engine-policy change into the host process.
+    The ``--backend`` and ``--no-compress`` selections are scoped to this
+    call (and propagated into any pool workers), so invoking ``main`` as a
+    library function never leaks an engine-policy change into the host
+    process.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
-    with backend_policy(args.backend):
+    with backend_policy(args.backend), compression_policy(
+        False if args.no_compress else None
+    ):
         sections = run(args.tables, args.seed, jobs=args.jobs, trials=args.trials)
         if args.format == "json":
             payload = render_json(sections, args.seed, args.jobs)

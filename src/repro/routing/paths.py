@@ -2,8 +2,11 @@
 
 The identifiability machinery never looks at a path beyond the *set of nodes
 it touches*, so :class:`PathSet` stores, for every node ``v``, the bitmask of
-indices of paths crossing ``v`` (``P(v)`` in the paper; construction is
-delegated to :func:`repro.utils.bitset.masks_from_paths`).  Unions over node
+indices of paths crossing ``v`` (``P(v)`` in the paper).  The enumerator
+accumulates these masks in the same pass that discovers the paths —
+:func:`enumerate_paths` hands the finished table to :class:`PathSet`, and
+only directly-constructed path sets fall back to the
+:func:`repro.utils.bitset.masks_from_paths` re-scan.  Unions over node
 sets — ``P(U)`` — are then single bitwise ORs.  All heavy identifiability
 queries go through the :class:`~repro.engine.signatures.SignatureEngine`
 exposed by :meth:`PathSet.engine`, which interns these masks once per backend
@@ -13,7 +16,7 @@ Enumeration per mechanism
 -------------------------
 
 * **CSP** — all simple paths from every input node to every *different*
-  output node (``networkx.all_simple_paths``).
+  output node (a native multi-target DFS, one traversal per source).
 * **CAP⁻** — the CSP paths, plus (a) simple paths from an input node back to
   itself when that node is also an output node, i.e. monitor-anchored simple
   cycles of length >= 2, and (b) simple paths between identical input/output
@@ -41,13 +44,16 @@ from typing import (
     Tuple,
 )
 
-import networkx as nx
-
 from repro._typing import AnyGraph, Node, Path
 from repro.exceptions import PathExplosionError, RoutingError
 from repro.monitors.placement import MonitorPlacement
 from repro.routing.mechanisms import RoutingMechanism
-from repro.utils.bitset import bits_of, masks_from_paths
+from repro.utils.bitset import (
+    bit_indices,
+    bits_of,
+    mask_from_indices,
+    masks_from_paths,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine sits above)
     from repro.engine.signatures import SignatureEngine
@@ -75,17 +81,28 @@ class PathSet:
 
     nodes: Tuple[Node, ...]
     paths: Tuple[Path, ...]
+    #: Precomputed ``node -> P(v)`` masks.  Left empty (the default) they are
+    #: derived from ``paths``; the enumerator passes the masks it accumulated
+    #: during its single traversal so the paths are never re-scanned.
     _node_masks: Dict[Node, int] = field(repr=False, compare=False, default_factory=dict)
-    _engines: Dict[str, "SignatureEngine"] = field(
+    _engines: Dict[object, "SignatureEngine"] = field(
         repr=False, compare=False, default_factory=dict
     )
 
     def __post_init__(self) -> None:
-        try:
-            masks = masks_from_paths(self.nodes, self.paths)
-        except ValueError as exc:
-            raise RoutingError(str(exc)) from exc
-        object.__setattr__(self, "_node_masks", masks)
+        if self._node_masks:
+            if len(self._node_masks) != len(set(self.nodes)) or any(
+                node not in self._node_masks for node in self.nodes
+            ):
+                raise RoutingError(
+                    "precomputed node masks must cover exactly the node universe"
+                )
+        else:
+            try:
+                masks = masks_from_paths(self.nodes, self.paths)
+            except ValueError as exc:
+                raise RoutingError(str(exc)) from exc
+            object.__setattr__(self, "_node_masks", masks)
         object.__setattr__(self, "_engines", {})
 
     # -- basic accessors ---------------------------------------------------
@@ -148,35 +165,93 @@ class PathSet:
         return tuple(self.paths[i] for i in bits_of(diff))
 
     # -- signature engine ---------------------------------------------------
-    def engine(self, backend=None) -> "SignatureEngine":
+    def engine(self, backend=None, compress: Optional[bool] = None) -> "SignatureEngine":
         """The :class:`~repro.engine.signatures.SignatureEngine` over this
         path set's node masks.
 
-        Engines are memoised per resolved backend name, so every consumer of
-        the same :class:`PathSet` — the identifiability core, the tomography
-        layer, the experiment drivers — shares one interned signature store.
-        ``backend`` follows :func:`repro.engine.select_backend` semantics:
-        ``None`` defers to the global policy, a name forces that backend, and
-        a :class:`~repro.engine.backends.SignatureBackend` instance is used
-        as-is (not memoised).
+        Engines are memoised per (normalised backend spec, compression
+        flag), so every consumer of the same :class:`PathSet` — the
+        identifiability core, the tomography layer, the experiment drivers —
+        shares one interned signature store.  ``backend`` follows
+        :func:`repro.engine.select_backend` semantics: ``None`` defers to the
+        global policy, a name forces that backend, and a
+        :class:`~repro.engine.backends.SignatureBackend` instance is used
+        as-is (not memoised).  An ``"auto"`` spec is kept symbolic here and
+        resolved by the engine against the width it actually operates on —
+        the compressed column count — so this route and a direct
+        :meth:`SignatureEngine.from_pathset` pick the same backend.
+        ``compress`` follows :func:`repro.engine.select_compression`:
+        ``None`` defers to the global policy (on), and an explicit boolean
+        forces/disables the duplicate-column collapse for this engine.
         """
         # Imported lazily: the engine layer sits above routing.
-        from repro.engine.backends import SignatureBackend, resolve_backend_name
+        from repro.engine.backends import SignatureBackend, normalize_backend_spec
+        from repro.engine.compress import compression_enabled
         from repro.engine.signatures import SignatureEngine
 
+        if compress is None:
+            compress = compression_enabled()
         if isinstance(backend, SignatureBackend):
-            return SignatureEngine(self.nodes, self._node_masks, len(self.paths), backend)
-        name = resolve_backend_name(backend, len(self.paths))
-        cached = self._engines.get(name)
+            return SignatureEngine(
+                self.nodes, self._node_masks, len(self.paths), backend, compress
+            )
+        from repro.engine.backends import NUMPY_MIN_PATHS, numpy_available
+
+        name = normalize_backend_spec(backend)
+        if name == "auto" and (
+            not numpy_available() or len(self.paths) < NUMPY_MIN_PATHS
+        ):
+            # Below the numpy threshold the compressed width is too (it can
+            # only shrink), so "auto" is decidable without building the plan.
+            name = "python"
+        key = (name, bool(compress))
+        cached = self._engines.get(key)
         if cached is None:
-            cached = SignatureEngine(self.nodes, self._node_masks, len(self.paths), name)
-            self._engines[name] = cached
+            cached = SignatureEngine(
+                self.nodes, self._node_masks, len(self.paths), name, compress
+            )
+            self._engines[key] = cached
+            # Alias the concrete backend name so a later explicit request
+            # (e.g. engine("python") after a policy-default engine()) shares
+            # this instance instead of re-interning the signatures.
+            self._engines.setdefault((cached.backend.name, bool(compress)), cached)
         return cached
 
     def restrict_to_paths(self, indices: Sequence[int]) -> "PathSet":
-        """A new :class:`PathSet` over the same universe with a subset of paths."""
+        """A new :class:`PathSet` over the same universe with a subset of paths.
+
+        ``indices`` selects (and orders) the paths of the restriction; each
+        index must be in ``range(n_paths)`` and appear at most once —
+        anything else raises :class:`~repro.exceptions.RoutingError`.  The
+        restricted node masks are obtained by *column selection* from this
+        path set's masks (bit ``j`` of the new ``P(v)`` is bit
+        ``indices[j]`` of the old one) instead of re-scanning the selected
+        path tuples.
+        """
+        indices = list(indices)
+        n = len(self.paths)
+        seen: set = set()
+        for index in indices:
+            if not 0 <= index < n:
+                raise RoutingError(
+                    f"path index {index} out of range for {n} paths"
+                )
+            if index in seen:
+                raise RoutingError(f"duplicate path index {index}")
+            seen.add(index)
         selected = tuple(self.paths[i] for i in indices)
-        return PathSet(self.nodes, selected)
+        # Walk each parent mask's set bits once (byte-table extraction) and
+        # remap the surviving columns, instead of testing every selected
+        # index against every node mask with O(|P|)-cost big-int shifts.
+        remap = {original: j for j, original in enumerate(indices)}
+        lookup = remap.get
+        masks = {}
+        for node, mask in self._node_masks.items():
+            kept = [
+                j for i in bit_indices(mask) if (j := lookup(i)) is not None
+            ]
+            masks[node] = mask_from_indices(kept)
+        return PathSet(self.nodes, selected, masks)
 
     def describe(self) -> str:
         """One-line human-readable summary."""
@@ -194,20 +269,46 @@ def _iter_simple_paths(
 ) -> Iterator[Path]:
     """Yield all simple paths from ``source`` to any of ``targets``.
 
-    All targets are handed to networkx in a single call so the DFS is run
-    once per source instead of once per (source, target) pair — the shared
-    path prefixes between targets are walked only once, which dominates the
-    enumeration cost on dense monitor placements.  Paths from a node to
-    itself are excluded (the DLP/cycle cases are handled by the callers).
+    A native iterative multi-target DFS: one traversal per source covers
+    every target, so path prefixes shared between targets are walked only
+    once — and, unlike ``networkx.all_simple_paths``, the on-path node set is
+    carried explicitly, the generator emits tuples directly, and no wrapper
+    generators sit between the traversal and the caller.  Paths from a node
+    to itself are excluded (the DLP/cycle cases are handled by the callers).
+
+    ``cutoff`` limits the path length in *edges* (``None`` = unlimited).
+    The traversal descends into a child only while some target lies outside
+    the current path, matching the classic pruning of the networkx
+    implementation; emission order is depth-first in adjacency order.
     """
     target_set = {t for t in targets if t != source}
     if not target_set:
         return
-    try:
-        for path in nx.all_simple_paths(graph, source, target_set, cutoff=cutoff):
-            yield tuple(path)
-    except nx.NodeNotFound as exc:  # pragma: no cover - guarded by validate()
-        raise RoutingError(str(exc)) from exc
+    if source not in graph:
+        raise RoutingError(f"source node {source!r} is not in the graph")
+    adjacency = graph.adj
+    max_nodes = graph.number_of_nodes() if cutoff is None else cutoff + 1
+    if max_nodes < 2:
+        return  # no room for even a 1-edge path (cutoff <= 0 / trivial graph)
+    path: List[Node] = [source]
+    on_path = {source}
+    stack: List[Iterator[Node]] = [iter(adjacency[source])]
+    while stack:
+        descended = False
+        for child in stack[-1]:
+            if child in on_path:
+                continue
+            if child in target_set:
+                yield tuple(path) + (child,)
+            if len(path) < max_nodes - 1 and not target_set <= on_path | {child}:
+                path.append(child)
+                on_path.add(child)
+                stack.append(iter(adjacency[child]))
+                descended = True
+                break
+        if not descended:
+            stack.pop()
+            on_path.discard(path.pop())
 
 
 def _monitor_cycles(
@@ -223,8 +324,8 @@ def _monitor_cycles(
         for successor in graph.successors(anchor):
             if successor == anchor:
                 continue
-            for path in nx.all_simple_paths(graph, successor, anchor, cutoff=cutoff):
-                yield (anchor,) + tuple(path)
+            for path in _iter_simple_paths(graph, successor, {anchor}, cutoff):
+                yield (anchor,) + path
     else:
         # Dedup by the canonical *edge* set, not the node set: two genuinely
         # different simple cycles can visit the same nodes in different orders
@@ -234,17 +335,58 @@ def _monitor_cycles(
         # frozenset of unordered endpoint pairs is a faithful canonical form.
         seen: set = set()
         for neighbour in graph.neighbors(anchor):
-            for path in nx.all_simple_paths(graph, neighbour, anchor, cutoff=cutoff):
+            for path in _iter_simple_paths(graph, neighbour, {anchor}, cutoff):
                 if len(path) < 3:
                     # (neighbour, anchor) would retrace the same edge.
                     continue
-                cycle = (anchor,) + tuple(path)
+                cycle = (anchor,) + path
                 key = frozenset(
                     frozenset(pair) for pair in zip(cycle, cycle[1:])
                 )
                 if key not in seen:
                     seen.add(key)
                     yield cycle
+
+
+def _generate_measurement_paths(
+    graph: AnyGraph,
+    placement: MonitorPlacement,
+    mechanism: RoutingMechanism,
+    cutoff: Optional[int],
+) -> Iterator[Path]:
+    """Yield the measurement paths of ``P(G|χ)`` in canonical order, deduped.
+
+    The CSP family needs no dedup: paths from different sources differ in
+    their first node, and the multi-target DFS emits each simple path from
+    one source exactly once.  Duplicates can only arise inside the CAP/CAP⁻
+    cycle and self-path families, so the ``seen`` set is scoped there — the
+    (usually much larger) CSP family is streamed straight through without
+    hashing every tuple.
+    """
+    placement.validate(graph)
+
+    # Simple input -> output paths with distinct endpoints (all mechanisms).
+    # One multi-target traversal per source; see _iter_simple_paths.
+    for source in sorted(placement.inputs, key=repr):
+        yield from _iter_simple_paths(graph, source, placement.outputs, cutoff)
+
+    if mechanism.allows_cycles or mechanism.allows_dlp:
+        seen: set = set()
+        if mechanism.allows_cycles:
+            # Paths that start and end on the same node which is both an input
+            # and an output node: monitor-anchored simple cycles (>= 2 edges).
+            for anchor in sorted(placement.dlp_candidates, key=repr):
+                for cycle in _monitor_cycles(graph, anchor, cutoff):
+                    if cycle not in seen:
+                        seen.add(cycle)
+                        yield cycle
+        if mechanism.allows_dlp:
+            # Degenerate loop paths: the single-node loop m·(vv)·M.
+            for anchor in sorted(placement.dlp_candidates, key=repr):
+                loop = (anchor, anchor)
+                if loop not in seen:
+                    seen.add(loop)
+                    yield loop
 
 
 def enumerate_paths(
@@ -255,6 +397,12 @@ def enumerate_paths(
     max_paths: int = DEFAULT_MAX_PATHS,
 ) -> PathSet:
     """Enumerate the measurement paths ``P(G|χ)`` under a routing mechanism.
+
+    The node masks ``P(v)`` are accumulated *while the paths are generated* —
+    each path contributes its index to the per-node incidence lists as it is
+    emitted, and the big-int masks are built once at the end
+    (:func:`repro.utils.bitset.mask_from_indices`), so the path tuples are
+    never re-scanned after enumeration.
 
     Parameters
     ----------
@@ -277,47 +425,35 @@ def enumerate_paths(
         The measurement paths over the full node set of ``graph``.
     """
     mechanism = RoutingMechanism.parse(mechanism)
-    placement.validate(graph)
     node_universe = tuple(sorted(graph.nodes, key=repr))
 
     paths: List[Path] = []
-    seen: set = set()
-
-    def push(path: Path) -> None:
-        if path in seen:
-            return
-        seen.add(path)
+    index_lists: Dict[Node, List[int]] = {node: [] for node in node_universe}
+    for path in _generate_measurement_paths(graph, placement, mechanism, cutoff):
+        index = len(paths)
         paths.append(path)
         if len(paths) > max_paths:
             raise PathExplosionError(
                 f"more than max_paths={max_paths} measurement paths; "
                 "increase the cap or use a smaller topology"
             )
-
-    # Simple input -> output paths with distinct endpoints (all mechanisms).
-    # One multi-target traversal per source; see _iter_simple_paths.
-    for source in sorted(placement.inputs, key=repr):
-        for path in _iter_simple_paths(graph, source, placement.outputs, cutoff):
-            push(path)
-
-    if mechanism.allows_cycles:
-        # Paths that start and end on the same node which is both an input and
-        # an output node: monitor-anchored simple cycles (length >= 2 edges).
-        for anchor in sorted(placement.dlp_candidates, key=repr):
-            for cycle in _monitor_cycles(graph, anchor, cutoff):
-                push(cycle)
-
-    if mechanism.allows_dlp:
-        # Degenerate loop paths: the single-node loop m·(vv)·M.
-        for anchor in sorted(placement.dlp_candidates, key=repr):
-            push((anchor, anchor))
+        # Every emitted path is simple apart from a possibly repeated
+        # endpoint (cycles, degenerate loops), so dropping the last node of
+        # a closed tuple leaves exactly the distinct touched nodes — no
+        # ``set(path)`` per path needed.
+        touched = path[:-1] if path[0] == path[-1] else path
+        for node in touched:
+            index_lists[node].append(index)
 
     if not paths:
         raise RoutingError(
             "no measurement path exists for this placement under "
             f"{mechanism.value}; identifiability would be undefined"
         )
-    return PathSet(node_universe, tuple(paths))
+    masks = {
+        node: mask_from_indices(indices) for node, indices in index_lists.items()
+    }
+    return PathSet(node_universe, tuple(paths), masks)
 
 
 def path_length_histogram(pathset: PathSet) -> Dict[int, int]:
@@ -340,5 +476,26 @@ def count_paths(
     cutoff: Optional[int] = DEFAULT_CUTOFF,
     max_paths: int = DEFAULT_MAX_PATHS,
 ) -> int:
-    """Convenience wrapper returning only ``|P(G|χ)|`` (as in Tables 3-5)."""
-    return enumerate_paths(graph, placement, mechanism, cutoff, max_paths).n_paths
+    """``|P(G|χ)|`` (as in Tables 3-5), streamed off the enumeration.
+
+    Counts the paths as the traversal emits them — no :class:`PathSet`, no
+    node masks, no stored tuples (beyond the scoped cycle-family dedup set).
+    Semantics match :func:`enumerate_paths` exactly: the same
+    :class:`PathExplosionError` guard applies and an empty path family
+    raises :class:`RoutingError`.
+    """
+    mechanism = RoutingMechanism.parse(mechanism)
+    count = 0
+    for _ in _generate_measurement_paths(graph, placement, mechanism, cutoff):
+        count += 1
+        if count > max_paths:
+            raise PathExplosionError(
+                f"more than max_paths={max_paths} measurement paths; "
+                "increase the cap or use a smaller topology"
+            )
+    if count == 0:
+        raise RoutingError(
+            "no measurement path exists for this placement under "
+            f"{mechanism.value}; identifiability would be undefined"
+        )
+    return count

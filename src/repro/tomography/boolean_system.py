@@ -169,7 +169,11 @@ def measurement_vector(pathset: PathSet, failure_set: Iterable[Node]) -> Measure
     packed signatures of the pathset's engine: the observation vector is the
     indicator of ``P(F)``, the union signature of the failed nodes, unpacked
     in one vectorized pass (numpy backend) or one sparse bit walk (python
-    backend) instead of scanning every node of every path.
+    backend) instead of scanning every node of every path.  Under the default
+    signature-universe compression the union runs over distinct path columns
+    only and the engine expands the indicator back through its
+    :class:`~repro.engine.compress.CompressionPlan`, so the vector is always
+    indexed by the original paths of ``pathset``.
     """
     failed = frozenset(failure_set)
     unknown = failed - pathset.node_universe

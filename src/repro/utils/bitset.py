@@ -15,15 +15,26 @@ from typing import Iterable, Iterator, Mapping, Sequence
 def mask_from_indices(indices: Iterable[int]) -> int:
     """Build a bitmask with the given bit positions set.
 
+    The mask is assembled in a byte buffer and converted to an integer once
+    at the end.  Repeated ``mask |= 1 << index`` costs O(width/word) per OR
+    because each big-int result is a fresh allocation; the buffer fill is
+    O(1) per index plus one final O(width) conversion, which is what keeps
+    node-mask construction linear in the incidence size even for path
+    universes tens of thousands of bits wide.
+
     >>> bin(mask_from_indices([0, 2, 3]))
     '0b1101'
     """
-    mask = 0
-    for index in indices:
-        if index < 0:
-            raise ValueError(f"bit index must be non-negative, got {index}")
-        mask |= 1 << index
-    return mask
+    items = indices if isinstance(indices, list) else list(indices)
+    if not items:
+        return 0
+    low = min(items)
+    if low < 0:
+        raise ValueError(f"bit index must be non-negative, got {low}")
+    buffer = bytearray((max(items) >> 3) + 1)
+    for index in items:
+        buffer[index >> 3] |= 1 << (index & 7)
+    return int.from_bytes(buffer, "little")
 
 
 def union_masks(masks: Iterable[int]) -> int:
@@ -56,25 +67,61 @@ def bits_of(mask: int) -> Iterator[int]:
         mask ^= low
 
 
+#: ``byte -> ascending bit offsets`` lookup used by :func:`bit_indices`.
+_BYTE_BITS = tuple(
+    tuple(offset for offset in range(8) if byte >> offset & 1)
+    for byte in range(256)
+)
+
+
+def bit_indices(mask: int) -> list:
+    """The indices of the set bits of ``mask``, as an ascending list.
+
+    The eager, dense-mask counterpart of :func:`bits_of`: the mask is
+    exported to bytes once and each non-zero byte is expanded through a
+    256-entry lookup table, so the cost is O(width/8 + popcount) with small
+    constants — :func:`bits_of`'s lowest-set-bit walk costs a full-width
+    big-int operation *per set bit*, which dominates when masks are dense
+    (the incidence-transpose in :mod:`repro.engine.compress` is the heavy
+    consumer).
+    """
+    if mask < 0:
+        raise ValueError("mask must be non-negative")
+    indices: list = []
+    if not mask:
+        return indices
+    table = _BYTE_BITS
+    for position, byte in enumerate(mask.to_bytes((mask.bit_length() + 7) >> 3, "little")):
+        if byte:
+            base = position << 3
+            indices.extend(base + offset for offset in table[byte])
+    return indices
+
+
 def masks_from_paths(nodes: Sequence, paths: Sequence[Sequence]) -> dict:
     """Build the ``node -> P(v)`` bitmask table from an indexed path family.
 
     Path ``i`` contributes bit ``i`` to the mask of every node it touches.
+    The incidence is first accumulated as one ascending index list per node
+    and each big-int mask is then built once by :func:`mask_from_indices` —
+    a node crossed by k paths costs k list appends plus a single O(width)
+    conversion, instead of k big-int ORs of O(width) each.
+
     Raises :class:`ValueError` when a path touches a node outside ``nodes``;
     the routing layer re-raises that as a :class:`~repro.exceptions.RoutingError`.
     This is the single mask-construction primitive shared by
     :class:`repro.routing.paths.PathSet` and the signature engine.
     """
-    masks = {node: 0 for node in nodes}
+    index_lists: dict = {node: [] for node in nodes}
     for index, path in enumerate(paths):
-        bit = 1 << index
         for node in set(path):
-            if node not in masks:
+            indices = index_lists.get(node)
+            if indices is None:
                 raise ValueError(
                     f"path {index} touches {node!r} which is outside the node universe"
                 )
-            masks[node] |= bit
-    return masks
+            indices.append(index)
+    return {node: mask_from_indices(indices) for node, indices in index_lists.items()}
 
 
 def masks_for_nodes(

@@ -1,0 +1,243 @@
+"""Parity and round-trip tests for signature-universe compression.
+
+The duplicate-column collapse of :mod:`repro.engine.compress` must be
+*invisible* in every engine result: µ, witnesses, ``searched_up_to``,
+exhaustion, separability matrices, equivalence classes and measurement
+vectors all have to come out bit-identical whether the engine runs on the
+raw or the compressed universe.  The property tests below check exactly that
+on ≥20 random instances per routing mechanism, and the plan itself is
+checked to round-trip original path indices.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.identifiability import (
+    maximal_identifiability,
+    maximal_identifiability_detailed,
+)
+from repro.core.truncated import truncated_identifiability_detailed
+from repro.engine import (
+    CompressionPlan,
+    SignatureEngine,
+    compress_universe,
+    compression_enabled,
+    compression_policy,
+    select_compression,
+)
+from repro.exceptions import IdentifiabilityError
+from repro.routing.paths import PathSet
+from repro.utils.bitset import bits_of, masks_for_nodes
+
+from test_engine import MECHANISMS, PARITY_SEEDS, random_instance
+
+
+@pytest.fixture(autouse=True)
+def reset_compression_policy():
+    """Keep the global compression policy pristine across tests."""
+    select_compression(True)
+    yield
+    select_compression(True)
+
+
+def _compressible_pathset() -> PathSet:
+    """A tiny path set with duplicate columns: paths 0/2 share {a, b}."""
+    return PathSet(
+        nodes=("a", "b", "c"),
+        paths=(("a", "b"), ("b", "c"), ("b", "a"), ("a", "b", "c")),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Compressed vs raw engine parity (the tentpole's soundness property)
+# ---------------------------------------------------------------------------
+
+class TestCompressedRawParity:
+    @pytest.mark.parametrize("mechanism", MECHANISMS)
+    @pytest.mark.parametrize("seed", PARITY_SEEDS)
+    def test_mu_witness_and_search_parity(self, seed, mechanism):
+        _, _, pathset = random_instance(seed, mechanism)
+        raw = maximal_identifiability_detailed(pathset, max_size=4, compress=False)
+        compressed = maximal_identifiability_detailed(
+            pathset, max_size=4, compress=True
+        )
+        assert compressed.value == raw.value
+        assert compressed.searched_up_to == raw.searched_up_to
+        assert compressed.exhausted_search == raw.exhausted_search
+        if raw.witness is None:
+            assert compressed.witness is None
+        else:
+            # Identical branches -> the *same* witness, not just a valid one.
+            assert compressed.witness.first == raw.witness.first
+            assert compressed.witness.second == raw.witness.second
+            # And it must be a genuine confusable pair over the raw paths.
+            assert pathset.paths_through_set(
+                compressed.witness.first
+            ) == pathset.paths_through_set(compressed.witness.second)
+
+    @pytest.mark.parametrize("mechanism", MECHANISMS)
+    @pytest.mark.parametrize("seed", PARITY_SEEDS)
+    def test_separability_matrix_parity(self, seed, mechanism):
+        _, _, pathset = random_instance(seed, mechanism)
+        raw = pathset.engine(compress=False)
+        compressed = pathset.engine(compress=True)
+        assert compressed.separability_matrix(2) == raw.separability_matrix(2)
+
+    @pytest.mark.parametrize("mechanism", MECHANISMS)
+    @pytest.mark.parametrize("seed", PARITY_SEEDS)
+    def test_measurement_vector_parity(self, seed, mechanism):
+        _, _, pathset = random_instance(seed, mechanism)
+        raw = pathset.engine(compress=False)
+        compressed = pathset.engine(compress=True)
+        failure_sets = (
+            frozenset(),
+            frozenset(pathset.nodes[:1]),
+            frozenset(pathset.nodes[:3]),
+            frozenset(pathset.nodes),
+        )
+        for failed in failure_sets:
+            assert compressed.measurement_vector(failed) == raw.measurement_vector(
+                failed
+            ), f"measurement vectors diverge for {sorted(map(repr, failed))}"
+
+    @pytest.mark.parametrize("seed", (0, 5, 11, 17))
+    def test_equivalence_classes_and_truncated_parity(self, seed):
+        _, _, pathset = random_instance(seed, "CAP")
+        raw = pathset.engine(compress=False)
+        compressed = pathset.engine(compress=True)
+        assert compressed.equivalence_classes() == raw.equivalence_classes()
+        trunc_raw = truncated_identifiability_detailed(pathset, 2, compress=False)
+        trunc_compressed = truncated_identifiability_detailed(
+            pathset, 2, compress=True
+        )
+        assert trunc_compressed.value == trunc_raw.value
+        assert trunc_compressed.searched_up_to == trunc_raw.searched_up_to
+
+
+# ---------------------------------------------------------------------------
+# The plan: round-trips, multiplicities, index remap
+# ---------------------------------------------------------------------------
+
+class TestCompressionPlan:
+    def test_duplicate_columns_are_merged(self):
+        pathset = _compressible_pathset()
+        engine = pathset.engine(compress=True)
+        plan = engine.compression
+        assert plan is not None
+        assert plan.n_original == 4
+        # paths 0 and 2 have touch-set {a, b}; the rest are distinct.
+        assert plan.members == ((0, 2), (1,), (3,))
+        assert plan.multiplicity == (2, 1, 1)
+        assert plan.representatives == (0, 1, 3)
+        assert engine.n_columns == 3
+        assert engine.n_paths == 4  # reported width stays the original
+
+    def test_class_of_remap_is_consistent(self):
+        plan = _compressible_pathset().engine(compress=True).compression
+        for compressed_index, group in enumerate(plan.members):
+            for original_index in group:
+                assert plan.class_of[original_index] == compressed_index
+
+    def test_node_masks_round_trip(self):
+        """Node rows are class-closed, so compress∘expand is the identity."""
+        for seed in range(10):
+            _, _, pathset = random_instance(seed, "CAP-")
+            plan = pathset.engine(compress=True).compression
+            if plan is None:  # identity universes carry no plan
+                continue
+            for node in pathset.nodes:
+                mask = pathset.paths_through(node)
+                assert plan.expand_mask(plan.compress_mask(mask)) == mask
+
+    def test_expand_indices_matches_raw_union(self):
+        for seed in (1, 4, 8):
+            _, _, pathset = random_instance(seed, "CAP")
+            engine = pathset.engine(compress=True)
+            plan = engine.compression
+            if plan is None:
+                continue
+            subset = frozenset(pathset.nodes[:2])
+            signature = engine.union_signature(subset)
+            expanded = plan.expand_indices(engine.backend.bits(signature))
+            assert expanded == tuple(bits_of(pathset.paths_through_set(subset)))
+
+    def test_all_zero_columns_are_dropped(self):
+        nodes = ("a", "b")
+        masks = masks_for_nodes(nodes, {"a": [0], "b": [0, 2]}, 4)
+        plan, compressed = compress_universe(nodes, masks, 4)
+        assert plan.members == ((0,), (2,))
+        assert 1 not in plan.class_of and 3 not in plan.class_of
+        assert compressed == {"a": 0b01, "b": 0b11}
+        raw_engine = SignatureEngine(nodes, masks, 4, compress=False)
+        compressed_engine = SignatureEngine(nodes, masks, 4, compress=True)
+        raw_result = raw_engine.identifiability()
+        compressed_result = compressed_engine.identifiability()
+        assert compressed_result.value == raw_result.value
+        assert compressed_result.witness == raw_result.witness
+
+    def test_identity_universe_skips_the_plan(self):
+        pathset = PathSet(nodes=("a", "b"), paths=(("a",), ("b",), ("a", "b")))
+        engine = pathset.engine(compress=True)
+        assert engine.compression is None  # every column distinct: no gain
+        assert engine.n_columns == engine.n_paths == 3
+
+    def test_inconsistent_mask_width_rejected(self):
+        with pytest.raises(IdentifiabilityError):
+            compress_universe(("a",), {"a": 0b1001}, 2)
+
+    def test_multiplicities_and_drops_partition_the_universe(self):
+        for seed in range(8):
+            _, _, pathset = random_instance(seed, "CAP")
+            plan = pathset.engine(compress=True).compression
+            if plan is None:
+                continue
+            kept = sum(plan.multiplicity)
+            assert kept <= plan.n_original
+            covered = sorted(j for group in plan.members for j in group)
+            assert covered == sorted(plan.class_of)
+            assert len(covered) == len(set(covered)) == kept
+
+
+# ---------------------------------------------------------------------------
+# Policy plumbing and memoisation
+# ---------------------------------------------------------------------------
+
+class TestCompressionPolicy:
+    def test_default_policy_is_on(self):
+        assert compression_enabled() is True
+        engine = _compressible_pathset().engine()
+        assert engine.compression is not None
+
+    def test_select_compression_toggles_default(self):
+        select_compression(False)
+        assert compression_enabled() is False
+        engine = _compressible_pathset().engine()
+        assert engine.compression is None
+
+    def test_policy_context_manager_restores(self):
+        with compression_policy(False) as enabled:
+            assert enabled is False
+            assert compression_enabled() is False
+        assert compression_enabled() is True
+        with compression_policy(None):
+            assert compression_enabled() is True
+
+    def test_engines_memoised_per_compression_flag(self):
+        pathset = _compressible_pathset()
+        assert pathset.engine(compress=True) is pathset.engine(compress=True)
+        assert pathset.engine(compress=False) is pathset.engine(compress=False)
+        assert pathset.engine(compress=True) is not pathset.engine(compress=False)
+
+    def test_mu_accepts_compress_override(self):
+        _, _, pathset = random_instance(7, "CSP")
+        assert maximal_identifiability(pathset, compress=True) == (
+            maximal_identifiability(pathset, compress=False)
+        )
+
+    def test_describe_reports_compressed_width(self):
+        engine = _compressible_pathset().engine(compress=True)
+        assert "columns=3" in engine.describe()
+        assert "raw" in _compressible_pathset().engine(compress=False).describe()
+        plan = engine.compression
+        assert "4 -> 3 columns" in plan.describe()

@@ -212,3 +212,221 @@ def test_number_of_grid_paths_grows_with_n(n):
     if n < 5:
         larger = count_paths(directed_grid(n + 1), chi_g(directed_grid(n + 1)))
         assert larger > smaller
+
+
+class TestNativeEnumerationOracle:
+    """The native multi-target DFS must reproduce the networkx path family."""
+
+    @staticmethod
+    def _nx_reference_paths(graph, placement, mechanism):
+        """Pre-refactor reference: nx.all_simple_paths + a global dedup set."""
+        from repro.routing.mechanisms import RoutingMechanism
+
+        mechanism = RoutingMechanism.parse(mechanism)
+        paths: list = []
+        seen: set = set()
+
+        def push(path):
+            if path not in seen:
+                seen.add(path)
+                paths.append(path)
+
+        for source in sorted(placement.inputs, key=repr):
+            targets = {t for t in placement.outputs if t != source}
+            if targets:
+                for path in nx.all_simple_paths(graph, source, targets):
+                    push(tuple(path))
+        if mechanism.allows_cycles:
+            for anchor in sorted(placement.dlp_candidates, key=repr):
+                if graph.is_directed():
+                    for successor in graph.successors(anchor):
+                        if successor == anchor:
+                            continue
+                        for path in nx.all_simple_paths(graph, successor, anchor):
+                            push((anchor,) + tuple(path))
+                else:
+                    cycle_seen: set = set()
+                    for neighbour in graph.neighbors(anchor):
+                        for path in nx.all_simple_paths(graph, neighbour, anchor):
+                            if len(path) < 3:
+                                continue
+                            cycle = (anchor,) + tuple(path)
+                            key = frozenset(
+                                frozenset(pair) for pair in zip(cycle, cycle[1:])
+                            )
+                            if key not in cycle_seen:
+                                cycle_seen.add(key)
+                                push(cycle)
+        if mechanism.allows_dlp:
+            for anchor in sorted(placement.dlp_candidates, key=repr):
+                push((anchor, anchor))
+        return paths
+
+    @pytest.mark.parametrize("mechanism", ("CSP", "CAP-", "CAP"))
+    @pytest.mark.parametrize("seed", tuple(range(8)))
+    def test_matches_networkx_on_random_graphs(self, seed, mechanism):
+        from repro.monitors.heuristics import mdmp_placement, random_placement
+        from repro.topology.random_graphs import erdos_renyi_connected
+
+        graph = erdos_renyi_connected(5 + seed % 3, 0.5, rng=seed)
+        if seed % 3 == 2:
+            ordered = sorted(graph.nodes, key=repr)
+            placement = MonitorPlacement.of(
+                inputs=ordered[:2], outputs=[ordered[1], ordered[-1]]
+            )
+        elif seed % 2:
+            placement = random_placement(graph, 2, 2, rng=seed)
+        else:
+            placement = mdmp_placement(graph, 2)
+        expected = self._nx_reference_paths(graph, placement, mechanism)
+        actual = enumerate_paths(graph, placement, mechanism)
+        assert set(actual.paths) == set(expected)
+        assert len(actual.paths) == len(expected), "duplicate or missing paths"
+
+    def test_matches_networkx_on_directed_grid(self, directed_grid_3):
+        placement = chi_g(directed_grid_3)
+        expected = self._nx_reference_paths(directed_grid_3, placement, "CSP")
+        actual = enumerate_paths(directed_grid_3, placement, "CSP")
+        assert list(actual.paths) == expected  # same depth-first order too
+
+    @pytest.mark.parametrize("cutoff", (2, 3, 4))
+    def test_cutoff_matches_networkx(self, cutoff):
+        graph = undirected_grid(3)
+        placement = MonitorPlacement.of(inputs={(1, 1)}, outputs={(3, 3), (1, 3)})
+        expected = set()
+        for source in sorted(placement.inputs, key=repr):
+            targets = {t for t in placement.outputs if t != source}
+            for path in nx.all_simple_paths(graph, source, targets, cutoff=cutoff):
+                expected.add(tuple(path))
+        actual = enumerate_paths(graph, placement, "CSP", cutoff=cutoff)
+        assert set(actual.paths) == expected
+
+    def test_masks_match_rederivation(self):
+        """The single-pass accumulated masks equal the masks_from_paths scan."""
+        from repro.utils.bitset import masks_from_paths
+
+        graph = nx.cycle_graph(5)
+        placement = MonitorPlacement.of(inputs={0, 1}, outputs={0, 3})
+        pathset = enumerate_paths(graph, placement, "CAP")
+        rederived = masks_from_paths(pathset.nodes, pathset.paths)
+        assert {n: pathset.paths_through(n) for n in pathset.nodes} == rederived
+
+
+class TestCountPathsStreaming:
+    def test_count_does_not_build_a_pathset(self, monkeypatch):
+        import repro.routing.paths as paths_module
+
+        def explode(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("count_paths must not construct a PathSet")
+
+        monkeypatch.setattr(paths_module, "PathSet", explode)
+        graph = line_graph(4)
+        placement = MonitorPlacement.of(inputs={0}, outputs={3})
+        assert count_paths(graph, placement, "CSP") == 1
+
+    def test_count_matches_enumeration_across_mechanisms(self):
+        graph = nx.cycle_graph(5)
+        placement = MonitorPlacement.of(inputs={0, 1}, outputs={0, 3})
+        for mechanism in ("CSP", "CAP-", "CAP"):
+            assert count_paths(graph, placement, mechanism) == enumerate_paths(
+                graph, placement, mechanism
+            ).n_paths
+
+    def test_count_respects_max_paths_guard(self, directed_grid_4):
+        with pytest.raises(PathExplosionError):
+            count_paths(directed_grid_4, chi_g(directed_grid_4), max_paths=10)
+
+    def test_count_raises_on_empty_family(self):
+        graph = nx.DiGraph()
+        graph.add_edge("a", "b")
+        graph.add_node("c")
+        placement = MonitorPlacement.of(inputs={"b"}, outputs={"c"})
+        with pytest.raises(RoutingError):
+            count_paths(graph, placement, "CSP")
+
+
+class TestRestrictToPathsValidation:
+    def _toy(self) -> PathSet:
+        return PathSet(
+            nodes=("a", "b", "c", "d"),
+            paths=(("a", "b"), ("b", "c"), ("a", "c")),
+        )
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(RoutingError):
+            self._toy().restrict_to_paths([0, 3])
+
+    def test_negative_index_raises(self):
+        with pytest.raises(RoutingError):
+            self._toy().restrict_to_paths([-1])
+
+    def test_duplicate_index_raises(self):
+        with pytest.raises(RoutingError):
+            self._toy().restrict_to_paths([1, 1])
+
+    def test_column_selection_matches_rederivation(self):
+        from repro.utils.bitset import masks_from_paths
+
+        parent = self._toy()
+        restricted = parent.restrict_to_paths([2, 0])
+        assert restricted.paths == (("a", "c"), ("a", "b"))
+        rederived = masks_from_paths(restricted.nodes, restricted.paths)
+        assert {
+            n: restricted.paths_through(n) for n in restricted.nodes
+        } == rederived
+
+    def test_restriction_preserves_universe(self):
+        restricted = self._toy().restrict_to_paths([1])
+        assert restricted.nodes == ("a", "b", "c", "d")
+        assert restricted.paths_through("a") == 0
+
+
+class TestPrecomputedMasks:
+    def test_wrong_mask_cover_rejected(self):
+        with pytest.raises(RoutingError):
+            PathSet(nodes=("a", "b"), paths=(("a", "b"),), _node_masks={"a": 1})
+
+    def test_enumerated_masks_power_the_engine(self):
+        graph = nx.complete_graph(4)
+        placement = MonitorPlacement.of(inputs={0}, outputs={0, 2})
+        pathset = enumerate_paths(graph, placement, "CAP")
+        engine = pathset.engine()
+        failed = frozenset({1})
+        expected = tuple(
+            int(any(node in failed for node in path)) for path in pathset.paths
+        )
+        assert engine.measurement_vector(failed) == expected
+
+
+class TestReviewRegressions:
+    """Regressions from the PR 3 review pass."""
+
+    def test_cutoff_zero_admits_no_path(self):
+        # networkx semantics: cutoff=0 edges means no path exists at all.
+        graph = line_graph(3)
+        placement = MonitorPlacement.of(inputs={0}, outputs={2, 1})
+        with pytest.raises(RoutingError):
+            enumerate_paths(graph, placement, "CSP", cutoff=0)
+
+    def test_restrict_accepts_one_shot_iterables(self):
+        pathset = PathSet(
+            nodes=("a", "b", "c"), paths=(("a", "b"), ("b", "c"), ("a", "c"))
+        )
+        restricted = pathset.restrict_to_paths(iter([2, 0]))
+        assert restricted.paths == (("a", "c"), ("a", "b"))
+        assert restricted.paths_through("a") == 0b11
+
+    def test_engine_auto_backend_resolved_at_compressed_width(self):
+        from repro.engine import NUMPY_MIN_PATHS, numpy_available
+        from repro.engine.signatures import SignatureEngine
+
+        if not numpy_available():
+            pytest.skip("needs numpy to observe the auto switch")
+        # A universe wide enough for numpy raw, but compressing far below
+        # the threshold: every path shares one touch-set.
+        n = NUMPY_MIN_PATHS + 10
+        pathset = PathSet(nodes=("a", "b"), paths=(("a", "b"),) * n)
+        memoised = pathset.engine()  # auto policy
+        direct = SignatureEngine.from_pathset(pathset)
+        assert memoised.backend.name == direct.backend.name == "python"
+        assert pathset.engine(compress=False).backend.name == "numpy"
