@@ -15,7 +15,7 @@ Run:  python examples/boost_real_network.py
 
 from __future__ import annotations
 
-from repro import mdmp_placement, mu, random_placement, structural_upper_bound
+from repro import Scenario, mdmp_placement, random_placement, structural_upper_bound
 from repro.agrid import (
     agrid,
     identifiability_scaled_test_cost,
@@ -36,20 +36,24 @@ def main() -> None:
 
     placement = mdmp_placement(network, d)
     bounds = structural_upper_bound(network, placement)
-    mu_before = mu(network, placement)
+    mu_before = Scenario.from_components(network, placement).mu().value
     print(f"before Agrid: delta = {bounds.degree}, structural bound mu <= "
           f"{bounds.combined}, measured mu = {mu_before}")
 
     boost = agrid(network, d, rng=2018)
-    mu_after = mu(boost.boosted, boost.placement_boosted)
+    mu_after = Scenario.from_components(boost.boosted, boost.placement_boosted).mu().value
     print(f"after Agrid:  added {boost.n_added_edges} links, "
           f"measured mu = {mu_after}")
     print(f"added links: {sorted(boost.added_edges)}")
     print()
 
     # Robustness to the monitor placement (Tables 11-13): random monitors.
-    random_mu_before = mu(network, random_placement(network, d, d, rng=7))
-    random_mu_after = mu(boost.boosted, random_placement(boost.boosted, d, d, rng=7))
+    random_mu_before = Scenario.from_components(
+        network, random_placement(network, d, d, rng=7)
+    ).mu().value
+    random_mu_after = Scenario.from_components(
+        boost.boosted, random_placement(boost.boosted, d, d, rng=7)
+    ).mu().value
     print("with *random* monitor placement instead of MDMP:")
     print(f"  mu(G) = {random_mu_before}, mu(G^A) = {random_mu_after}")
     print()

@@ -17,7 +17,7 @@ Run:  python examples/design_monitorable_network.py
 
 from __future__ import annotations
 
-from repro import mu
+from repro import Scenario
 from repro.agrid import design_network
 from repro.embeddings import hypergrid_dimension
 from repro.utils.tables import format_table
@@ -31,7 +31,7 @@ def main() -> None:
         # Exact verification is affordable for the smallest designs only: the
         # number of simple paths in an undirected hypergrid explodes quickly.
         if plan.n_nodes <= 9:
-            measured = mu(plan.graph, plan.placement)
+            measured = Scenario.from_components(plan.graph, plan.placement).mu().value
         else:
             measured = "(skipped: exact check too large for an example)"
         rows.append(

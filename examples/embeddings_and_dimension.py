@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import networkx as nx
 
-from repro import MonitorPlacement, mu
+from repro import MonitorPlacement, Scenario
 from repro.embeddings import (
     compare_under_embedding,
     find_order_embedding,
@@ -65,14 +65,14 @@ def main() -> None:
 
     grid_closure = transitive_closure(grid)
     closure_placement = chi_g(grid)  # same node set, same placement
-    closure_mu = mu(grid_closure, closure_placement)
+    closure_mu = Scenario.from_components(grid_closure, closure_placement).mu().value
     closure_dim = order_dimension(grid_closure)
     print(f"transitive closure of H_3: mu = {closure_mu}, dim = {closure_dim} "
           f"-> Theorem 6.7 (mu >= dim): {closure_mu >= closure_dim}")
     print()
 
     # --- Corollary 6.8 flavour: adding shortcut edges never hurts.
-    grid_mu = mu(grid, closure_placement)
+    grid_mu = Scenario.from_components(grid, closure_placement).mu().value
     print(f"Corollary 6.8: mu(H_3*) = {closure_mu} >= mu(H_3) = {grid_mu}:",
           closure_mu >= grid_mu)
 

@@ -16,8 +16,22 @@ Run:  python examples/failure_localization.py
 
 from __future__ import annotations
 
-from repro import chi_g, directed_grid
+from repro import FailureModel, PlacementSpec, Scenario, ScenarioSpec, TopologySpec, chi_g, directed_grid
 from repro.tomography import TomographySession
+
+
+def declarative_campaign() -> None:
+    """The same experiment as a declarative scenario (one spec, one call)."""
+    spec = ScenarioSpec(
+        topology=TopologySpec("directed_grid", {"n": 4}),
+        placement=PlacementSpec("chi_g"),
+        failures=FailureModel(size=2, n_trials=20),
+        seed=2018,
+    )
+    report = Scenario(spec).localization_campaign()
+    print("declarative campaign (ScenarioSpec -> localization_campaign):")
+    print(f"  {report.to_json(indent=None)}")
+    print()
 
 
 def main() -> None:
@@ -54,6 +68,9 @@ def main() -> None:
             f"  |failure| = {size}: {report.unique_rate:5.0%} unique "
             f"(mean ambiguity {report.mean_ambiguity:.2f}) [{guarantee}]"
         )
+    print()
+
+    declarative_campaign()
 
 
 if __name__ == "__main__":

@@ -31,19 +31,40 @@ The package provides:
 * **Experiments** (:mod:`repro.experiments`) — drivers regenerating Tables
   3-13 and the ablations.
 
+* **Declarative API** (:mod:`repro.api`) — the stable, spec-driven surface:
+  :class:`ScenarioSpec` (JSON-round-trippable scenario descriptions),
+  :class:`Scenario` (the facade over graph → paths → engine → analyses) and
+  the extensible builder registries (:data:`repro.registries`).
+
 Quickstart
 ----------
 
->>> from repro import directed_grid, chi_g, mu
->>> grid = directed_grid(4)                 # the directed 4x4 grid H_4
->>> placement = chi_g(grid)                 # the paper's grid monitor placement
->>> mu(grid, placement)                     # Theorem 4.8: exactly 2
-2
+>>> import repro
+>>> spec = repro.ScenarioSpec(
+...     topology=repro.TopologySpec("claranet"),        # zoo topology
+...     placement=repro.PlacementSpec("mdmp", {"d": 4}),  # MDMP monitors
+... )                                                   # CSP routing (default)
+>>> repro.Scenario(spec).mu().value                     # exact µ(G|χ)
+1
+
+The free functions of the seed releases (``mu(graph, placement)`` and
+friends) remain available as thin deprecated shims over the facade.
 """
 
 from repro.__about__ import __version__
 from repro.agrid import agrid, design_network
 from repro.analysis import verify
+from repro.api import registries
+from repro.api.scenario import Scenario
+from repro.api.spec import (
+    AnalysisSpec,
+    EngineConfig,
+    FailureModel,
+    PlacementSpec,
+    RoutingSpec,
+    ScenarioSpec,
+    TopologySpec,
+)
 from repro.engine import (
     SignatureEngine,
     available_backends,
@@ -79,6 +100,16 @@ from repro.topology import (
 
 __all__ = [
     "__version__",
+    # declarative scenario API (the stable surface)
+    "Scenario",
+    "ScenarioSpec",
+    "TopologySpec",
+    "PlacementSpec",
+    "RoutingSpec",
+    "FailureModel",
+    "AnalysisSpec",
+    "EngineConfig",
+    "registries",
     # core measure
     "mu",
     "mu_detailed",

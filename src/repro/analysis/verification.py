@@ -15,10 +15,9 @@ from typing import Optional
 from repro._typing import AnyGraph
 from repro.analysis.theory import Prediction, predict
 from repro.core.bounds import BoundReport, structural_upper_bound
-from repro.core.identifiability import IdentifiabilityResult, mu_detailed
+from repro.core.identifiability import IdentifiabilityResult
 from repro.monitors.placement import MonitorPlacement
 from repro.routing.mechanisms import RoutingMechanism
-from repro.routing.paths import enumerate_paths
 
 
 @dataclass(frozen=True)
@@ -68,17 +67,25 @@ def verify(
     mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
     max_size: Optional[int] = None,
 ) -> VerificationReport:
-    """Compute µ exactly and check it against bounds and predictions."""
+    """Compute µ exactly and check it against bounds and predictions.
+
+    Runs on the :class:`repro.api.scenario.Scenario` facade (with a
+    policy-capturing engine config), so it computes exactly what the legacy
+    graph-level wrappers did.
+    """
+    from repro.api.scenario import Scenario
+    from repro.api.spec import EngineConfig
+
     mechanism = RoutingMechanism.parse(mechanism)
-    pathset = enumerate_paths(graph, placement, mechanism)
-    result: IdentifiabilityResult = mu_detailed(
-        graph, placement, mechanism, max_size=max_size
+    scenario = Scenario.from_components(
+        graph, placement, mechanism, engine=EngineConfig.from_policy(cache=False)
     )
+    result: IdentifiabilityResult = scenario.identifiability(max_size=max_size)
     bounds = structural_upper_bound(graph, placement, mechanism)
     prediction = predict(graph, placement)
     return VerificationReport(
         mu_value=result.value,
-        n_paths=pathset.n_paths,
+        n_paths=scenario.pathset.n_paths,
         bounds=bounds,
         prediction=prediction,
         mechanism=mechanism,

@@ -1,0 +1,532 @@
+"""The :class:`Scenario` facade — one object over topology, placement,
+routing, engine policy and every analysis.
+
+A scenario is built from a :class:`~repro.api.spec.ScenarioSpec` (or from
+in-memory components via :meth:`Scenario.from_components`) and lazily owns
+the whole pipeline::
+
+    spec -> graph -> placement -> PathSet -> SignatureEngine -> analyses
+
+Nothing is computed at construction time; the graph and placement are
+materialised together on first access (consuming the spec's seeded RNG
+stream in a fixed order — topology first, then placement — so results are
+reproducible and identical across processes), the path set on first query,
+the signature engine on first identifiability question.
+
+Engine policy is **spec-scoped**: the scenario passes its
+:class:`~repro.api.spec.EngineConfig` explicitly into every engine
+construction, so two scenarios with different configs coexist in one process
+without touching the global :func:`repro.engine.select_backend` /
+:func:`repro.engine.select_compression` state.
+
+Quickstart::
+
+    >>> import repro
+    >>> spec = repro.ScenarioSpec(
+    ...     topology=repro.TopologySpec("claranet"),
+    ...     placement=repro.PlacementSpec("mdmp", {"d": 4}),
+    ... )
+    >>> repro.Scenario(spec).mu().value
+    1
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro._typing import AnyGraph
+from repro.api.registries import build_placement, build_topology, resolve_mechanism
+from repro.api.results import (
+    AgridComparisonReport,
+    AgridTradeoffReport,
+    AnalysisReport,
+    BoundsReport,
+    LocalizationReport,
+    MeasurementReport,
+    MuReport,
+    SeparabilityReport,
+    TruncatedMuReport,
+)
+from repro.api.serialize import encode_node
+from repro.api.spec import (
+    AnalysisSpec,
+    EngineConfig,
+    FailureModel,
+    PlacementSpec,
+    RoutingSpec,
+    ScenarioSpec,
+    TopologySpec,
+)
+from repro.exceptions import SpecError
+from repro.monitors.placement import MonitorPlacement
+from repro.routing.mechanisms import RoutingMechanism
+from repro.utils.seeds import RngLike, resolve_rng, spawn_rng
+
+#: Salts deriving the analysis-local RNG streams from the spec seed, so each
+#: stochastic analysis is reproducible and independent of the construction
+#: stream (which topology/placement building consumes).
+_CAMPAIGN_SALT = 101
+_AGRID_SALT = 103
+
+
+def _encode_pair(pair) -> Optional[Tuple[Tuple[Any, ...], Tuple[Any, ...]]]:
+    """A ConfusablePair as two sorted, JSON-encodable node tuples."""
+    if pair is None:
+        return None
+    return (
+        tuple(encode_node(node) for node in sorted(pair.first, key=repr)),
+        tuple(encode_node(node) for node in sorted(pair.second, key=repr)),
+    )
+
+
+class Scenario:
+    """Lazily-materialised facade over one tomography scenario."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        if not isinstance(spec, ScenarioSpec):
+            raise SpecError(f"Scenario expects a ScenarioSpec, got {type(spec).__name__}")
+        self.spec = spec
+        self._graph: Optional[AnyGraph] = None
+        self._placement: Optional[MonitorPlacement] = None
+        self._pathset = None
+        self._mu_report: Optional[MuReport] = None
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec) -> "Scenario":
+        return cls(spec)
+
+    @classmethod
+    def from_components(
+        cls,
+        graph: AnyGraph,
+        placement: MonitorPlacement,
+        mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
+        cutoff: Optional[int] = None,
+        max_paths: Optional[int] = None,
+        engine: Optional[EngineConfig] = None,
+        seed: Optional[int] = None,
+        label: str = "",
+        failures: Optional[FailureModel] = None,
+    ) -> "Scenario":
+        """Wrap in-memory components in a facade.
+
+        The graph and placement are embedded as *literal* specs, so the
+        resulting scenario is still fully serialisable; the provided objects
+        are used directly (no rebuild) for exact behavioural parity with code
+        that constructed them by hand.
+        """
+        mechanism = resolve_mechanism(mechanism)
+        spec = ScenarioSpec(
+            topology=TopologySpec.from_graph(graph),
+            placement=PlacementSpec.from_placement(placement),
+            routing=RoutingSpec(
+                mechanism=mechanism.value, cutoff=cutoff, max_paths=max_paths
+            ),
+            failures=failures or FailureModel(),
+            engine=engine or EngineConfig(),
+            seed=seed,
+            label=label or (graph.name or ""),
+        )
+        scenario = cls(spec)
+        scenario._graph = graph
+        scenario._placement = placement
+        return scenario
+
+    # -- lazy pipeline -------------------------------------------------------
+    def _materialize(self) -> None:
+        """Build graph and placement together, in spec-stream order."""
+        if self._graph is None or self._placement is None:
+            rng = resolve_rng(self.spec.seed)
+            if self._graph is None:
+                self._graph = build_topology(self.spec.topology, rng)
+            if self._placement is None:
+                self._placement = build_placement(
+                    self.spec.placement, self._graph, rng
+                )
+                self._placement.validate(self._graph)
+
+    @property
+    def graph(self) -> AnyGraph:
+        """The materialised topology."""
+        self._materialize()
+        return self._graph
+
+    @property
+    def placement(self) -> MonitorPlacement:
+        """The materialised monitor placement."""
+        self._materialize()
+        return self._placement
+
+    @property
+    def mechanism(self) -> RoutingMechanism:
+        return self.spec.mechanism
+
+    @property
+    def pathset(self):
+        """The measurement paths ``P(G|χ)`` (cached per scenario; enumerated
+        through the keyed pathset cache unless ``engine.cache`` is off)."""
+        if self._pathset is None:
+            from repro.engine.cache import cached_enumerate_paths
+            from repro.routing.paths import enumerate_paths
+
+            routing = self.spec.routing
+            if self.spec.engine.cache:
+                self._pathset = cached_enumerate_paths(
+                    self.graph,
+                    self.placement,
+                    self.mechanism,
+                    cutoff=routing.cutoff,
+                    max_paths=routing.max_paths,
+                )
+            else:
+                kwargs: Dict[str, Any] = {}
+                if routing.cutoff is not None:
+                    kwargs["cutoff"] = routing.cutoff
+                if routing.max_paths is not None:
+                    kwargs["max_paths"] = routing.max_paths
+                self._pathset = enumerate_paths(
+                    self.graph, self.placement, self.mechanism, **kwargs
+                )
+        return self._pathset
+
+    @property
+    def engine(self):
+        """The :class:`~repro.engine.signatures.SignatureEngine`, built with
+        this scenario's spec-scoped engine config."""
+        config = self.spec.engine
+        return self.pathset.engine(config.backend, config.compress)
+
+    # -- analyses ------------------------------------------------------------
+    def _identifiability_detailed(self, max_size: Optional[int]):
+        """Raw engine search result plus the structural bound (if derived)."""
+        from repro.core.bounds import structural_upper_bound
+        from repro.core.identifiability import maximal_identifiability_detailed
+
+        bound_value: Optional[int] = None
+        cap = max_size
+        if cap is None:
+            bound = structural_upper_bound(self.graph, self.placement, self.mechanism)
+            bound_value = bound.combined
+            cap = bound.combined + 1
+        config = self.spec.engine
+        result = maximal_identifiability_detailed(
+            self.pathset,
+            max_size=cap,
+            backend=config.backend,
+            compress=config.compress,
+        )
+        return result, bound_value
+
+    def identifiability(self, max_size: Optional[int] = None):
+        """The raw :class:`~repro.engine.signatures.IdentifiabilityResult`
+        (witness as node frozensets) — the engine-native counterpart of
+        :meth:`mu`, used by the legacy shims and by callers that need the
+        un-encoded witness."""
+        return self._identifiability_detailed(max_size)[0]
+
+    def mu(self, max_size: Optional[int] = None) -> MuReport:
+        """Exact maximal identifiability µ (Definition 2.2), with diagnostics.
+
+        ``max_size=None`` caps the search one level above the Section-3
+        structural bound (the exactness-preserving default); an explicit cap
+        reproduces the truncated-search semantics of the legacy ``mu()``.
+        """
+        if max_size is None and self._mu_report is not None:
+            return self._mu_report
+        result, bound_value = self._identifiability_detailed(max_size)
+        report = MuReport(
+            value=result.value,
+            searched_up_to=result.searched_up_to,
+            exhausted_search=result.exhausted_search,
+            witness=_encode_pair(result.witness),
+            bound=bound_value,
+            n_paths=self.pathset.n_paths,
+            n_nodes=len(self.pathset.nodes),
+            mechanism=self.mechanism.value,
+        )
+        if max_size is None:
+            self._mu_report = report
+        return report
+
+    def truncated(self, alpha: Optional[int] = None) -> TruncatedMuReport:
+        """Truncated maximal identifiability µ_α (Section 8.0.3).
+
+        ``alpha=None`` uses the paper's default truncation level — the
+        rounded average degree λ(G).
+        """
+        from repro.core.truncated import (
+            default_truncation_level,
+            truncated_identifiability_detailed,
+        )
+
+        if alpha is None:
+            alpha = default_truncation_level(self.graph)
+        config = self.spec.engine
+        result = truncated_identifiability_detailed(
+            self.pathset, alpha, backend=config.backend, compress=config.compress
+        )
+        return TruncatedMuReport(
+            value=result.value,
+            alpha=alpha,
+            exhausted_search=result.exhausted_search,
+            n_paths=self.pathset.n_paths,
+            mechanism=self.mechanism.value,
+        )
+
+    def separability(self, size: int = 1) -> SeparabilityReport:
+        """Census of inseparable subset pairs at a fixed size (Section 2.0.1).
+
+        Exponential in ``size``; intended for the small universes of the
+        paper's networks.
+        """
+        import math
+
+        pairs = self.engine.inseparable_pairs(size)
+        n_subsets = math.comb(len(self.pathset.nodes), size)
+        return SeparabilityReport(
+            size=size,
+            n_pairs=n_subsets * (n_subsets - 1) // 2,
+            n_inseparable=len(pairs),
+            inseparable=tuple(
+                (
+                    tuple(encode_node(n) for n in sorted(first, key=repr)),
+                    tuple(encode_node(n) for n in sorted(second, key=repr)),
+                )
+                for first, second in pairs
+            ),
+        )
+
+    def localization_campaign(
+        self,
+        failure_size: Optional[int] = None,
+        n_trials: Optional[int] = None,
+        rng: RngLike = None,
+    ) -> LocalizationReport:
+        """Monte-Carlo unique-localisation rate (the operational face of µ).
+
+        Defaults come from the spec's failure model; the RNG defaults to a
+        stream derived from the spec seed, so campaigns are reproducible
+        without being correlated with topology/placement sampling.
+        """
+        from repro.tomography.scenario import TomographySession
+
+        failures = self.spec.failures
+        size = failures.size if failure_size is None else failure_size
+        trials = failures.n_trials if n_trials is None else n_trials
+        if rng is None and self.spec.seed is not None:
+            rng = spawn_rng(_seed_to_int(self.spec.seed), _CAMPAIGN_SALT)
+        session = TomographySession.from_scenario(self)
+        report = session.run_campaign(size, trials, rng=rng)
+        return LocalizationReport(
+            failure_size=report.failure_size,
+            n_trials=report.n_trials,
+            n_unique=report.n_unique,
+            unique_rate=report.unique_rate,
+            mean_ambiguity=report.mean_ambiguity,
+            mu=session.mu,
+        )
+
+    def measurement(self) -> MeasurementReport:
+        """µ plus the structural statistics — one Tables-3-5 column."""
+        from repro.experiments.common import measure_network
+
+        routing = self.spec.routing
+        measured = measure_network(
+            self.graph,
+            self.placement,
+            self.mechanism,
+            max_paths=routing.max_paths,
+            cutoff=routing.cutoff,
+            engine=self.spec.engine,
+        )
+        return MeasurementReport(
+            mu=measured.mu,
+            n_paths=measured.n_paths,
+            n_edges=measured.n_edges,
+            min_degree=measured.min_degree,
+            n_inputs=measured.n_inputs,
+            n_outputs=measured.n_outputs,
+        )
+
+    def bounds(self) -> BoundsReport:
+        """The Section-3 structural upper bounds for this scenario."""
+        from repro.core.bounds import structural_upper_bound
+
+        bound = structural_upper_bound(self.graph, self.placement, self.mechanism)
+        return BoundsReport(
+            combined=bound.combined,
+            degree=bound.degree,
+            monitor_count=bound.monitor_count,
+            edge_count=bound.edge_count,
+            mechanism=self.mechanism.value,
+        )
+
+    def agrid_comparison(
+        self, dimension: Optional[int] = None, rng: RngLike = None
+    ) -> AgridComparisonReport:
+        """Measure G against its Agrid boost G^A (the Tables 3-13 core step)."""
+        from repro.experiments.common import compare_with_agrid, resolve_dimension
+
+        if dimension is None:
+            dimension = resolve_dimension("log", self.graph)
+        if rng is None and self.spec.seed is not None:
+            rng = spawn_rng(_seed_to_int(self.spec.seed), _AGRID_SALT)
+        comparison = compare_with_agrid(
+            self.graph,
+            dimension,
+            rng=rng,
+            mechanism=self.mechanism,
+            max_paths=self.spec.routing.max_paths,
+            engine=self.spec.engine,
+        )
+        return AgridComparisonReport(
+            dimension=comparison.dimension,
+            original=_measurement_report(comparison.original),
+            boosted=_measurement_report(comparison.boosted),
+            n_added_edges=comparison.n_added_edges,
+        )
+
+    def agrid_tradeoff(
+        self,
+        dimension: Optional[int] = None,
+        horizon: int = 10,
+        edge_cost: float = 1.0,
+        test_cost: float = 1.0,
+        scale: float = 0.5,
+        rng: RngLike = None,
+    ) -> AgridTradeoffReport:
+        """The Section-7.1.1 κ(G, T) cost-benefit picture for this scenario.
+
+        Runs Agrid, measures both graphs, and evaluates the static trade-off
+        with the identifiability-scaled per-test cost model over ``horizon``
+        test rounds and a uniform per-link installation cost.
+        """
+        from repro.agrid.algorithm import agrid
+        from repro.agrid.tradeoffs import (
+            identifiability_scaled_test_cost,
+            static_tradeoff,
+            uniform_edge_cost,
+        )
+        from repro.experiments.common import measure_network, resolve_dimension
+
+        if dimension is None:
+            dimension = resolve_dimension("log", self.graph)
+        if rng is None and self.spec.seed is not None:
+            rng = spawn_rng(_seed_to_int(self.spec.seed), _AGRID_SALT)
+        result = agrid(self.graph, dimension, rng=resolve_rng(rng))
+        config = self.spec.engine
+        original = measure_network(
+            self.graph, result.placement_original, self.mechanism, engine=config
+        )
+        boosted = measure_network(
+            result.boosted, result.placement_boosted, self.mechanism, engine=config
+        )
+        tradeoff = static_tradeoff(
+            result.added_edges,
+            times=range(horizon),
+            baseline_test_cost=identifiability_scaled_test_cost(
+                test_cost, original.mu, scale
+            ),
+            boosted_test_cost=identifiability_scaled_test_cost(
+                test_cost, boosted.mu, scale
+            ),
+            edge_cost=uniform_edge_cost(edge_cost),
+        )
+        comparison = AgridComparisonReport(
+            dimension=dimension,
+            original=_measurement_report(original),
+            boosted=_measurement_report(boosted),
+            n_added_edges=result.n_added_edges,
+        )
+        return AgridTradeoffReport(
+            comparison=comparison,
+            horizon=horizon,
+            baseline_testing_cost=tradeoff.baseline_testing_cost,
+            link_installation_cost=tradeoff.link_installation_cost,
+            boosted_testing_cost=tradeoff.boosted_testing_cost,
+            kappa=tradeoff.kappa,
+            worthwhile=tradeoff.worthwhile,
+        )
+
+    # -- dispatch ------------------------------------------------------------
+    _ANALYSES = {
+        "mu": "mu",
+        "truncated": "truncated",
+        "separability": "separability",
+        "localization": "localization_campaign",
+        "measurement": "measurement",
+        "bounds": "bounds",
+        "agrid_comparison": "agrid_comparison",
+        "agrid_tradeoff": "agrid_tradeoff",
+    }
+
+    @classmethod
+    def available_analyses(cls) -> Tuple[str, ...]:
+        """The analysis names ``run_analysis`` (and ``--spec``) dispatch to."""
+        return tuple(sorted(cls._ANALYSES))
+
+    def run_analysis(self, request: AnalysisSpec | str) -> AnalysisReport:
+        """Dispatch one analysis request (from a spec's ``analyses`` list)."""
+        if isinstance(request, str):
+            request = AnalysisSpec.from_dict(request)
+        method_name = self._ANALYSES.get(request.analysis)
+        if method_name is None:
+            raise SpecError(
+                f"unknown analysis {request.analysis!r}; "
+                f"available: {self.available_analyses()}"
+            )
+        method = getattr(self, method_name)
+        try:
+            return method(**dict(request.params))
+        except TypeError as exc:
+            raise SpecError(
+                f"invalid parameters {request.params!r} for analysis "
+                f"{request.analysis!r}: {exc}"
+            ) from exc
+
+    def run_all(self) -> Dict[str, AnalysisReport]:
+        """Run every analysis declared in the spec, keyed by analysis name.
+
+        Duplicate analysis names are disambiguated with a ``#n`` suffix in
+        declaration order.
+        """
+        reports: Dict[str, AnalysisReport] = {}
+        for request in self.spec.analyses:
+            key = request.analysis
+            counter = 2
+            while key in reports:
+                key = f"{request.analysis}#{counter}"
+                counter += 1
+            reports[key] = self.run_analysis(request)
+        return reports
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"Scenario({self.spec.display_name()}, "
+            f"engine={self.spec.engine.backend}"
+            f"{'' if self.spec.engine.compress else ',raw'}, seed={self.spec.seed!r})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+def _measurement_report(measured) -> MeasurementReport:
+    """Adapt :class:`~repro.experiments.common.NetworkMeasurement`."""
+    return MeasurementReport(
+        mu=measured.mu,
+        n_paths=measured.n_paths,
+        n_edges=measured.n_edges,
+        min_degree=measured.min_degree,
+        n_inputs=measured.n_inputs,
+        n_outputs=measured.n_outputs,
+    )
+
+
+def _seed_to_int(seed: int | str) -> int:
+    """Map a spec seed (int or spawn-seed string) to RNG seed material."""
+    if isinstance(seed, int):
+        return seed
+    return int.from_bytes(str(seed).encode("utf-8"), "big") % (2**63)

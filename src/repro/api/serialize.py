@@ -1,0 +1,93 @@
+"""JSON plumbing shared by the declarative API and the experiment runner.
+
+Two directions live here:
+
+* :func:`to_jsonable` — lossy, one-way conversion of arbitrary result objects
+  (dataclasses, enums, sets, tuple-keyed dicts) into JSON-serialisable data.
+  This is what the runner's ``--format json`` and every
+  :meth:`~repro.api.results.AnalysisReport.to_dict` emit.
+* :func:`encode_node` / :func:`decode_node` — the *lossless* node-label codec
+  used by literal graph/placement specs.  JSON has no tuple type, so tuple
+  node labels (the hypergrid coordinates) are encoded as lists and decoded
+  back to tuples; strings, ints, floats and bools pass through unchanged.
+  Lists are unambiguous here because a list is not hashable and therefore can
+  never itself be a networkx node label.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert a result object into JSON-serialisable data.
+
+    Dataclasses become dicts of their public fields, enums their values,
+    non-string dict keys are joined/stringified (``(50, 5)`` -> ``"50,5"``),
+    sets are emitted in sorted (by ``repr``) order so output is
+    deterministic, and anything else unrecognised falls back to ``str``.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: to_jsonable(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+            if not field.name.startswith("_")
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, dict):
+        return {json_key(key): to_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (set, frozenset)):
+        return [to_jsonable(value) for value in sorted(obj, key=repr)]
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(value) for value in obj]
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    return str(obj)
+
+
+def json_key(key: Any) -> str:
+    """Stringify a dict key the way the runner's JSON documents always have."""
+    if isinstance(key, str):
+        return key
+    if isinstance(key, tuple):
+        return ",".join(str(part) for part in key)
+    return str(key)
+
+
+def encode_node(node: Any) -> Any:
+    """Encode one node label into its JSON form (tuples become lists)."""
+    if isinstance(node, tuple):
+        return [encode_node(part) for part in node]
+    return node
+
+
+def decode_node(payload: Any) -> Any:
+    """Invert :func:`encode_node` (lists become tuples)."""
+    if isinstance(payload, list):
+        return tuple(decode_node(part) for part in payload)
+    return payload
+
+
+def json_normalize(value: Any) -> Any:
+    """Canonicalise spec parameters into their JSON-stable form.
+
+    Specs must compare equal across a ``to_json``/``from_json`` round trip, so
+    parameters are normalised *at construction time* to exactly what JSON will
+    hand back: tuples/sets become lists, dict keys become strings, scalars
+    pass through.  Builders that need tuple node labels decode them with
+    :func:`decode_node` when the scenario is materialised.
+    """
+    if isinstance(value, dict):
+        return {str(key): json_normalize(val) for key, val in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return [json_normalize(val) for val in sorted(value, key=repr)]
+    if isinstance(value, (list, tuple)):
+        return [json_normalize(val) for val in value]
+    if isinstance(value, enum.Enum):
+        return value.value
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise TypeError(f"value {value!r} is not JSON-normalisable")

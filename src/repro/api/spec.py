@@ -1,0 +1,446 @@
+"""The declarative, JSON-round-trippable scenario schema.
+
+A :class:`ScenarioSpec` is the single value object describing one tomography
+scenario end to end — topology source, monitor-placement strategy, routing
+mechanism, failure model, engine policy and seed — in purely JSON-normal
+data.  Specs are frozen, picklable, comparable, and round-trip losslessly
+through ``to_json``/``from_json``; :meth:`ScenarioSpec.build` resolves the
+registries of :mod:`repro.api.registries` into a live
+:class:`~repro.api.scenario.Scenario`.
+
+Schema (version 1)::
+
+    {
+      "schema_version": 1,
+      "label": "",                                   # optional display name
+      "topology":  {"name": "claranet", "params": {}},
+      "placement": {"strategy": "mdmp", "params": {"d": 3}},
+      "routing":   {"mechanism": "CSP", "cutoff": null, "max_paths": null},
+      "failures":  {"model": "uniform", "size": 1, "n_trials": 10},
+      "engine":    {"backend": "auto", "compress": true, "cache": true},
+      "seed": 2018,                                  # int, string or null
+      "analyses": [{"analysis": "mu", "params": {}}]
+    }
+
+The engine axes (``backend``, ``compress``, ``cache``) are **spec-scoped**:
+a scenario built from a spec never reads or mutates the process-global
+policies of :mod:`repro.engine`, so scenarios with different engine configs
+coexist in one process.  :meth:`EngineConfig.from_policy` captures the
+current globals for callers bridging from the legacy policy world.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.api.serialize import encode_node, json_normalize
+from repro.exceptions import SpecError
+from repro.routing.mechanisms import RoutingMechanism
+
+#: Version stamp embedded in every serialised spec.
+SCHEMA_VERSION = 1
+
+#: Seeds are ints (CLI style), strings (spawned child-stream material from
+#: :func:`repro.utils.seeds.spawn_seed`) or ``None`` (non-reproducible).
+SeedLike = Union[int, str, None]
+
+
+def _freeze_params(params: Optional[Mapping[str, Any]], kind: str) -> Dict[str, Any]:
+    if params is None:
+        return {}
+    try:
+        return json_normalize(dict(params))
+    except TypeError as exc:
+        raise SpecError(f"{kind} params are not JSON-normalisable: {exc}") from exc
+
+
+def _expect_mapping(payload: Any, kind: str) -> Dict[str, Any]:
+    if not isinstance(payload, Mapping):
+        raise SpecError(f"{kind} must be a JSON object, got {type(payload).__name__}")
+    return dict(payload)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Spec-scoped engine policy: which signature backend, whether to
+    compress the signature universe, and whether to use the pathset cache.
+
+    Defaults match the library defaults (``auto`` backend, compression on,
+    cache on), so a default-constructed config computes exactly what the
+    global-policy path computes out of the box — without touching globals.
+    """
+
+    backend: str = "auto"
+    compress: bool = True
+    cache: bool = True
+
+    def __post_init__(self) -> None:
+        from repro.engine.backends import normalize_backend_spec
+
+        object.__setattr__(self, "backend", normalize_backend_spec(self.backend))
+        object.__setattr__(self, "compress", bool(self.compress))
+        object.__setattr__(self, "cache", bool(self.cache))
+
+    @classmethod
+    def from_policy(cls, cache: bool = True) -> "EngineConfig":
+        """Capture the current process-global engine policies.
+
+        The bridge for legacy call sites: a spec stamped with the captured
+        config computes exactly what the global-policy code would have,
+        wherever the spec later runs (including pool workers).
+        """
+        from repro.engine.backends import select_backend
+        from repro.engine.compress import compression_enabled
+
+        return cls(
+            backend=select_backend(), compress=compression_enabled(), cache=cache
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"backend": self.backend, "compress": self.compress, "cache": self.cache}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "EngineConfig":
+        data = _expect_mapping(payload, "engine config")
+        unknown = set(data) - {"backend", "compress", "cache"}
+        if unknown:
+            raise SpecError(f"unknown engine config fields {sorted(unknown)}")
+        return cls(
+            backend=data.get("backend", "auto"),
+            compress=data.get("compress", True),
+            cache=data.get("cache", True),
+        )
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A named topology source plus its JSON-normal parameters."""
+
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SpecError(f"topology name must be a non-empty string, got {self.name!r}")
+        object.__setattr__(self, "params", _freeze_params(self.params, "topology"))
+
+    @classmethod
+    def from_graph(cls, graph) -> "TopologySpec":
+        """A literal spec for an in-memory graph (nodes/edges listed in
+        iteration order, so the rebuilt graph iterates identically)."""
+        return cls(
+            name="graph",
+            params={
+                "directed": bool(graph.is_directed()),
+                "name": graph.name or "",
+                "nodes": [encode_node(node) for node in graph.nodes],
+                "edges": [
+                    [encode_node(u), encode_node(v)] for u, v in graph.edges
+                ],
+            },
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TopologySpec":
+        data = _expect_mapping(payload, "topology spec")
+        unknown = set(data) - {"name", "params"}
+        if unknown:
+            raise SpecError(f"unknown topology spec fields {sorted(unknown)}")
+        if "name" not in data:
+            raise SpecError("topology spec requires a 'name'")
+        return cls(name=data["name"], params=data.get("params") or {})
+
+
+@dataclass(frozen=True)
+class PlacementSpec:
+    """A named monitor-placement strategy plus its parameters."""
+
+    strategy: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.strategy or not isinstance(self.strategy, str):
+            raise SpecError(
+                f"placement strategy must be a non-empty string, got {self.strategy!r}"
+            )
+        object.__setattr__(self, "params", _freeze_params(self.params, "placement"))
+
+    @classmethod
+    def from_placement(cls, placement) -> "PlacementSpec":
+        """A literal spec for an in-memory :class:`MonitorPlacement`."""
+        return cls(
+            strategy="explicit",
+            params={
+                "inputs": [encode_node(n) for n in sorted(placement.inputs, key=repr)],
+                "outputs": [encode_node(n) for n in sorted(placement.outputs, key=repr)],
+            },
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"strategy": self.strategy, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PlacementSpec":
+        data = _expect_mapping(payload, "placement spec")
+        unknown = set(data) - {"strategy", "params"}
+        if unknown:
+            raise SpecError(f"unknown placement spec fields {sorted(unknown)}")
+        if "strategy" not in data:
+            raise SpecError("placement spec requires a 'strategy'")
+        return cls(strategy=data["strategy"], params=data.get("params") or {})
+
+
+@dataclass(frozen=True)
+class RoutingSpec:
+    """Routing mechanism plus the enumeration limits."""
+
+    mechanism: str = "CSP"
+    cutoff: Optional[int] = None
+    max_paths: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        try:
+            parsed = RoutingMechanism.parse(self.mechanism)
+        except ValueError as exc:
+            raise SpecError(str(exc)) from exc
+        object.__setattr__(self, "mechanism", parsed.value)
+
+    @property
+    def mechanism_enum(self) -> RoutingMechanism:
+        return RoutingMechanism.parse(self.mechanism)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "mechanism": self.mechanism,
+            "cutoff": self.cutoff,
+            "max_paths": self.max_paths,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RoutingSpec":
+        data = _expect_mapping(payload, "routing spec")
+        unknown = set(data) - {"mechanism", "cutoff", "max_paths"}
+        if unknown:
+            raise SpecError(f"unknown routing spec fields {sorted(unknown)}")
+        return cls(
+            mechanism=data.get("mechanism", "CSP"),
+            cutoff=data.get("cutoff"),
+            max_paths=data.get("max_paths"),
+        )
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Failure-sampling defaults for the localisation campaign analysis."""
+
+    model: str = "uniform"
+    size: int = 1
+    n_trials: int = 10
+
+    def __post_init__(self) -> None:
+        if self.model != "uniform":
+            raise SpecError(
+                f"unknown failure model {self.model!r}; only 'uniform' is "
+                "currently implemented"
+            )
+        if self.size < 0:
+            raise SpecError(f"failure size must be >= 0, got {self.size}")
+        if self.n_trials < 1:
+            raise SpecError(f"failure n_trials must be >= 1, got {self.n_trials}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"model": self.model, "size": self.size, "n_trials": self.n_trials}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FailureModel":
+        data = _expect_mapping(payload, "failure model")
+        unknown = set(data) - {"model", "size", "n_trials"}
+        if unknown:
+            raise SpecError(f"unknown failure model fields {sorted(unknown)}")
+        return cls(
+            model=data.get("model", "uniform"),
+            size=data.get("size", 1),
+            n_trials=data.get("n_trials", 10),
+        )
+
+
+@dataclass(frozen=True)
+class AnalysisSpec:
+    """One analysis request: a facade method name plus keyword parameters."""
+
+    analysis: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.analysis or not isinstance(self.analysis, str):
+            raise SpecError(
+                f"analysis name must be a non-empty string, got {self.analysis!r}"
+            )
+        object.__setattr__(self, "params", _freeze_params(self.params, "analysis"))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"analysis": self.analysis, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "AnalysisSpec":
+        if isinstance(payload, str):  # "mu" shorthand
+            return cls(analysis=payload)
+        data = _expect_mapping(payload, "analysis spec")
+        unknown = set(data) - {"analysis", "params"}
+        if unknown:
+            raise SpecError(f"unknown analysis spec fields {sorted(unknown)}")
+        if "analysis" not in data:
+            raise SpecError("analysis spec requires an 'analysis' name")
+        return cls(analysis=data["analysis"], params=data.get("params") or {})
+
+
+_SPEC_FIELDS = {
+    "schema_version",
+    "label",
+    "topology",
+    "placement",
+    "routing",
+    "failures",
+    "engine",
+    "seed",
+    "analyses",
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """The complete, serialisable description of one tomography scenario."""
+
+    topology: TopologySpec
+    placement: PlacementSpec
+    routing: RoutingSpec = field(default_factory=RoutingSpec)
+    failures: FailureModel = field(default_factory=FailureModel)
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    seed: SeedLike = None
+    analyses: Tuple[AnalysisSpec, ...] = (AnalysisSpec("mu"),)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.seed is not None and not isinstance(self.seed, (int, str)):
+            raise SpecError(f"seed must be an int, a string or None, got {self.seed!r}")
+        object.__setattr__(self, "analyses", tuple(self.analyses))
+
+    # -- construction helpers ----------------------------------------------
+    @property
+    def mechanism(self) -> RoutingMechanism:
+        """The routing mechanism as an enum member."""
+        return self.routing.mechanism_enum
+
+    def with_seed(self, seed: SeedLike) -> "ScenarioSpec":
+        return replace(self, seed=seed)
+
+    def with_engine(self, engine: EngineConfig) -> "ScenarioSpec":
+        return replace(self, engine=engine)
+
+    def with_trials(self, n_trials: int) -> "ScenarioSpec":
+        """Override the failure-campaign trial count (the CLI ``--trials``)."""
+        return replace(self, failures=replace(self.failures, n_trials=n_trials))
+
+    def display_name(self) -> str:
+        if self.label:
+            return self.label
+        return (
+            f"{self.topology.name}/{self.placement.strategy}/{self.routing.mechanism}"
+        )
+
+    def build(self) -> "Scenario":
+        """Materialise the spec into a live :class:`Scenario` facade."""
+        from repro.api.scenario import Scenario
+
+        return Scenario(self)
+
+    # -- serialisation ------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "label": self.label,
+            "topology": self.topology.to_dict(),
+            "placement": self.placement.to_dict(),
+            "routing": self.routing.to_dict(),
+            "failures": self.failures.to_dict(),
+            "engine": self.engine.to_dict(),
+            "seed": self.seed,
+            "analyses": [analysis.to_dict() for analysis in self.analyses],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
+        data = _expect_mapping(payload, "scenario spec")
+        unknown = set(data) - _SPEC_FIELDS
+        if unknown:
+            raise SpecError(f"unknown scenario spec fields {sorted(unknown)}")
+        version = data.get("schema_version", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise SpecError(
+                f"unsupported scenario schema version {version!r}; "
+                f"this library speaks version {SCHEMA_VERSION}"
+            )
+        if "topology" not in data or "placement" not in data:
+            raise SpecError("scenario spec requires 'topology' and 'placement'")
+        analyses_payload: Sequence[Any] = data.get("analyses") or ["mu"]
+        return cls(
+            topology=TopologySpec.from_dict(data["topology"]),
+            placement=PlacementSpec.from_dict(data["placement"]),
+            routing=RoutingSpec.from_dict(data.get("routing") or {}),
+            failures=FailureModel.from_dict(data.get("failures") or {}),
+            engine=EngineConfig.from_dict(data.get("engine") or {}),
+            seed=data.get("seed"),
+            analyses=tuple(
+                AnalysisSpec.from_dict(entry) for entry in analyses_payload
+            ),
+            label=data.get("label", ""),
+        )
+
+    @classmethod
+    def from_json(cls, document: str) -> "ScenarioSpec":
+        try:
+            payload = json.loads(document)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"invalid scenario JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    @classmethod
+    def from_file(cls, path: str) -> "ScenarioSpec":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+
+def load_spec_batch(document: str) -> Tuple[ScenarioSpec, ...]:
+    """Parse a ``--spec`` document into scenario specs.
+
+    Accepts a bare spec object, a bare JSON list of specs, or a wrapper
+    ``{"scenarios": [...]}`` document.
+    """
+    try:
+        payload = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"invalid spec document: {exc}") from exc
+    if isinstance(payload, Mapping) and "scenarios" in payload:
+        unknown = set(payload) - {"scenarios"}
+        if unknown:
+            raise SpecError(f"unknown spec document fields {sorted(unknown)}")
+        entries = payload["scenarios"]
+    elif isinstance(payload, list):
+        entries = payload
+    else:
+        entries = [payload]
+    if not isinstance(entries, list) or not entries:
+        raise SpecError("spec document contains no scenarios")
+    return tuple(ScenarioSpec.from_dict(entry) for entry in entries)
+
+
+if False:  # pragma: no cover - typing-only import without a runtime cycle
+    from repro.api.scenario import Scenario

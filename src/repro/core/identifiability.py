@@ -30,6 +30,7 @@ CSP and CAP⁻ — and otherwise explores up to ``max_size`` subsets.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
 from repro._typing import AnyGraph, Node
@@ -140,6 +141,62 @@ def find_confusable_pair(
     return maximal_identifiability_detailed(pathset, max_size, nodes, backend).witness
 
 
+def _warn_graph_level_shim(old: str) -> None:
+    warnings.warn(
+        f"repro.core.{old}(graph, placement, ...) is a legacy shim; build a "
+        "repro.Scenario (repro.Scenario.from_components or a ScenarioSpec) "
+        "and call its analysis methods instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _graph_level_detailed(
+    graph: AnyGraph,
+    placement: MonitorPlacement,
+    mechanism: RoutingMechanism | str,
+    max_size: Optional[int],
+    cutoff: Optional[int],
+    max_paths: Optional[int],
+    backend: BackendSpec,
+) -> IdentifiabilityResult:
+    """The shared engine room of the deprecated graph-level wrappers and of
+    :func:`repro.analysis.verification.verify` (which is not deprecated)."""
+    mechanism = RoutingMechanism.parse(mechanism)
+    if isinstance(backend, str) or backend is None:
+        # The facade path: a spec-scoped engine config capturing the current
+        # global policies, so legacy global-policy callers see no change.
+        from repro.api.scenario import Scenario
+        from repro.api.spec import EngineConfig
+
+        config = EngineConfig.from_policy(cache=False)
+        if backend is not None:
+            config = EngineConfig(
+                backend=backend, compress=config.compress, cache=False
+            )
+        scenario = Scenario.from_components(
+            graph,
+            placement,
+            mechanism,
+            cutoff=cutoff,
+            max_paths=max_paths,
+            engine=config,
+        )
+        return scenario.identifiability(max_size=max_size)
+    # A concrete SignatureBackend instance cannot ride in a serialisable
+    # engine config; run the pathset-level computation directly.
+    kwargs = {}
+    if cutoff is not None:
+        kwargs["cutoff"] = cutoff
+    if max_paths is not None:
+        kwargs["max_paths"] = max_paths
+    pathset = enumerate_paths(graph, placement, mechanism, **kwargs)
+    if max_size is None:
+        bound = structural_upper_bound(graph, placement, mechanism)
+        max_size = bound.combined + 1
+    return maximal_identifiability_detailed(pathset, max_size=max_size, backend=backend)
+
+
 def mu(
     graph: AnyGraph,
     placement: MonitorPlacement,
@@ -154,15 +211,15 @@ def mu(
     Enumerates ``P(G|χ)``, derives the structural search cap of Section 3 and
     runs the exact computation.  ``max_size`` overrides the cap (useful for
     CAP, where the degree bounds do not apply).
+
+    .. deprecated::
+        A thin shim over :meth:`repro.Scenario.mu` — prefer
+        ``Scenario.from_components(graph, placement, mechanism).mu().value``
+        (bit-identical results).
     """
-    return mu_detailed(
-        graph,
-        placement,
-        mechanism,
-        max_size=max_size,
-        cutoff=cutoff,
-        max_paths=max_paths,
-        backend=backend,
+    _warn_graph_level_shim("mu")
+    return _graph_level_detailed(
+        graph, placement, mechanism, max_size, cutoff, max_paths, backend
     ).value
 
 
@@ -175,21 +232,15 @@ def mu_detailed(
     max_paths: Optional[int] = None,
     backend: BackendSpec = None,
 ) -> IdentifiabilityResult:
-    """Like :func:`mu` but returning the full :class:`IdentifiabilityResult`."""
-    mechanism = RoutingMechanism.parse(mechanism)
-    kwargs = {}
-    if cutoff is not None:
-        kwargs["cutoff"] = cutoff
-    if max_paths is not None:
-        kwargs["max_paths"] = max_paths
-    pathset = enumerate_paths(graph, placement, mechanism, **kwargs)
-    if max_size is None:
-        bound = structural_upper_bound(graph, placement, mechanism)
-        # Searching one level above the structural bound both confirms the
-        # bound (a collision must exist there under CSP/CAP⁻) and keeps the
-        # computation exact.
-        max_size = bound.combined + 1
-    return maximal_identifiability_detailed(pathset, max_size=max_size, backend=backend)
+    """Like :func:`mu` but returning the full :class:`IdentifiabilityResult`.
+
+    .. deprecated::
+        A thin shim over :meth:`repro.Scenario.mu`; see :func:`mu`.
+    """
+    _warn_graph_level_shim("mu_detailed")
+    return _graph_level_detailed(
+        graph, placement, mechanism, max_size, cutoff, max_paths, backend
+    )
 
 
 def separability_matrix(

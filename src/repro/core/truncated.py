@@ -70,9 +70,36 @@ def mu_truncated(
     """End-to-end µ_α(G|χ).
 
     ``alpha=None`` uses the paper's default: the (rounded) average degree λ(G).
+
+    .. deprecated::
+        A thin shim over :meth:`repro.Scenario.truncated` — prefer
+        ``Scenario.from_components(graph, placement, mechanism).truncated(alpha)``
+        (bit-identical results).
     """
+    import warnings
+
+    warnings.warn(
+        "repro.core.mu_truncated(graph, placement, ...) is a legacy shim; "
+        "build a repro.Scenario and call .truncated(alpha) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if alpha is None:
         alpha = default_truncation_level(graph)
+    if isinstance(backend, str) or backend is None:
+        from repro.api.scenario import Scenario
+        from repro.api.spec import EngineConfig
+
+        config = EngineConfig.from_policy(cache=False)
+        if backend is not None:
+            config = EngineConfig(
+                backend=backend, compress=config.compress, cache=False
+            )
+        scenario = Scenario.from_components(
+            graph, placement, mechanism, engine=config
+        )
+        return scenario.truncated(alpha).value
+    # Concrete backend instances cannot ride in a serialisable engine config.
     pathset = enumerate_paths(graph, placement, mechanism)
     return truncated_identifiability(pathset, alpha, backend)
 

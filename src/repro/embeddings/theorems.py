@@ -15,7 +15,6 @@ from typing import Mapping, Optional
 import networkx as nx
 
 from repro._typing import Node
-from repro.core.identifiability import mu
 from repro.embeddings.dimension import order_dimension
 from repro.embeddings.embedding import (
     induced_placement,
@@ -77,10 +76,12 @@ def compare_under_embedding(
     if not is_order_embedding(source, target, mapping):
         raise EmbeddingError("the supplied mapping is not an order embedding")
     mechanism = RoutingMechanism.parse(mechanism)
+    from repro.api.scenario import Scenario
+
     target_placement = induced_placement(placement, mapping)
     source_paths = enumerate_paths(source, placement, mechanism)
-    mu_source = mu(source, placement, mechanism)
-    mu_target = mu(target, target_placement, mechanism)
+    mu_source = Scenario.from_components(source, placement, mechanism).mu().value
+    mu_target = Scenario.from_components(target, target_placement, mechanism).mu().value
     return EmbeddingComparison(
         mu_source=mu_source,
         mu_target=mu_target,
@@ -120,8 +121,10 @@ def theorem_6_7_report(
     the hypothesis (transitive closure) held so callers can interpret a
     violation correctly.
     """
+    from repro.api.scenario import Scenario
+
     closed = is_transitively_closed(graph)
-    value = mu(graph, placement, mechanism)
+    value = Scenario.from_components(graph, placement, mechanism).mu().value
     dimension = order_dimension(graph, max_dim=max_dim)
     return DimensionBoundReport(
         mu_value=value, dimension=dimension, transitively_closed=closed

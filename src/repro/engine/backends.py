@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import abc
 import contextlib
+import warnings
 from typing import Iterator, Optional, Tuple, Union
 
 from repro.exceptions import IdentifiabilityError
@@ -60,20 +61,14 @@ def available_backends() -> Tuple[str, ...]:
     return ("python", "numpy") if numpy_available() else ("python",)
 
 
-def select_backend(name: Optional[str] = None) -> str:
-    """Get or set the global backend policy.
+def _install_policy(name: str) -> str:
+    """Install a backend policy without a deprecation warning.
 
-    With no argument, returns the current policy.  With ``"auto"``,
-    ``"python"`` or ``"numpy"``, installs that policy for every engine built
-    without an explicit backend and returns it.  This is the escape hatch for
-    forcing a backend globally::
-
-        import repro.engine
-        repro.engine.select_backend("python")   # benchmark the big-int path
+    Internal setter used by :func:`backend_policy` and the pool-worker
+    initializer; user code should carry an explicit
+    :class:`repro.api.spec.EngineConfig` instead of mutating the global.
     """
     global _policy
-    if name is None:
-        return _policy
     normalised = str(name).strip().lower()
     if normalised not in _POLICIES:
         raise IdentifiabilityError(
@@ -85,6 +80,32 @@ def select_backend(name: Optional[str] = None) -> str:
         )
     _policy = normalised
     return _policy
+
+
+def select_backend(name: Optional[str] = None) -> str:
+    """Get or set the global backend policy.
+
+    With no argument, returns the current policy (no warning).  With
+    ``"auto"``, ``"python"`` or ``"numpy"``, installs that policy for every
+    engine built without an explicit backend and returns it.
+
+    .. deprecated::
+        Setting the global policy is deprecated in favour of the spec-scoped
+        engine configuration — pass
+        ``EngineConfig(backend=...)`` into a :class:`repro.Scenario` (or the
+        ``backend=`` parameter of the pathset-level functions).  The global
+        setter remains bit-identical in behaviour while it lives.
+    """
+    if name is None:
+        return _policy
+    warnings.warn(
+        "select_backend(name) mutates process-global state; prefer the "
+        "spec-scoped repro.EngineConfig(backend=...) on a repro.Scenario, "
+        "or the scoped backend_policy() context manager",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _install_policy(name)
 
 
 @contextlib.contextmanager
@@ -101,13 +122,13 @@ def backend_policy(name: Optional[str] = None) -> Iterator[str]:
 
     Yields the policy in effect inside the block.
     """
-    previous = select_backend()
+    previous = _policy
     try:
         if name is not None:
-            select_backend(name)
-        yield select_backend()
+            _install_policy(name)
+        yield _policy
     finally:
-        select_backend(previous)
+        _install_policy(previous)
 
 
 class SignatureBackend(abc.ABC):

@@ -49,6 +49,7 @@ CLI runner (``--no-compress``) and parity tests can scope the raw behaviour.
 from __future__ import annotations
 
 import contextlib
+import warnings
 from dataclasses import dataclass
 from functools import cached_property
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
@@ -66,18 +67,38 @@ def compression_enabled() -> bool:
     return _compression_enabled
 
 
+def _install_compression(enabled: bool) -> bool:
+    """Install the compression policy without a deprecation warning
+    (internal setter for :func:`compression_policy` and the pool workers)."""
+    global _compression_enabled
+    _compression_enabled = bool(enabled)
+    return _compression_enabled
+
+
 def select_compression(enabled: Optional[bool] = None) -> bool:
     """Get or set the global compression policy.
 
-    With no argument, returns the current policy; with a boolean, installs it
-    for every engine built without an explicit ``compress=`` argument and
-    returns the new value.  The counterpart of
+    With no argument, returns the current policy (no warning); with a
+    boolean, installs it for every engine built without an explicit
+    ``compress=`` argument and returns the new value.  The counterpart of
     :func:`repro.engine.backends.select_backend` for the compression axis.
+
+    .. deprecated::
+        Setting the global policy is deprecated in favour of the spec-scoped
+        engine configuration — pass ``EngineConfig(compress=...)`` into a
+        :class:`repro.Scenario` (or the ``compress=`` parameter of the
+        pathset-level functions).  Behaviour is unchanged while it lives.
     """
-    global _compression_enabled
-    if enabled is not None:
-        _compression_enabled = bool(enabled)
-    return _compression_enabled
+    if enabled is None:
+        return _compression_enabled
+    warnings.warn(
+        "select_compression(enabled) mutates process-global state; prefer "
+        "the spec-scoped repro.EngineConfig(compress=...) on a "
+        "repro.Scenario, or the scoped compression_policy() context manager",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _install_compression(enabled)
 
 
 @contextlib.contextmanager
@@ -90,11 +111,13 @@ def compression_policy(enabled: Optional[bool] = None) -> Iterator[bool]:
         with compression_policy(False):
             ...  # every default-built engine here runs on raw columns
     """
-    previous = select_compression()
+    previous = _compression_enabled
     try:
-        yield select_compression(enabled)
+        if enabled is not None:
+            _install_compression(enabled)
+        yield _compression_enabled
     finally:
-        select_compression(previous)
+        _install_compression(previous)
 
 
 @dataclass(frozen=True)

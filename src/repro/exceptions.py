@@ -66,3 +66,9 @@ class DesignError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment drivers when an experiment is misconfigured."""
+
+
+class SpecError(ReproError):
+    """Raised by the declarative scenario API (:mod:`repro.api`) for invalid
+    specs: unknown registry names, malformed JSON documents, unsupported
+    schema versions or analysis requests the facade cannot dispatch."""

@@ -16,26 +16,22 @@ benchmark harness can print a compact comparison table.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 import networkx as nx
 
-from repro.agrid.algorithm import (
-    agrid,
-    far_away_selector,
-    low_degree_selector,
+from repro.api.registries import AGRID_SELECTORS
+from repro.api.spec import (
+    EngineConfig,
+    PlacementSpec,
+    RoutingSpec,
+    ScenarioSpec,
+    TopologySpec,
 )
 from repro.exceptions import ExperimentError
-from repro.experiments.common import measure_network, resolve_dimension
+from repro.experiments.common import resolve_dimension
 from repro.experiments.parallel import TrialSpec, run_trials
-from repro.monitors.heuristics import (
-    degree_extremes_placement,
-    mdmp_placement,
-    random_placement,
-)
-from repro.monitors.placement import MonitorPlacement
 from repro.routing.mechanisms import RoutingMechanism
 from repro.utils.seeds import RngLike, spawn_rng, spawn_seed
 from repro.utils.tables import format_table
@@ -72,55 +68,34 @@ class AblationResult:
         return max(self.cells.values(), key=lambda cell: cell.mean_mu).variant
 
 
-def _place_mdmp(graph: nx.Graph, dimension: int, rng: random.Random) -> MonitorPlacement:
-    return mdmp_placement(graph, dimension)
+#: The placement variants of ablation 1, expressed as spec fragments: each
+#: maps to a registered strategy of :data:`repro.api.registries.placements`
+#: plus the parameters it needs at dimension ``d``.
+PLACEMENT_VARIANTS = ("mdmp", "random", "degree_extremes")
+
+#: The Agrid edge-selection variants of ablation 2 (Section 9), resolved by
+#: name through :data:`repro.api.registries.AGRID_SELECTORS`.
+SELECTOR_VARIANTS = tuple(AGRID_SELECTORS)
 
 
-def _place_random(
-    graph: nx.Graph, dimension: int, rng: random.Random
-) -> MonitorPlacement:
-    return random_placement(graph, dimension, dimension, rng=rng)
+def _placement_spec(placement_name: str, dimension: int) -> PlacementSpec:
+    if placement_name == "random":
+        return PlacementSpec(
+            "random", {"n_inputs": dimension, "n_outputs": dimension}
+        )
+    return PlacementSpec(placement_name, {"d": dimension})
 
 
-def _place_degree_extremes(
-    graph: nx.Graph, dimension: int, rng: random.Random
-) -> MonitorPlacement:
-    return degree_extremes_placement(graph, dimension)
-
-
-#: Named, module-level variant registries: picklable by qualified name, so an
-#: ablation trial can be shipped to a pool worker as (variant-name, seed).
-PLACEMENT_VARIANTS = {
-    "mdmp": _place_mdmp,
-    "random": _place_random,
-    "degree_extremes": _place_degree_extremes,
-}
-
-SELECTOR_VARIANTS = {
-    "uniform": None,
-    "low_degree": low_degree_selector,
-    "far_away": far_away_selector,
-}
-
-
-def ablation_trial(
-    graph: nx.Graph,
-    dimension: int,
-    selector_name: str,
-    placement_name: str,
-    mechanism: RoutingMechanism,
-    seed: str,
-) -> int:
+def ablation_trial(spec: ScenarioSpec) -> int:
     """One ablation run: boost with the named selector, place with the named
-    heuristic, return µ(G^A).  Pure given its picklable arguments."""
-    run_rng = random.Random(seed)
-    selector = SELECTOR_VARIANTS[selector_name]
-    if selector is None:
-        boost = agrid(graph, dimension, rng=run_rng)
-    else:
-        boost = agrid(graph, dimension, rng=run_rng, selector=selector)
-    placement = PLACEMENT_VARIANTS[placement_name](boost.boosted, dimension, run_rng)
-    return measure_network(boost.boosted, placement, mechanism).mu
+    heuristic, return µ(G^A).
+
+    The run is one pickled :class:`~repro.api.spec.ScenarioSpec`: an
+    ``agrid``-boosted literal topology (the boost and a stochastic placement
+    share the spec's seeded stream, in that order — exactly the pre-spec
+    trial flow) materialised through the facade.
+    """
+    return spec.build().measurement().mu
 
 
 def _run_variant(
@@ -135,11 +110,28 @@ def _run_variant(
     jobs: int = 1,
 ) -> AblationCell:
     mechanism = RoutingMechanism.parse(mechanism)
+    engine = EngineConfig.from_policy()
+    base_topology = TopologySpec.from_graph(graph).to_dict()
     specs = [
         TrialSpec(
             ablation_trial,
-            (graph, dimension, selector_name, placement_name, mechanism,
-             spawn_seed(rng, run)),
+            (
+                ScenarioSpec(
+                    topology=TopologySpec(
+                        "agrid",
+                        {
+                            "base": base_topology,
+                            "dimension": dimension,
+                            "selector": selector_name,
+                        },
+                    ),
+                    placement=_placement_spec(placement_name, dimension),
+                    routing=RoutingSpec(mechanism=mechanism.value),
+                    engine=engine,
+                    seed=spawn_seed(rng, run),
+                    label=f"ablation {variant} run={run}",
+                ),
+            ),
             label=f"ablation {variant} run={run}",
         )
         for run in range(n_runs)

@@ -17,11 +17,13 @@ import networkx as nx
 
 from repro._typing import AnyGraph
 from repro.agrid.algorithm import AgridResult, agrid
+from repro.api.spec import EngineConfig
 from repro.core.bounds import structural_upper_bound
 from repro.core.identifiability import maximal_identifiability_detailed
 from repro.core.truncated import truncated_identifiability
 from repro.engine.cache import cached_enumerate_paths
 from repro.exceptions import ExperimentError
+from repro.routing.paths import enumerate_paths
 from repro.monitors.placement import MonitorPlacement
 from repro.routing.mechanisms import RoutingMechanism
 from repro.routing.paths import PathSet
@@ -95,6 +97,7 @@ def measure_network(
     truncation: Optional[int] = None,
     max_paths: Optional[int] = None,
     cutoff: Optional[int] = None,
+    engine: Optional[EngineConfig] = None,
 ) -> NetworkMeasurement:
     """Enumerate paths and compute (possibly truncated) µ for one network.
 
@@ -105,17 +108,38 @@ def measure_network(
     explicitly — ``None`` means "the enumeration default" for both — and the
     cache normalises them, so equal requests always share one entry however
     the defaults are spelled.
+
+    ``engine`` scopes the signature-engine configuration (backend,
+    compression, cache use) to this measurement.  ``None`` captures the
+    process-global policies at call time — the exact legacy behaviour — so
+    specs carrying an explicit config and legacy global-policy callers
+    compute identically.
     """
     mechanism = RoutingMechanism.parse(mechanism)
-    pathset: PathSet = cached_enumerate_paths(
-        graph, placement, mechanism, cutoff=cutoff, max_paths=max_paths
-    )
+    if engine is None:
+        engine = EngineConfig.from_policy()
+    if engine.cache:
+        pathset: PathSet = cached_enumerate_paths(
+            graph, placement, mechanism, cutoff=cutoff, max_paths=max_paths
+        )
+    else:
+        kwargs = {}
+        if cutoff is not None:
+            kwargs["cutoff"] = cutoff
+        if max_paths is not None:
+            kwargs["max_paths"] = max_paths
+        pathset = enumerate_paths(graph, placement, mechanism, **kwargs)
     if truncation is not None:
-        mu_value = truncated_identifiability(pathset, truncation)
+        mu_value = truncated_identifiability(
+            pathset, truncation, backend=engine.backend, compress=engine.compress
+        )
     else:
         bound = structural_upper_bound(graph, placement, mechanism)
         mu_value = maximal_identifiability_detailed(
-            pathset, max_size=bound.combined + 1
+            pathset,
+            max_size=bound.combined + 1,
+            backend=engine.backend,
+            compress=engine.compress,
         ).value
     return NetworkMeasurement(
         mu=mu_value,
@@ -153,12 +177,15 @@ def compare_with_agrid(
         Callable[[nx.Graph, int], MonitorPlacement]
     ] = None,
     max_paths: Optional[int] = None,
+    engine: Optional[EngineConfig] = None,
 ) -> AgridComparison:
     """Run Agrid and measure both G and G^A under the same experiment settings.
 
     ``placement_builder`` defaults to Agrid's own MDMP placements; passing a
     callable (e.g. a random placement closure) overrides how monitors are
     chosen on *both* graphs, which is what the Tables 11-13 experiments do.
+    ``engine`` scopes the signature-engine configuration to both
+    measurements (``None`` = capture the global policies, as before).
     """
     generator = resolve_rng(rng)
     result: AgridResult = agrid(graph, dimension, rng=generator)
@@ -169,10 +196,11 @@ def compare_with_agrid(
         placement_original = placement_builder(graph, dimension)
         placement_boosted = placement_builder(result.boosted, dimension)
     original = measure_network(
-        graph, placement_original, mechanism, truncation, max_paths
+        graph, placement_original, mechanism, truncation, max_paths, engine=engine
     )
     boosted = measure_network(
-        result.boosted, placement_boosted, mechanism, truncation, max_paths
+        result.boosted, placement_boosted, mechanism, truncation, max_paths,
+        engine=engine,
     )
     return AgridComparison(
         dimension=dimension,

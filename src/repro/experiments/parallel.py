@@ -19,6 +19,13 @@ picklable arguments, including a precomputed seed string from
 Because every trial's randomness is fully determined by its seed string and
 results are returned in spec order, a parallel run is **bit-identical** to a
 serial run of the same specs — the scheduling only changes wall-clock time.
+
+Since the declarative API landed, the table drivers package each trial as a
+pickled :class:`repro.api.spec.ScenarioSpec` (plus at most a couple of scalar
+arguments): seed, topology source, placement strategy, mechanism **and
+engine config** all travel inside the spec, so the worker-side policy
+installation below is a compatibility channel for legacy trial functions
+only — the spec-driven path needs no process-global mutation at all.
 """
 
 from __future__ import annotations
@@ -28,8 +35,8 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.engine.backends import backend_policy, select_backend
-from repro.engine.compress import compression_enabled, select_compression
+from repro.engine.backends import _install_policy, backend_policy, select_backend
+from repro.engine.compress import _install_compression, compression_enabled
 from repro.engine.cache import pathset_cache
 from repro.exceptions import ExperimentError
 
@@ -88,9 +95,15 @@ def _init_worker(backend: str, compress: bool) -> None:
     caches behave identically under ``fork`` (which inherits a copy of the
     parent's entries) and ``spawn`` (which starts empty), and makes the
     reported deltas describe this run only.
+
+    This propagation only matters for *legacy* trial functions that read the
+    process-global policies; trials that carry a
+    :class:`repro.api.spec.ScenarioSpec` (every table driver since the
+    declarative API landed) take their engine config from the spec itself
+    and never consult the globals.
     """
-    select_backend(backend)
-    select_compression(compress)
+    _install_policy(backend)
+    _install_compression(compress)
     pathset_cache().clear()
 
 

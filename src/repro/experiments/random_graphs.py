@@ -15,11 +15,19 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.api.registries import build_topology
+from repro.api.spec import (
+    EngineConfig,
+    PlacementSpec,
+    RoutingSpec,
+    ScenarioSpec,
+    TopologySpec,
+)
 from repro.exceptions import ExperimentError
 from repro.experiments.common import DIMENSION_RULES, compare_with_agrid
 from repro.experiments.parallel import TrialSpec, run_trials
 from repro.routing.mechanisms import RoutingMechanism
-from repro.topology.random_graphs import DEFAULT_EDGE_PROBABILITY, erdos_renyi_connected
+from repro.topology.random_graphs import DEFAULT_EDGE_PROBABILITY
 from repro.utils.seeds import RngLike, spawn_rng, spawn_seed
 from repro.utils.tables import format_percentage, format_table
 
@@ -63,27 +71,31 @@ class RandomGraphCell:
         )
 
 
-def random_graph_trial(
-    n_nodes: int,
-    probability: float,
-    dimension_rule: str,
-    mechanism: RoutingMechanism,
-    seed: str,
-) -> int:
+def random_graph_trial(spec: ScenarioSpec, dimension_rule: str) -> int:
     """One Table-6/7 trial: sample G, boost it, return µ(G^A) − µ(G).
 
-    Pure given its (picklable) arguments — the seed string fully determines
-    both the sampled graph and Agrid's randomness — so one cell's trials can
-    be fanned out over a process pool by :mod:`repro.experiments.parallel`.
+    The whole trial — topology source and its parameters, routing mechanism,
+    engine config and seed — travels inside one pickled
+    :class:`~repro.api.spec.ScenarioSpec`; only the dimension rule rides
+    alongside, because the dimension depends on the graph that is sampled
+    *inside* the trial.  The seed string fully determines both the sampled
+    graph and Agrid's randomness (one shared stream, consumed topology-first
+    as always), so one cell's trials can be fanned out over a process pool by
+    :mod:`repro.experiments.parallel`.
     """
-    trial_rng = random.Random(seed)
-    graph = erdos_renyi_connected(n_nodes, probability, trial_rng)
+    trial_rng = random.Random(spec.seed)
+    graph = build_topology(spec.topology, trial_rng)
+    n_nodes = graph.number_of_nodes()
     dimension = DIMENSION_RULES[dimension_rule](n_nodes, graph)
     # Agrid needs d <= n - 1 new-neighbour candidates and MDMP needs 2d
     # distinct monitor nodes, so cap the dimension accordingly.
     dimension = min(dimension, n_nodes - 1, n_nodes // 2)
     comparison = compare_with_agrid(
-        graph, dimension, rng=trial_rng, mechanism=mechanism
+        graph,
+        dimension,
+        rng=trial_rng,
+        mechanism=spec.mechanism,
+        engine=spec.engine,
     )
     return comparison.improvement
 
@@ -106,10 +118,26 @@ def run_random_graph_cell(
             f"expected one of {sorted(DIMENSION_RULES)}"
         )
     mechanism = RoutingMechanism.parse(mechanism)
+    engine = EngineConfig.from_policy()
     specs = [
         TrialSpec(
             random_graph_trial,
-            (n_nodes, probability, dimension_rule, mechanism, spawn_seed(rng, trial)),
+            (
+                ScenarioSpec(
+                    topology=TopologySpec(
+                        "erdos_renyi_connected",
+                        {"n_nodes": n_nodes, "probability": probability},
+                    ),
+                    # The MDMP d is resolved in-trial from the sampled graph;
+                    # the strategy is recorded here for provenance.
+                    placement=PlacementSpec("mdmp"),
+                    routing=RoutingSpec(mechanism=mechanism.value),
+                    engine=engine,
+                    seed=spawn_seed(rng, trial),
+                    label=f"random-graph n={n_nodes} trial={trial}",
+                ),
+                dimension_rule,
+            ),
             label=f"random-graph n={n_nodes} trial={trial}",
         )
         for trial in range(n_trials)

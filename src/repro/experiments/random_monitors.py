@@ -10,17 +10,22 @@ of µ values for G and for G^A — the layout of Tables 11, 12 and 13.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import networkx as nx
 
 from repro.agrid.algorithm import agrid
+from repro.api.spec import (
+    EngineConfig,
+    PlacementSpec,
+    RoutingSpec,
+    ScenarioSpec,
+    TopologySpec,
+)
 from repro.exceptions import ExperimentError
-from repro.experiments.common import measure_network, resolve_dimension
+from repro.experiments.common import resolve_dimension
 from repro.experiments.parallel import TrialSpec, run_trials
-from repro.monitors.heuristics import random_placement
 from repro.routing.mechanisms import RoutingMechanism
 from repro.topology import zoo
 from repro.utils.seeds import RngLike, spawn_rng, spawn_seed
@@ -93,27 +98,21 @@ class RandomMonitorResult:
 
 
 def random_monitor_trial(
-    graph: nx.Graph,
-    boosted: nx.Graph,
-    dimension: int,
-    mechanism: RoutingMechanism,
-    seed_original: str,
-    seed_boosted: str,
+    spec_original: ScenarioSpec, spec_boosted: ScenarioSpec
 ) -> Tuple[int, int]:
     """One Table-11/12/13 trial: draw a random placement pair, measure both µ.
 
-    Pure given its picklable arguments, so a batch of placements can be
-    fanned out over a process pool by :mod:`repro.experiments.parallel`.
+    Each half of the trial is one pickled, fully self-contained
+    :class:`~repro.api.spec.ScenarioSpec` — literal graph, random-placement
+    strategy, seed and engine config — materialised through the
+    :class:`~repro.api.scenario.Scenario` facade, so the trial needs no
+    process-global state and can be fanned out over a process pool by
+    :mod:`repro.experiments.parallel`.
     """
-    placement_original = random_placement(
-        graph, dimension, dimension, rng=random.Random(seed_original)
+    return (
+        spec_original.build().measurement().mu,
+        spec_boosted.build().measurement().mu,
     )
-    placement_boosted = random_placement(
-        boosted, dimension, dimension, rng=random.Random(seed_boosted)
-    )
-    mu_original = measure_network(graph, placement_original, mechanism).mu
-    mu_boosted = measure_network(boosted, placement_boosted, mechanism).mu
-    return mu_original, mu_boosted
 
 
 def run_random_monitor_experiment(
@@ -131,18 +130,34 @@ def run_random_monitor_experiment(
     d = dimension if dimension is not None else resolve_dimension("log", graph)
     boost = agrid(graph, d, rng=spawn_rng(rng, 0))
 
+    engine = EngineConfig.from_policy()
+    routing = RoutingSpec(mechanism=mechanism.value)
+    placement_spec = PlacementSpec("random", {"n_inputs": d, "n_outputs": d})
+    topology_original = TopologySpec.from_graph(graph)
+    topology_boosted = TopologySpec.from_graph(boost.boosted)
+
     # Seeds are derived in the exact order the serial loop would have used
     # them, so serial and parallel runs see identical placements.
     specs = [
         TrialSpec(
             random_monitor_trial,
             (
-                graph,
-                boost.boosted,
-                d,
-                mechanism,
-                spawn_seed(rng, 2 * trial + 1),
-                spawn_seed(rng, 2 * trial + 2),
+                ScenarioSpec(
+                    topology=topology_original,
+                    placement=placement_spec,
+                    routing=routing,
+                    engine=engine,
+                    seed=spawn_seed(rng, 2 * trial + 1),
+                    label=f"{graph.name or 'G'} trial={trial}",
+                ),
+                ScenarioSpec(
+                    topology=topology_boosted,
+                    placement=placement_spec,
+                    routing=routing,
+                    engine=engine,
+                    seed=spawn_seed(rng, 2 * trial + 2),
+                    label=f"{graph.name or 'G'}^A trial={trial}",
+                ),
             ),
             label=f"random-monitor {graph.name or 'G'} trial={trial}",
         )

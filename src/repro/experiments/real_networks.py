@@ -15,6 +15,7 @@ from typing import Dict, Optional, Tuple
 
 import networkx as nx
 
+from repro.api.spec import EngineConfig
 from repro.experiments.common import (
     AgridComparison,
     compare_with_agrid,
@@ -81,10 +82,17 @@ def run_real_network(
     rng: RngLike = 2018,
     mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
     max_paths: Optional[int] = None,
+    engine: Optional[EngineConfig] = None,
 ) -> RealNetworkResult:
-    """Reproduce the Table-3/4/5 measurement for one zoo network."""
+    """Reproduce the Table-3/4/5 measurement for one zoo network.
+
+    ``engine`` scopes the signature-engine configuration to this table
+    (``None`` captures the global policies, the legacy behaviour).
+    """
     graph = zoo.load(name)
     n = graph.number_of_nodes()
+    if engine is None:
+        engine = EngineConfig.from_policy()
     d_sqrt = resolve_dimension("sqrt_log", graph)
     d_log = resolve_dimension("log", graph)
     sqrt_comparison = compare_with_agrid(
@@ -93,6 +101,7 @@ def run_real_network(
         rng=spawn_rng(rng, 1),
         mechanism=mechanism,
         max_paths=max_paths,
+        engine=engine,
     )
     log_comparison = compare_with_agrid(
         graph,
@@ -100,6 +109,7 @@ def run_real_network(
         rng=spawn_rng(rng, 2),
         mechanism=mechanism,
         max_paths=max_paths,
+        engine=engine,
     )
     return RealNetworkResult(
         network=graph.name or name,

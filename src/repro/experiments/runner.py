@@ -9,6 +9,7 @@ Installed as the ``repro-experiments`` console script.  Examples::
     repro-experiments --tables all --seed 7       # everything, custom seed
     repro-experiments --tables random --jobs 4    # fan trials out over 4 workers
     repro-experiments --tables random --trials 10 --format json --output out.json
+    repro-experiments --spec examples/specs/claranet.json --jobs 2   # user batch
 
 The default ``--format text`` prints one paper-style table per experiment,
 suitable for pasting into EXPERIMENTS.md; ``--format json`` emits one
@@ -16,24 +17,38 @@ machine-readable document carrying both the rendered text and the structured
 result data of every section.  ``--jobs N`` parallelises the Monte-Carlo
 batches over N worker processes (0 = all cores) with bit-identical output to
 a serial run of the same seed.
+
+``--spec FILE`` switches the runner to *user-defined scenario batches*: the
+file is a JSON :class:`repro.api.spec.ScenarioSpec` (or a list, or a
+``{"scenarios": [...]}`` document) and every scenario runs its declared
+analyses through the :class:`repro.api.scenario.Scenario` facade — one
+pickled spec per pool trial, engine config scoped inside the spec.
+``--output`` writes are atomic (missing directories created, temp file +
+``os.replace``), so parallel or interrupted invocations cannot leave
+truncated artifacts.
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
-import enum
 import json
+import os
 import sys
+import tempfile
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
+from repro.api.scenario import Scenario
+from repro.api.serialize import json_key as _json_key
+from repro.api.serialize import to_jsonable
+from repro.api.spec import EngineConfig, ScenarioSpec, load_spec_batch
 from repro.engine import (
     backend_policy,
     cache_stats,
     clear_pathset_cache,
     compression_policy,
 )
+from repro.exceptions import SpecError
 from repro.experiments import (
     ablation,
     random_graphs,
@@ -41,7 +56,9 @@ from repro.experiments import (
     real_networks,
     truncated,
 )
+from repro.experiments.parallel import TrialSpec, run_trials
 from repro.topology import zoo
+from repro.utils.tables import format_table
 
 
 @dataclass(frozen=True)
@@ -55,38 +72,6 @@ class Section:
 
     def render(self) -> str:
         return f"== {self.title} ==\n{self.body}"
-
-
-def to_jsonable(obj: Any) -> Any:
-    """Recursively convert a result object into JSON-serialisable data.
-
-    Dataclasses become dicts of their public fields, enums their values,
-    non-string dict keys are joined/stringified (``(50, 5)`` -> ``"50,5"``),
-    and anything else unrecognised falls back to ``str``.
-    """
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return {
-            field.name: to_jsonable(getattr(obj, field.name))
-            for field in dataclasses.fields(obj)
-            if not field.name.startswith("_")
-        }
-    if isinstance(obj, enum.Enum):
-        return obj.value
-    if isinstance(obj, dict):
-        return {_json_key(key): to_jsonable(value) for key, value in obj.items()}
-    if isinstance(obj, (list, tuple, set, frozenset)):
-        return [to_jsonable(value) for value in obj]
-    if obj is None or isinstance(obj, (str, int, float, bool)):
-        return obj
-    return str(obj)
-
-
-def _json_key(key: Any) -> str:
-    if isinstance(key, str):
-        return key
-    if isinstance(key, tuple):
-        return ",".join(str(part) for part in key)
-    return str(key)
 
 
 #: Mapping of CLI group name -> callable(seed, jobs, trials) -> sections.
@@ -186,6 +171,138 @@ def available_groups() -> Iterable[str]:
     return sorted(_GROUPS) + ["all"]
 
 
+# --------------------------------------------------------------------------
+# Declarative --spec batches
+# --------------------------------------------------------------------------
+
+def _run_scenario_spec(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Worker-side execution of one scenario: run every declared analysis.
+
+    Module-level (so it pickles into pool workers) and fully self-contained:
+    the spec carries topology, placement, mechanism, seed *and* engine
+    config, so no process-global state needs to be propagated.
+    """
+    reports = Scenario(spec).run_all()
+    return {name: report.to_dict() for name, report in reports.items()}
+
+
+def _summarise_report(payload: Any) -> str:
+    """Compact one-cell summary of an analysis result dict."""
+    if not isinstance(payload, dict):
+        return str(payload)
+    scalars = [
+        f"{key}={value}"
+        for key, value in payload.items()
+        if isinstance(value, (int, float, str, bool)) or value is None
+    ]
+    return ", ".join(scalars) if scalars else "(nested)"
+
+
+def run_spec_sections(
+    specs: Iterable[ScenarioSpec],
+    jobs: int = 1,
+    trials: Optional[int] = None,
+    seed: Optional[int] = None,
+    engine: Optional["EngineConfig"] = None,
+) -> List[Section]:
+    """Run a batch of user-defined scenarios, one section per scenario.
+
+    ``trials`` overrides every spec's failure-campaign trial count; ``seed``
+    is applied (offset by the scenario's position, so repeated specs stay
+    decorrelated) to specs that do not pin their own seed; ``engine``
+    replaces every spec's engine config (how the CLI ``--backend`` /
+    ``--no-compress`` flags reach a spec batch — an explicit flag wins over
+    the file).  Scenarios are fanned out over ``jobs`` worker processes —
+    one pickled :class:`~repro.api.spec.ScenarioSpec` per trial.
+    """
+    prepared: List[ScenarioSpec] = []
+    for index, spec in enumerate(specs):
+        if trials is not None:
+            spec = spec.with_trials(trials)
+        if spec.seed is None and seed is not None:
+            spec = spec.with_seed(seed + index)
+        if engine is not None:
+            spec = spec.with_engine(engine)
+        prepared.append(spec)
+    trial_specs = [
+        TrialSpec(
+            _run_scenario_spec,
+            (spec,),
+            label=f"scenario {spec.display_name()}",
+        )
+        for spec in prepared
+    ]
+    results = run_trials(trial_specs, jobs=jobs)
+    sections = []
+    for spec, analyses in zip(prepared, results):
+        rows = [
+            (name, _summarise_report(payload)) for name, payload in analyses.items()
+        ]
+        body = format_table(
+            ("analysis", "result"), rows, title=spec.display_name()
+        )
+        sections.append(
+            Section(
+                group="spec",
+                title=spec.display_name(),
+                body=body,
+                data={"spec": spec.to_dict(), "analyses": analyses},
+            )
+        )
+    return sections
+
+
+def run_spec_file(
+    path: str,
+    jobs: int = 1,
+    trials: Optional[int] = None,
+    seed: Optional[int] = None,
+    engine: Optional["EngineConfig"] = None,
+) -> List[Section]:
+    """Load a ``--spec`` JSON document and run its scenario batch."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = handle.read()
+    except OSError as exc:
+        raise SpecError(f"cannot read spec file {path!r}: {exc}") from exc
+    clear_pathset_cache()
+    return run_spec_sections(
+        load_spec_batch(document), jobs=jobs, trials=trials, seed=seed,
+        engine=engine,
+    )
+
+
+def write_output_atomic(path: str, payload: str) -> None:
+    """Write ``payload`` to ``path`` atomically.
+
+    Missing parent directories are created, the payload lands in a temporary
+    file in the destination directory, and :func:`os.replace` publishes it —
+    so concurrent or interrupted runner invocations (parallel CI jobs
+    writing artifacts) can never leave a truncated document behind.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=".repro-output-", suffix=".tmp"
+    )
+    try:
+        # mkstemp creates 0600 files; restore the umask-derived mode a plain
+        # open(path, "w") would have produced so downstream readers (other
+        # users, web servers, CI caches) keep working.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.fchmod(fd, 0o666 & ~umask)
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -197,6 +314,16 @@ def build_parser() -> argparse.ArgumentParser:
         default="all",
         choices=list(available_groups()),
         help="which experiment group to run (default: all)",
+    )
+    parser.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="run a user-defined scenario batch instead of the paper tables: "
+        "FILE is a JSON ScenarioSpec, a list of them, or a "
+        '{"scenarios": [...]} document (see repro.api); --jobs fans the '
+        "scenarios out, --trials overrides their campaign trial counts, "
+        "--seed fills in specs without a pinned seed",
     )
     parser.add_argument(
         "--seed", type=int, default=2018, help="master random seed (default: 2018)"
@@ -315,14 +442,27 @@ def main(argv: List[str] | None = None) -> int:
     with backend_policy(args.backend), compression_policy(
         False if args.no_compress else None
     ):
-        sections = run(args.tables, args.seed, jobs=args.jobs, trials=args.trials)
+        if args.spec:
+            # An explicit engine flag overrides the batch's engine configs;
+            # with no flag, each spec's own (or default) config stands.
+            engine_override = None
+            if args.backend is not None or args.no_compress:
+                engine_override = EngineConfig.from_policy()
+            sections = run_spec_file(
+                args.spec,
+                jobs=args.jobs,
+                trials=args.trials,
+                seed=args.seed,
+                engine=engine_override,
+            )
+        else:
+            sections = run(args.tables, args.seed, jobs=args.jobs, trials=args.trials)
         if args.format == "json":
             payload = render_json(sections, args.seed, args.jobs)
         else:
             payload = render_text(sections)
         if args.output:
-            with open(args.output, "w", encoding="utf-8") as handle:
-                handle.write(payload)
+            write_output_atomic(args.output, payload)
         else:
             sys.stdout.write(payload)
         if args.cache_stats:

@@ -11,20 +11,24 @@ and 10.  Only the ``d = log N`` case is reported, as in the paper.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import networkx as nx
 
-from repro.agrid.algorithm import agrid
+from repro.api.spec import (
+    EngineConfig,
+    PlacementSpec,
+    RoutingSpec,
+    ScenarioSpec,
+    TopologySpec,
+)
 from repro.core.truncated import default_truncation_level
 from repro.exceptions import ExperimentError
 from repro.experiments.common import measure_network, resolve_dimension
 from repro.experiments.parallel import TrialSpec, run_trials
 from repro.routing.mechanisms import RoutingMechanism
 from repro.topology import zoo
-from repro.topology.base import average_degree
 from repro.utils.seeds import RngLike, spawn_rng, spawn_seed
 from repro.utils.tables import format_percentage, format_table
 
@@ -94,26 +98,20 @@ class TruncatedResult:
         return self.boosted.mean >= self.original.mean
 
 
-def truncated_trial(
-    graph: nx.Graph,
-    dimension: int,
-    mechanism: RoutingMechanism,
-    seed: str,
-) -> Tuple[int, int]:
+def truncated_trial(spec: ScenarioSpec) -> Tuple[int, int]:
     """One Table-8/9/10 sample: draw G^A, return (µ_λ(G^A), λ).
 
-    Pure given its picklable arguments, so the Agrid samples can be fanned
-    out over a process pool by :mod:`repro.experiments.parallel`.
+    The whole sample is one pickled, self-contained
+    :class:`~repro.api.spec.ScenarioSpec`: an ``agrid``-boosted literal
+    topology (the boost consumes the spec's seeded stream, exactly as the
+    old hand-rolled trial did), MDMP placement, mechanism and engine config.
+    Materialised through the :class:`~repro.api.scenario.Scenario` facade, so
+    the Agrid samples can be fanned out over a process pool by
+    :mod:`repro.experiments.parallel` with no process-global state.
     """
-    result = agrid(graph, dimension, rng=random.Random(seed))
-    truncation = default_truncation_level(result.boosted)
-    measurement = measure_network(
-        result.boosted,
-        result.placement_boosted,
-        mechanism,
-        truncation=truncation,
-    )
-    return measurement.mu, truncation
+    scenario = spec.build()
+    truncation = default_truncation_level(scenario.graph)
+    return scenario.truncated(truncation).value, truncation
 
 
 def run_truncated_experiment(
@@ -130,11 +128,23 @@ def run_truncated_experiment(
     mechanism = RoutingMechanism.parse(mechanism)
     d = dimension if dimension is not None else resolve_dimension("log", graph)
 
+    engine = EngineConfig.from_policy()
+    routing = RoutingSpec(mechanism=mechanism.value)
+    base_topology = TopologySpec.from_graph(graph)
+    placement = PlacementSpec("mdmp", {"d": d})
+
     # The truncation level is the average degree of the graph being measured.
+    # The seed slot the pre-spec code spent on the base graph's (deterministic)
+    # MDMP placement is still consumed, so seed streams line up exactly.
     original_truncation = default_truncation_level(graph)
-    base_placement = agrid(graph, d, rng=spawn_rng(rng, 0)).placement_original
     original_measure = measure_network(
-        graph, base_placement, mechanism, truncation=original_truncation
+        graph,
+        ScenarioSpec(
+            topology=base_topology, placement=placement, seed=spawn_seed(rng, 0)
+        ).build().placement,
+        mechanism,
+        truncation=original_truncation,
+        engine=engine,
     )
     original = TruncatedDistribution(
         truncation=original_truncation, counts={original_measure.mu: 1}
@@ -143,7 +153,18 @@ def run_truncated_experiment(
     specs = [
         TrialSpec(
             truncated_trial,
-            (graph, d, mechanism, spawn_seed(rng, sample + 1)),
+            (
+                ScenarioSpec(
+                    topology=TopologySpec(
+                        "agrid", {"base": base_topology.to_dict(), "dimension": d}
+                    ),
+                    placement=placement,
+                    routing=routing,
+                    engine=engine,
+                    seed=spawn_seed(rng, sample + 1),
+                    label=f"truncated {graph.name or 'G'} sample={sample}",
+                ),
+            ),
             label=f"truncated {graph.name or 'G'} sample={sample}",
         )
         for sample in range(n_samples)

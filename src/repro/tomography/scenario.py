@@ -14,7 +14,7 @@ measurement path set and can
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro._typing import AnyGraph, MeasurementVector, Node
 from repro.engine.backends import BackendSpec
@@ -27,6 +27,9 @@ from repro.routing.paths import PathSet, enumerate_paths
 from repro.tomography.boolean_system import measurement_vector
 from repro.tomography.inference import LocalizationResult, localize_failures
 from repro.utils.seeds import RngLike, resolve_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api sits above)
+    from repro.api.scenario import Scenario
 
 
 @dataclass(frozen=True)
@@ -76,22 +79,42 @@ class TomographySession:
         cutoff: Optional[int] = None,
         max_paths: Optional[int] = None,
         backend: BackendSpec = None,
+        compress: Optional[bool] = None,
+        pathset: Optional[PathSet] = None,
     ) -> None:
         self.graph = graph
         self.placement = placement
         self.mechanism = RoutingMechanism.parse(mechanism)
-        kwargs = {}
-        if cutoff is not None:
-            kwargs["cutoff"] = cutoff
-        if max_paths is not None:
-            kwargs["max_paths"] = max_paths
-        self.pathset: PathSet = enumerate_paths(
-            graph, placement, self.mechanism, **kwargs
-        )
+        if pathset is None:
+            kwargs = {}
+            if cutoff is not None:
+                kwargs["cutoff"] = cutoff
+            if max_paths is not None:
+                kwargs["max_paths"] = max_paths
+            pathset = enumerate_paths(graph, placement, self.mechanism, **kwargs)
+        self.pathset: PathSet = pathset
         #: The shared signature engine; every identifiability and measurement
         #: query of the session runs on these packed signatures.
-        self.engine: SignatureEngine = self.pathset.engine(backend)
+        self.engine: SignatureEngine = self.pathset.engine(backend, compress)
         self._mu_cache: Optional[int] = None
+
+    @classmethod
+    def from_scenario(cls, scenario: "Scenario") -> "TomographySession":
+        """A session over a :class:`repro.api.scenario.Scenario`'s pipeline.
+
+        Reuses the scenario's already-enumerated path set and its spec-scoped
+        engine configuration, so the session shares the interned signatures
+        instead of re-enumerating.
+        """
+        config = scenario.spec.engine
+        return cls(
+            scenario.graph,
+            scenario.placement,
+            scenario.mechanism,
+            backend=config.backend,
+            compress=config.compress,
+            pathset=scenario.pathset,
+        )
 
     # -- identifiability ----------------------------------------------------
     @property

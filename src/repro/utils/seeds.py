@@ -12,23 +12,27 @@ from __future__ import annotations
 import random
 from typing import Optional, Union
 
-RngLike = Union[int, random.Random, None]
+RngLike = Union[int, str, random.Random, None]
 
 
 def resolve_rng(rng: RngLike = None) -> random.Random:
     """Return a :class:`random.Random` for ``rng``.
 
     * ``None`` -> a fresh, OS-seeded generator (non-reproducible);
-    * ``int``  -> a generator seeded with that integer;
+    * ``int`` / ``str`` -> a generator seeded with that value (strings are
+      the :func:`spawn_seed` child-stream material carried by scenario
+      specs);
     * ``random.Random`` -> returned unchanged (shared state).
     """
     if rng is None:
         return random.Random()
     if isinstance(rng, random.Random):
         return rng
-    if isinstance(rng, int):
+    if isinstance(rng, (int, str)):
         return random.Random(rng)
-    raise TypeError(f"rng must be None, int or random.Random, got {type(rng)!r}")
+    raise TypeError(
+        f"rng must be None, int, str or random.Random, got {type(rng)!r}"
+    )
 
 
 def spawn_seed(rng: RngLike, salt: int) -> str:

@@ -124,9 +124,13 @@ class TestSeeds:
         generator = random.Random(1)
         assert resolve_rng(generator) is generator
 
+    def test_resolve_rng_accepts_seed_strings(self):
+        # Spec-carried spawn_seed() strings are first-class seed material.
+        assert resolve_rng("seed").random() == resolve_rng("seed").random()
+
     def test_resolve_rng_rejects_bad_type(self):
         with pytest.raises(TypeError):
-            resolve_rng("seed")
+            resolve_rng(1.5)
 
     def test_spawn_rng_differs_per_salt(self):
         first = spawn_rng(3, 1).random()

@@ -1,0 +1,493 @@
+"""Tests for the declarative scenario API (spec, registries, facade).
+
+The load-bearing properties:
+
+* **Round trips** — a random spec survives ``to_json``/``from_json`` exactly,
+  and the rebuilt scenario computes identical µ / witness / table values.
+* **Facade parity** — the facade and the legacy free functions are
+  bit-identical, and every driver trial routed through a pickled
+  ``ScenarioSpec`` equals the hand-rolled pre-spec computation.
+* **Globals-free engine config** — scenarios with different engine configs
+  coexist in one process with correct, independent results.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import warnings
+
+import pytest
+
+import repro
+from repro.api import registries as reg
+from repro.api.scenario import Scenario
+from repro.api.spec import (
+    AnalysisSpec,
+    EngineConfig,
+    FailureModel,
+    PlacementSpec,
+    RoutingSpec,
+    ScenarioSpec,
+    TopologySpec,
+    load_spec_batch,
+)
+from repro.core.bounds import structural_upper_bound
+from repro.core.identifiability import maximal_identifiability_detailed
+from repro.core.truncated import default_truncation_level
+from repro.engine.backends import numpy_available
+from repro.engine.cache import clear_pathset_cache
+from repro.exceptions import SpecError
+from repro.monitors import chi_g, mdmp_placement, random_placement
+from repro.routing import RoutingMechanism, enumerate_paths
+from repro.topology import claranet, directed_grid, erdos_renyi_connected
+from repro.utils.seeds import spawn_seed
+
+MECHANISMS = ("CSP", "CAP-", "CAP")
+
+
+def _random_spec(rng: random.Random, mechanism: str) -> ScenarioSpec:
+    """A random but valid spec over small universes (fast exact µ)."""
+    kind = rng.choice(("zoo", "er", "grid"))
+    if kind == "zoo":
+        network = rng.choice(("dataxchange", "eunetwork_small", "getnet"))
+        topology = TopologySpec("zoo", {"network": network})
+    elif kind == "er":
+        topology = TopologySpec(
+            "erdos_renyi_connected",
+            {"n_nodes": rng.randint(5, 7), "probability": 0.5},
+        )
+    else:
+        topology = TopologySpec("undirected_grid", {"n": 3})
+    strategy = rng.choice(("mdmp", "random"))
+    if strategy == "mdmp":
+        placement = PlacementSpec("mdmp", {"d": 2})
+    else:
+        placement = PlacementSpec("random", {"n_inputs": 2, "n_outputs": 2})
+    backend = rng.choice(("auto", "python") + (("numpy",) if numpy_available() else ()))
+    return ScenarioSpec(
+        topology=topology,
+        placement=placement,
+        routing=RoutingSpec(mechanism=mechanism),
+        engine=EngineConfig(
+            backend=backend,
+            compress=rng.random() < 0.5,
+            cache=rng.random() < 0.5,
+        ),
+        seed=rng.randrange(2**32),
+    )
+
+
+class TestSpecRoundTrip:
+    @pytest.mark.parametrize("mechanism", MECHANISMS)
+    def test_random_specs_round_trip_with_identical_results(self, mechanism):
+        rng = random.Random(f"api-roundtrip:{mechanism}")
+        for _ in range(20):
+            spec = _random_spec(rng, mechanism)
+            rebuilt = ScenarioSpec.from_json(spec.to_json())
+            assert rebuilt == spec
+            original = Scenario(spec)
+            clone = Scenario(rebuilt)
+            assert clone.mu() == original.mu()  # value, witness, diagnostics
+            assert clone.measurement() == original.measurement()  # table values
+            assert clone.truncated() == original.truncated()
+
+    def test_round_trip_preserves_tuple_node_labels(self):
+        grid = directed_grid(3)
+        spec = ScenarioSpec(
+            topology=TopologySpec.from_graph(grid),
+            placement=PlacementSpec.from_placement(chi_g(grid)),
+        )
+        rebuilt = ScenarioSpec.from_json(spec.to_json())
+        assert rebuilt == spec
+        scenario = Scenario(rebuilt)
+        assert set(scenario.graph.nodes) == set(grid.nodes)
+        assert scenario.placement == chi_g(grid)
+        assert scenario.mu().value == Scenario.from_components(grid, chi_g(grid)).mu().value
+
+    def test_from_dict_rejects_unknown_fields_and_versions(self):
+        base = ScenarioSpec(
+            topology=TopologySpec("claranet"), placement=PlacementSpec("mdmp", {"d": 3})
+        ).to_dict()
+        bad = dict(base, schema_version=99)
+        with pytest.raises(SpecError):
+            ScenarioSpec.from_dict(bad)
+        bad = dict(base, surprise=1)
+        with pytest.raises(SpecError):
+            ScenarioSpec.from_dict(bad)
+        with pytest.raises(SpecError):
+            ScenarioSpec.from_json("not json at all {")
+
+    def test_load_spec_batch_accepts_all_document_shapes(self):
+        spec = ScenarioSpec(
+            topology=TopologySpec("claranet"), placement=PlacementSpec("mdmp", {"d": 3})
+        )
+        single = json.dumps(spec.to_dict())
+        listed = json.dumps([spec.to_dict(), spec.to_dict()])
+        wrapped = json.dumps({"scenarios": [spec.to_dict()]})
+        assert load_spec_batch(single) == (spec,)
+        assert load_spec_batch(listed) == (spec, spec)
+        assert load_spec_batch(wrapped) == (spec,)
+        with pytest.raises(SpecError):
+            load_spec_batch(json.dumps({"scenarios": []}))
+        with pytest.raises(SpecError):
+            load_spec_batch(json.dumps({"scenarios": [spec.to_dict()], "x": 1}))
+
+    def test_failure_model_and_engine_validation(self):
+        with pytest.raises(SpecError):
+            FailureModel(model="adversarial")
+        with pytest.raises(SpecError):
+            FailureModel(n_trials=0)
+        with pytest.raises(Exception):
+            EngineConfig(backend="fortran")
+
+
+class TestRegistries:
+    def test_unknown_names_raise_spec_error(self):
+        with pytest.raises(SpecError):
+            reg.topologies.get("no-such-topology")
+        with pytest.raises(SpecError):
+            Scenario(
+                ScenarioSpec(
+                    topology=TopologySpec("no-such-topology"),
+                    placement=PlacementSpec("mdmp", {"d": 2}),
+                )
+            ).graph
+
+    def test_custom_topology_and_placement_are_one_decorator_away(self):
+        @reg.topologies.register("test_api_ring")
+        def _ring(params, rng):
+            import networkx as nx
+
+            return nx.cycle_graph(params.get("n", 6))
+
+        @reg.placements.register("test_api_endpoints")
+        def _endpoints(graph, params, rng):
+            from repro.monitors.placement import MonitorPlacement
+
+            nodes = sorted(graph.nodes, key=repr)
+            return MonitorPlacement.of({nodes[0]}, {nodes[len(nodes) // 2]})
+
+        spec = ScenarioSpec(
+            topology=TopologySpec("test_api_ring", {"n": 6}),
+            placement=PlacementSpec("test_api_endpoints"),
+        )
+        report = Scenario(spec).mu()
+        assert report.n_nodes == 6
+        assert report.value >= 0
+        # Duplicate registration is refused unless explicitly overwritten.
+        with pytest.raises(SpecError):
+            reg.topologies.register("test_api_ring")(_ring)
+        reg.topologies.register("test_api_ring", overwrite=True)(_ring)
+
+    def test_mechanism_resolution_covers_aliases(self):
+        assert reg.resolve_mechanism("csp") is RoutingMechanism.CSP
+        assert reg.resolve_mechanism("cap-") is RoutingMechanism.CAP_MINUS
+        assert reg.resolve_mechanism("cap_minus") is RoutingMechanism.CAP_MINUS
+        assert reg.resolve_mechanism(RoutingMechanism.CAP) is RoutingMechanism.CAP
+
+
+class TestFacadeParity:
+    def test_facade_mu_matches_pathset_level_computation(self):
+        for graph, placement in (
+            (directed_grid(3), chi_g(directed_grid(3))),
+            (claranet(), mdmp_placement(claranet(), 4)),
+        ):
+            pathset = enumerate_paths(graph, placement, RoutingMechanism.CSP)
+            bound = structural_upper_bound(graph, placement, RoutingMechanism.CSP)
+            expected = maximal_identifiability_detailed(
+                pathset, max_size=bound.combined + 1
+            )
+            scenario = Scenario.from_components(graph, placement)
+            assert scenario.identifiability() == expected
+            assert scenario.mu().value == expected.value
+            assert scenario.mu().bound == bound.combined
+
+    def test_legacy_mu_is_a_warning_shim_with_identical_values(self):
+        graph = claranet()
+        placement = mdmp_placement(graph, 4)
+        with pytest.warns(DeprecationWarning):
+            legacy = repro.mu(graph, placement)
+        assert legacy == Scenario.from_components(graph, placement).mu().value
+        with pytest.warns(DeprecationWarning):
+            detailed = repro.mu_detailed(graph, placement)
+        assert detailed == Scenario.from_components(graph, placement).identifiability()
+        with pytest.warns(DeprecationWarning):
+            truncated = repro.mu_truncated(graph, placement, alpha=2)
+        assert truncated == Scenario.from_components(graph, placement).truncated(2).value
+
+    def test_select_backend_and_select_compression_warn_on_set_only(self):
+        from repro.engine import select_backend, select_compression
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # getters must stay silent
+            before_backend = select_backend()
+            before_compress = select_compression()
+        try:
+            with pytest.warns(DeprecationWarning):
+                select_backend("python")
+            with pytest.warns(DeprecationWarning):
+                select_compression(False)
+        finally:
+            from repro.engine.backends import _install_policy
+            from repro.engine.compress import _install_compression
+
+            _install_policy(before_backend)
+            _install_compression(before_compress)
+
+    def test_localization_campaign_matches_tomography_session(self):
+        grid = directed_grid(3)
+        scenario = Scenario.from_components(grid, chi_g(grid), seed=5)
+        from repro.tomography import TomographySession
+
+        session = TomographySession.from_scenario(scenario)
+        assert session.pathset is scenario.pathset  # shared interned signatures
+        direct = session.run_campaign(1, 5, rng=99)
+        facade = scenario.localization_campaign(failure_size=1, n_trials=5, rng=99)
+        assert facade.n_unique == direct.n_unique
+        assert facade.mean_ambiguity == direct.mean_ambiguity
+        assert facade.mu == session.mu
+
+
+class TestDriverSpecParity:
+    """Each driver trial fed a pickled ScenarioSpec must equal the hand-rolled
+    pre-spec computation (same seed, same shared-RNG consumption order)."""
+
+    def test_random_graph_trial(self):
+        from repro.experiments.common import DIMENSION_RULES, compare_with_agrid
+        from repro.experiments.random_graphs import random_graph_trial
+
+        seed = spawn_seed(11, 0)
+        # Legacy flow, reproduced inline.
+        legacy_rng = random.Random(seed)
+        graph = erdos_renyi_connected(6, 0.4, legacy_rng)
+        d = min(DIMENSION_RULES["log"](6, graph), 5, 3)
+        expected = compare_with_agrid(
+            graph, d, rng=legacy_rng, mechanism=RoutingMechanism.CSP
+        ).improvement
+        spec = ScenarioSpec(
+            topology=TopologySpec(
+                "erdos_renyi_connected", {"n_nodes": 6, "probability": 0.4}
+            ),
+            placement=PlacementSpec("mdmp"),
+            seed=seed,
+        )
+        assert random_graph_trial(spec, "log") == expected
+
+    def test_truncated_trial(self):
+        from repro.agrid.algorithm import agrid
+        from repro.experiments.common import measure_network
+        from repro.experiments.truncated import truncated_trial
+
+        graph = repro.topology.eunetwork_small()
+        seed = spawn_seed(13, 1)
+        result = agrid(graph, 3, rng=random.Random(seed))
+        truncation = default_truncation_level(result.boosted)
+        expected = measure_network(
+            result.boosted,
+            result.placement_boosted,
+            RoutingMechanism.CSP,
+            truncation=truncation,
+        ).mu
+        spec = ScenarioSpec(
+            topology=TopologySpec(
+                "agrid",
+                {"base": TopologySpec.from_graph(graph).to_dict(), "dimension": 3},
+            ),
+            placement=PlacementSpec("mdmp", {"d": 3}),
+            seed=seed,
+        )
+        assert truncated_trial(spec) == (expected, truncation)
+
+    def test_random_monitor_trial(self):
+        from repro.experiments.common import measure_network
+        from repro.experiments.random_monitors import random_monitor_trial
+
+        graph = repro.topology.getnet()
+        seed_a, seed_b = spawn_seed(17, 1), spawn_seed(17, 2)
+        placement_a = random_placement(graph, 3, 3, rng=random.Random(seed_a))
+        placement_b = random_placement(graph, 3, 3, rng=random.Random(seed_b))
+        expected = (
+            measure_network(graph, placement_a, RoutingMechanism.CSP).mu,
+            measure_network(graph, placement_b, RoutingMechanism.CSP).mu,
+        )
+        topology = TopologySpec.from_graph(graph)
+        placement = PlacementSpec("random", {"n_inputs": 3, "n_outputs": 3})
+        specs = tuple(
+            ScenarioSpec(topology=topology, placement=placement, seed=seed)
+            for seed in (seed_a, seed_b)
+        )
+        assert random_monitor_trial(*specs) == expected
+
+    def test_ablation_trial(self):
+        from repro.agrid.algorithm import agrid
+        from repro.experiments.ablation import ablation_trial
+        from repro.experiments.common import measure_network
+
+        graph = repro.topology.eunetwork_small()
+        seed = spawn_seed(19, 4)
+        legacy_rng = random.Random(seed)
+        boost = agrid(graph, 3, rng=legacy_rng)
+        placement = random_placement(boost.boosted, 3, 3, rng=legacy_rng)
+        expected = measure_network(boost.boosted, placement, RoutingMechanism.CSP).mu
+        spec = ScenarioSpec(
+            topology=TopologySpec(
+                "agrid",
+                {
+                    "base": TopologySpec.from_graph(graph).to_dict(),
+                    "dimension": 3,
+                    "selector": "uniform",
+                },
+            ),
+            placement=PlacementSpec("random", {"n_inputs": 3, "n_outputs": 3}),
+            seed=seed,
+        )
+        assert ablation_trial(spec) == expected
+
+
+class TestEngineConfigIsolation:
+    """Acceptance: the new path is globals-free — scenarios with different
+    EngineConfigs run concurrently in one process with independent results."""
+
+    def _specs(self):
+        topology = TopologySpec("claranet")
+        placement = PlacementSpec("mdmp", {"d": 4})
+        configs = [
+            EngineConfig(backend="python", compress=True),
+            EngineConfig(backend="python", compress=False),
+            EngineConfig(backend="auto", compress=True, cache=False),
+        ]
+        if numpy_available():
+            configs.append(EngineConfig(backend="numpy", compress=False))
+        return [
+            ScenarioSpec(topology=topology, placement=placement, engine=config)
+            for config in configs
+        ]
+
+    def test_interleaved_scenarios_agree_and_stay_independent(self):
+        clear_pathset_cache()
+        scenarios = [Scenario(spec) for spec in self._specs()]
+        # Interleave queries across all engine configurations.
+        mu_values = [scenario.mu() for scenario in scenarios]
+        truncated = [scenario.truncated(2) for scenario in scenarios]
+        mu_again = [scenario.mu() for scenario in scenarios]
+        reference = mu_values[0]
+        assert all(report == reference for report in mu_values)
+        assert mu_again == mu_values
+        assert len({report.value for report in truncated}) == 1
+        # Engines are genuinely distinct (per backend/compress combination),
+        # not a shared global.
+        engines = {id(scenario.engine) for scenario in scenarios}
+        assert len(engines) == len(scenarios)
+
+    def test_spec_engine_config_ignores_global_policy(self):
+        from repro.engine import backend_policy, compression_policy
+
+        spec = ScenarioSpec(
+            topology=TopologySpec("dataxchange"),
+            placement=PlacementSpec("mdmp", {"d": 2}),
+            engine=EngineConfig(backend="python", compress=True, cache=False),
+        )
+        baseline = Scenario(spec).mu()
+        with backend_policy("python"), compression_policy(False):
+            inside = Scenario(spec).mu()
+            # Spec wins over the global policy: compression stays on.
+            assert Scenario(spec).engine.compression is not None
+        assert inside == baseline
+
+
+class TestSpecRunner:
+    def test_run_spec_sections_jobs_parity(self):
+        from repro.experiments import runner
+
+        spec = ScenarioSpec(
+            topology=TopologySpec("dataxchange"),
+            placement=PlacementSpec("mdmp", {"d": 2}),
+            seed=3,
+            analyses=(AnalysisSpec("mu"), AnalysisSpec("bounds"),
+                      AnalysisSpec("localization")),
+        )
+        serial = runner.run_spec_sections([spec, spec], jobs=1, trials=3)
+        parallel = runner.run_spec_sections([spec, spec], jobs=2, trials=3)
+        assert serial == parallel
+        assert all(section.group == "spec" for section in serial)
+        payload = serial[0].data
+        assert payload["analyses"]["localization"]["n_trials"] == 3
+
+    def test_unknown_analysis_raises_spec_error(self):
+        spec = ScenarioSpec(
+            topology=TopologySpec("dataxchange"),
+            placement=PlacementSpec("mdmp", {"d": 2}),
+            analyses=(AnalysisSpec("frobnicate"),),
+        )
+        with pytest.raises(SpecError):
+            Scenario(spec).run_all()
+
+    def test_main_spec_file_with_atomic_nested_output(self, tmp_path):
+        from repro.experiments import runner
+
+        spec_path = tmp_path / "batch.json"
+        spec_path.write_text(
+            ScenarioSpec(
+                topology=TopologySpec("dataxchange"),
+                placement=PlacementSpec("mdmp", {"d": 2}),
+                label="smoke",
+            ).to_json()
+        )
+        out_path = tmp_path / "deep" / "nested" / "out.json"
+        code = runner.main(
+            [
+                "--spec", str(spec_path),
+                "--trials", "2",
+                "--jobs", "1",
+                "--format", "json",
+                "--output", str(out_path),
+            ]
+        )
+        assert code == 0
+        document = json.loads(out_path.read_text())
+        assert document["sections"][0]["title"] == "smoke"
+        assert document["sections"][0]["data"]["analyses"]["mu"]["value"] >= 0
+        # No temp droppings left next to the artifact.
+        assert list(out_path.parent.glob(".repro-output-*")) == []
+
+    def test_cli_engine_flags_override_spec_engine(self, tmp_path):
+        from repro.experiments import runner
+
+        spec_path = tmp_path / "batch.json"
+        spec_path.write_text(
+            ScenarioSpec(
+                topology=TopologySpec("dataxchange"),
+                placement=PlacementSpec("mdmp", {"d": 2}),
+                label="flags",
+            ).to_json()
+        )
+        out_path = tmp_path / "out.json"
+        code = runner.main(
+            [
+                "--spec", str(spec_path),
+                "--backend", "python",
+                "--no-compress",
+                "--format", "json",
+                "--output", str(out_path),
+            ]
+        )
+        assert code == 0
+        engine = json.loads(out_path.read_text())["sections"][0]["data"]["spec"]["engine"]
+        assert engine == {"backend": "python", "compress": False, "cache": True}
+
+    def test_write_output_atomic_replaces_existing_content(self, tmp_path):
+        from repro.experiments.runner import write_output_atomic
+
+        target = tmp_path / "artifact.json"
+        write_output_atomic(str(target), "first")
+        write_output_atomic(str(target), "second")
+        assert target.read_text() == "second"
+
+    def test_example_spec_file_parses(self):
+        specs = load_spec_batch(
+            open("examples/specs/claranet.json", encoding="utf-8").read()
+        )
+        assert len(specs) == 2
+        assert specs[0].topology.name == "claranet"
+        assert specs[1].topology.name == "agrid"

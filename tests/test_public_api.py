@@ -1,0 +1,133 @@
+"""Public-API snapshot: accidental surface breaks must fail CI.
+
+Two frozen contracts:
+
+* ``repro.__all__`` — the names the package promises to export.  Additions
+  are deliberate (update the snapshot in the same PR); removals/renames are
+  breaking changes and should be caught here, not by downstream users.
+* The :class:`repro.ScenarioSpec` JSON schema — field names and defaults of
+  every sub-spec.  Serialized specs are a wire format (CLI ``--spec`` files,
+  archived experiment artifacts), so silent default changes are breaking.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.api.scenario import Scenario
+from repro.api.spec import SCHEMA_VERSION, PlacementSpec, ScenarioSpec, TopologySpec
+
+EXPECTED_ALL = [
+    "AnalysisSpec",
+    "EngineConfig",
+    "FailureModel",
+    "MonitorPlacement",
+    "PathSet",
+    "PlacementSpec",
+    "RoutingMechanism",
+    "RoutingSpec",
+    "Scenario",
+    "ScenarioSpec",
+    "SignatureEngine",
+    "TomographySession",
+    "TopologySpec",
+    "__version__",
+    "agrid",
+    "available_backends",
+    "cached_enumerate_paths",
+    "chi_corners",
+    "chi_g",
+    "chi_t",
+    "claranet",
+    "design_network",
+    "directed_grid",
+    "directed_hypergrid",
+    "enumerate_paths",
+    "erdos_renyi_connected",
+    "is_k_identifiable",
+    "localize_failures",
+    "maximal_identifiability",
+    "mdmp_placement",
+    "measurement_vector",
+    "mu",
+    "mu_detailed",
+    "mu_truncated",
+    "random_placement",
+    "registries",
+    "select_backend",
+    "structural_upper_bound",
+    "undirected_grid",
+    "undirected_hypergrid",
+    "verify",
+]
+
+#: The full serialised form of a minimal spec — field names AND defaults.
+EXPECTED_SPEC_SCHEMA = {
+    "schema_version": 1,
+    "label": "",
+    "topology": {"name": "claranet", "params": {}},
+    "placement": {"strategy": "mdmp", "params": {"d": 3}},
+    "routing": {"mechanism": "CSP", "cutoff": None, "max_paths": None},
+    "failures": {"model": "uniform", "size": 1, "n_trials": 10},
+    "engine": {"backend": "auto", "compress": True, "cache": True},
+    "seed": None,
+    "analyses": [{"analysis": "mu", "params": {}}],
+}
+
+EXPECTED_ANALYSES = (
+    "agrid_comparison",
+    "agrid_tradeoff",
+    "bounds",
+    "localization",
+    "measurement",
+    "mu",
+    "separability",
+    "truncated",
+)
+
+
+class TestPublicSurface:
+    def test_all_snapshot(self):
+        assert sorted(repro.__all__) == EXPECTED_ALL
+
+    def test_every_exported_name_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_schema_version(self):
+        assert SCHEMA_VERSION == 1
+
+    def test_scenario_spec_schema_snapshot(self):
+        spec = ScenarioSpec(
+            topology=TopologySpec("claranet"),
+            placement=PlacementSpec("mdmp", {"d": 3}),
+        )
+        assert spec.to_dict() == EXPECTED_SPEC_SCHEMA
+        # And the document is valid input for the parser.
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_engine_config_defaults_snapshot(self):
+        assert repro.EngineConfig().to_dict() == {
+            "backend": "auto",
+            "compress": True,
+            "cache": True,
+        }
+
+    def test_available_analyses_snapshot(self):
+        assert Scenario.available_analyses() == EXPECTED_ANALYSES
+
+    def test_builtin_registry_entries_are_stable(self):
+        from repro.api import registries
+
+        required_topologies = {
+            "zoo", "graph", "agrid", "claranet", "eunetworks", "dataxchange",
+            "gridnetwork", "eunetwork_small", "getnet", "directed_grid",
+            "undirected_grid", "directed_hypergrid", "undirected_hypergrid",
+            "complete_kary_tree", "erdos_renyi_connected",
+            "random_connected_sparse",
+        }
+        required_placements = {
+            "mdmp", "random", "degree_extremes", "chi_g", "chi_t",
+            "chi_corners", "all_pairs", "explicit",
+        }
+        assert required_topologies <= set(registries.topologies.names())
+        assert required_placements <= set(registries.placements.names())
