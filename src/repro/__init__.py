@@ -21,8 +21,12 @@ The package provides:
 * **Identifiability core** (:mod:`repro.core`) — exact maximal identifiability
   µ, truncated µ_α, local identifiability, structural upper bounds and
   separation primitives (thin clients of the engine).
+* **Failure universes** (:mod:`repro.failures`) — element-generic failure
+  models: the same µ machinery over node failures (the paper's measure), link
+  failures, or shared-risk link groups (SRLGs).
 * **Boolean tomography** (:mod:`repro.tomography`) — the measurement system of
-  Equation (1), failure simulation and localisation.
+  Equation (1), failure simulation and localisation, over any failure
+  universe.
 * **Embeddings** (:mod:`repro.embeddings`) — order embeddings, distance
   increasing/preserving embeddings, order dimension and the Section-6 theorems
   as executable checks.
@@ -64,7 +68,9 @@ from repro.api.spec import (
     RoutingSpec,
     ScenarioSpec,
     TopologySpec,
+    UniverseSpec,
 )
+from repro.failures import FailureUniverse
 from repro.engine import (
     SignatureEngine,
     available_backends,
@@ -107,6 +113,8 @@ __all__ = [
     "PlacementSpec",
     "RoutingSpec",
     "FailureModel",
+    "UniverseSpec",
+    "FailureUniverse",
     "AnalysisSpec",
     "EngineConfig",
     "registries",

@@ -43,6 +43,7 @@ from repro.api.scenario import Scenario
 from repro.api.serialize import to_jsonable
 from repro.api.spec import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     AnalysisSpec,
     EngineConfig,
     FailureModel,
@@ -50,13 +51,16 @@ from repro.api.spec import (
     RoutingSpec,
     ScenarioSpec,
     TopologySpec,
+    UniverseSpec,
     load_spec_batch,
 )
 
 __all__ = [
     # spec
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "ScenarioSpec",
+    "UniverseSpec",
     "TopologySpec",
     "PlacementSpec",
     "RoutingSpec",

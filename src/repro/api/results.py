@@ -33,15 +33,21 @@ class MuReport(AnalysisReport):
     value: int
     searched_up_to: int
     exhausted_search: bool
-    #: The smallest confusable pair found, as a pair of sorted node lists
+    #: The smallest confusable pair found, as a pair of sorted element lists
     #: (``None`` when the search exhausted without a collision).
     witness: Optional[Tuple[Tuple[Any, ...], Tuple[Any, ...]]]
-    #: The Section-3 structural upper bound that capped the search (``None``
+    #: The structural upper bound that capped the search — Section 3 for the
+    #: node universe, the conservative universe-size cap otherwise (``None``
     #: when the caller overrode ``max_size``).
     bound: Optional[int]
     n_paths: int
+    #: Number of failure elements in the universe µ was computed over (the
+    #: node count in node mode — the field name predates the element-generic
+    #: universes and is kept for output compatibility).
     n_nodes: int
     mechanism: str
+    #: The failure-universe kind the search ranged over.
+    universe: str = "node"
 
 
 @dataclass(frozen=True)
@@ -53,6 +59,7 @@ class TruncatedMuReport(AnalysisReport):
     exhausted_search: bool
     n_paths: int
     mechanism: str
+    universe: str = "node"
 
 
 @dataclass(frozen=True)
@@ -62,8 +69,9 @@ class SeparabilityReport(AnalysisReport):
     size: int
     n_pairs: int
     n_inseparable: int
-    #: The inseparable pairs themselves (each a pair of sorted node lists).
+    #: The inseparable pairs themselves (each a pair of sorted element lists).
     inseparable: Tuple[Tuple[Tuple[Any, ...], Tuple[Any, ...]], ...]
+    universe: str = "node"
 
     @property
     def all_separable(self) -> bool:
@@ -80,6 +88,7 @@ class LocalizationReport(AnalysisReport):
     unique_rate: float
     mean_ambiguity: float
     mu: int
+    universe: str = "node"
 
 
 @dataclass(frozen=True)
@@ -93,6 +102,14 @@ class MeasurementReport(AnalysisReport):
     min_degree: int
     n_inputs: int
     n_outputs: int
+    #: The failure universe µ was computed over.
+    universe: str = "node"
+    #: Histogram ``length (in edges, as str) -> path count`` of the
+    #: measurement paths (:func:`repro.routing.paths.path_length_histogram`),
+    #: so path statistics are reachable from the report without dropping to
+    #: the routing layer.  ``None`` on adapters that lack the path set (the
+    #: Agrid comparison halves).
+    path_lengths: Optional[Dict[str, int]] = None
 
     @property
     def n_monitors(self) -> int:
@@ -101,13 +118,16 @@ class MeasurementReport(AnalysisReport):
 
 @dataclass(frozen=True)
 class BoundsReport(AnalysisReport):
-    """The Section-3 structural upper bounds."""
+    """The structural upper bounds — Section 3 for the node universe; for
+    link/SRLG universes only ``combined`` is set (the conservative
+    universe-size cap), since no Section-3 theorem applies there."""
 
     combined: int
-    degree: int
+    degree: Optional[int]
     monitor_count: Optional[int]
     edge_count: Optional[int]
     mechanism: str
+    universe: str = "node"
 
 
 @dataclass(frozen=True)

@@ -89,6 +89,7 @@ class Scenario:
         self._graph: Optional[AnyGraph] = None
         self._placement: Optional[MonitorPlacement] = None
         self._pathset = None
+        self._universe = None
         self._mu_report: Optional[MuReport] = None
 
     # -- construction --------------------------------------------------------
@@ -191,11 +192,33 @@ class Scenario:
         return self._pathset
 
     @property
+    def universe(self):
+        """The :class:`~repro.failures.FailureUniverse` of this scenario —
+        what the spec's ``failures.universe`` declares can fail (nodes by
+        default; links or SRLGs in schema-v2 specs).  Cached per scenario
+        (and memoised on the path set), so every analysis shares one
+        instance."""
+        from repro.exceptions import IdentifiabilityError
+
+        if self._universe is None:
+            spec_universe = self.spec.failures.universe
+            try:
+                self._universe = spec_universe.resolve(self.pathset)
+            except IdentifiabilityError as exc:
+                raise SpecError(
+                    f"invalid failure universe {spec_universe.to_dict()!r}: {exc}"
+                ) from exc
+        return self._universe
+
+    @property
     def engine(self):
-        """The :class:`~repro.engine.signatures.SignatureEngine`, built with
-        this scenario's spec-scoped engine config."""
+        """The :class:`~repro.engine.signatures.SignatureEngine` over this
+        scenario's failure universe, built with the spec-scoped engine
+        config."""
         config = self.spec.engine
-        return self.pathset.engine(config.backend, config.compress)
+        return self.pathset.engine(
+            config.backend, config.compress, universe=self.universe
+        )
 
     # -- analyses ------------------------------------------------------------
     def _identifiability_detailed(self, max_size: Optional[int]):
@@ -203,10 +226,15 @@ class Scenario:
         from repro.core.bounds import structural_upper_bound
         from repro.core.identifiability import maximal_identifiability_detailed
 
+        universe = self.universe
+        node_mode = universe.kind == "node"
         bound_value: Optional[int] = None
         cap = max_size
         if cap is None:
-            bound = structural_upper_bound(self.graph, self.placement, self.mechanism)
+            bound = structural_upper_bound(
+                self.graph, self.placement, self.mechanism,
+                universe=None if node_mode else universe,
+            )
             bound_value = bound.combined
             cap = bound.combined + 1
         config = self.spec.engine
@@ -215,6 +243,7 @@ class Scenario:
             max_size=cap,
             backend=config.backend,
             compress=config.compress,
+            universe=None if node_mode else universe,
         )
         return result, bound_value
 
@@ -235,6 +264,7 @@ class Scenario:
         if max_size is None and self._mu_report is not None:
             return self._mu_report
         result, bound_value = self._identifiability_detailed(max_size)
+        universe = self.universe
         report = MuReport(
             value=result.value,
             searched_up_to=result.searched_up_to,
@@ -242,8 +272,9 @@ class Scenario:
             witness=_encode_pair(result.witness),
             bound=bound_value,
             n_paths=self.pathset.n_paths,
-            n_nodes=len(self.pathset.nodes),
+            n_nodes=len(universe.elements),
             mechanism=self.mechanism.value,
+            universe=universe.kind,
         )
         if max_size is None:
             self._mu_report = report
@@ -263,8 +294,13 @@ class Scenario:
         if alpha is None:
             alpha = default_truncation_level(self.graph)
         config = self.spec.engine
+        universe = self.universe
         result = truncated_identifiability_detailed(
-            self.pathset, alpha, backend=config.backend, compress=config.compress
+            self.pathset,
+            alpha,
+            backend=config.backend,
+            compress=config.compress,
+            universe=None if universe.kind == "node" else universe,
         )
         return TruncatedMuReport(
             value=result.value,
@@ -272,6 +308,7 @@ class Scenario:
             exhausted_search=result.exhausted_search,
             n_paths=self.pathset.n_paths,
             mechanism=self.mechanism.value,
+            universe=universe.kind,
         )
 
     def separability(self, size: int = 1) -> SeparabilityReport:
@@ -282,8 +319,9 @@ class Scenario:
         """
         import math
 
+        universe = self.universe
         pairs = self.engine.inseparable_pairs(size)
-        n_subsets = math.comb(len(self.pathset.nodes), size)
+        n_subsets = math.comb(len(universe.elements), size)
         return SeparabilityReport(
             size=size,
             n_pairs=n_subsets * (n_subsets - 1) // 2,
@@ -295,6 +333,7 @@ class Scenario:
                 )
                 for first, second in pairs
             ),
+            universe=universe.kind,
         )
 
     def localization_campaign(
@@ -325,41 +364,53 @@ class Scenario:
             unique_rate=report.unique_rate,
             mean_ambiguity=report.mean_ambiguity,
             mu=session.mu,
+            universe=self.universe.kind,
         )
 
     def measurement(self) -> MeasurementReport:
-        """µ plus the structural statistics — one Tables-3-5 column."""
-        from repro.experiments.common import measure_network
+        """µ plus the structural statistics — one Tables-3-5 column,
+        extended with the path-length histogram and the failure universe.
 
-        routing = self.spec.routing
-        measured = measure_network(
-            self.graph,
-            self.placement,
-            self.mechanism,
-            max_paths=routing.max_paths,
-            cutoff=routing.cutoff,
-            engine=self.spec.engine,
-        )
+        Computed from the scenario's own (cached) path set and µ report —
+        the same values :func:`repro.experiments.common.measure_network`
+        produces for these inputs, without a second enumeration when the
+        pathset cache is disabled.
+        """
+        from repro.routing.paths import path_length_histogram
+        from repro.topology.base import min_degree
+
+        pathset = self.pathset
         return MeasurementReport(
-            mu=measured.mu,
-            n_paths=measured.n_paths,
-            n_edges=measured.n_edges,
-            min_degree=measured.min_degree,
-            n_inputs=measured.n_inputs,
-            n_outputs=measured.n_outputs,
+            mu=self.mu().value,
+            n_paths=pathset.n_paths,
+            n_edges=self.graph.number_of_edges(),
+            min_degree=min_degree(self.graph),
+            n_inputs=self.placement.n_inputs,
+            n_outputs=self.placement.n_outputs,
+            universe=self.universe.kind,
+            path_lengths={
+                str(length): count
+                for length, count in path_length_histogram(pathset).items()
+            },
         )
 
     def bounds(self) -> BoundsReport:
-        """The Section-3 structural upper bounds for this scenario."""
+        """The structural upper bounds for this scenario (Section 3 in node
+        mode, the conservative universe-size cap otherwise)."""
         from repro.core.bounds import structural_upper_bound
 
-        bound = structural_upper_bound(self.graph, self.placement, self.mechanism)
+        universe = self.universe
+        bound = structural_upper_bound(
+            self.graph, self.placement, self.mechanism,
+            universe=None if universe.kind == "node" else universe,
+        )
         return BoundsReport(
             combined=bound.combined,
             degree=bound.degree,
             monitor_count=bound.monitor_count,
             edge_count=bound.edge_count,
             mechanism=self.mechanism.value,
+            universe=universe.kind,
         )
 
     def agrid_comparison(
@@ -372,6 +423,7 @@ class Scenario:
             dimension = resolve_dimension("log", self.graph)
         if rng is None and self.spec.seed is not None:
             rng = spawn_rng(_seed_to_int(self.spec.seed), _AGRID_SALT)
+        universe = self.spec.failures.universe
         comparison = compare_with_agrid(
             self.graph,
             dimension,
@@ -379,11 +431,12 @@ class Scenario:
             mechanism=self.mechanism,
             max_paths=self.spec.routing.max_paths,
             engine=self.spec.engine,
+            universe=universe,
         )
         return AgridComparisonReport(
             dimension=comparison.dimension,
-            original=_measurement_report(comparison.original),
-            boosted=_measurement_report(comparison.boosted),
+            original=_measurement_report(comparison.original, universe.kind),
+            boosted=_measurement_report(comparison.boosted, universe.kind),
             n_added_edges=comparison.n_added_edges,
         )
 
@@ -416,11 +469,14 @@ class Scenario:
             rng = spawn_rng(_seed_to_int(self.spec.seed), _AGRID_SALT)
         result = agrid(self.graph, dimension, rng=resolve_rng(rng))
         config = self.spec.engine
+        universe = self.spec.failures.universe
         original = measure_network(
-            self.graph, result.placement_original, self.mechanism, engine=config
+            self.graph, result.placement_original, self.mechanism, engine=config,
+            universe=universe,
         )
         boosted = measure_network(
-            result.boosted, result.placement_boosted, self.mechanism, engine=config
+            result.boosted, result.placement_boosted, self.mechanism,
+            engine=config, universe=universe,
         )
         tradeoff = static_tradeoff(
             result.added_edges,
@@ -435,8 +491,8 @@ class Scenario:
         )
         comparison = AgridComparisonReport(
             dimension=dimension,
-            original=_measurement_report(original),
-            boosted=_measurement_report(boosted),
+            original=_measurement_report(original, universe.kind),
+            boosted=_measurement_report(boosted, universe.kind),
             n_added_edges=result.n_added_edges,
         )
         return AgridTradeoffReport(
@@ -513,7 +569,7 @@ class Scenario:
         return self.describe()
 
 
-def _measurement_report(measured) -> MeasurementReport:
+def _measurement_report(measured, universe: str = "node") -> MeasurementReport:
     """Adapt :class:`~repro.experiments.common.NetworkMeasurement`."""
     return MeasurementReport(
         mu=measured.mu,
@@ -522,6 +578,7 @@ def _measurement_report(measured) -> MeasurementReport:
         min_degree=measured.min_degree,
         n_inputs=measured.n_inputs,
         n_outputs=measured.n_outputs,
+        universe=universe,
     )
 
 

@@ -8,19 +8,28 @@ through ``to_json``/``from_json``; :meth:`ScenarioSpec.build` resolves the
 registries of :mod:`repro.api.registries` into a live
 :class:`~repro.api.scenario.Scenario`.
 
-Schema (version 1)::
+Schema (version 2)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "label": "",                                   # optional display name
       "topology":  {"name": "claranet", "params": {}},
       "placement": {"strategy": "mdmp", "params": {"d": 3}},
       "routing":   {"mechanism": "CSP", "cutoff": null, "max_paths": null},
-      "failures":  {"model": "uniform", "size": 1, "n_trials": 10},
+      "failures":  {"model": "uniform", "size": 1, "n_trials": 10,
+                    "universe": {"kind": "node", "groups": {}}},
       "engine":    {"backend": "auto", "compress": true, "cache": true},
       "seed": 2018,                                  # int, string or null
       "analyses": [{"analysis": "mu", "params": {}}]
     }
+
+Version 2 added ``failures.universe`` — the failure universe every analysis
+of the scenario ranges over: ``{"kind": "node"}`` (the paper's measure, the
+default), ``{"kind": "link"}`` (link failures), or ``{"kind": "srlg",
+"groups": {"name": [["u", "v"], ...], ...}}`` (named shared-risk link
+groups; node labels use the literal-spec codec, so tuple labels are lists).
+Version-1 documents parse unchanged and auto-upgrade to node mode — a v1
+spec and its v2 upgrade build bit-identical scenarios.
 
 The engine axes (``backend``, ``compress``, ``cache``) are **spec-scoped**:
 a scenario built from a spec never reads or mutates the process-global
@@ -35,12 +44,17 @@ import json
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.api.serialize import encode_node, json_normalize
+from repro.api.serialize import decode_node, encode_node, json_normalize
 from repro.exceptions import SpecError
+from repro.failures.universe import UNIVERSE_KINDS
 from repro.routing.mechanisms import RoutingMechanism
 
 #: Version stamp embedded in every serialised spec.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Schema versions :meth:`ScenarioSpec.from_dict` accepts.  Version 1 (no
+#: ``failures.universe``) auto-upgrades to version 2 in node mode.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 #: Seeds are ints (CLI style), strings (spawned child-stream material from
 #: :func:`repro.utils.seeds.spawn_seed`) or ``None`` (non-reproducible).
@@ -235,12 +249,86 @@ class RoutingSpec:
 
 
 @dataclass(frozen=True)
+class UniverseSpec:
+    """The failure universe a scenario's analyses range over (schema v2).
+
+    ``kind`` is ``"node"`` (the paper's measure, the default), ``"link"``,
+    or ``"srlg"``; SRLG universes carry their ``groups`` — a mapping of group
+    name to the member links, each link a two-item ``[u, v]`` list in the
+    literal-spec node codec.
+    """
+
+    kind: str = "node"
+    groups: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in UNIVERSE_KINDS:
+            raise SpecError(
+                f"unknown failure universe kind {self.kind!r}; "
+                f"expected one of {UNIVERSE_KINDS}"
+            )
+        groups = _freeze_params(self.groups, "failure universe")
+        if self.kind == "srlg":
+            if not groups:
+                raise SpecError(
+                    "an 'srlg' universe needs a non-empty 'groups' mapping of "
+                    "group name -> [[u, v], ...] member links"
+                )
+            for name, members in groups.items():
+                if not isinstance(members, list) or not members:
+                    raise SpecError(
+                        f"srlg group {name!r} must be a non-empty list of "
+                        f"[u, v] links, got {members!r}"
+                    )
+                for link in members:
+                    if not isinstance(link, list) or len(link) != 2:
+                        raise SpecError(
+                            f"srlg group {name!r} member {link!r} is not a "
+                            "[u, v] link"
+                        )
+        elif groups:
+            raise SpecError(
+                f"a {self.kind!r} universe takes no srlg groups, got "
+                f"{sorted(groups)}"
+            )
+        object.__setattr__(self, "groups", groups)
+
+    def decoded_groups(self) -> Dict[str, Tuple[Tuple[Any, Any], ...]]:
+        """The groups with node labels decoded (lists back to tuples)."""
+        return {
+            name: tuple(
+                (decode_node(link[0]), decode_node(link[1])) for link in members
+            )
+            for name, members in self.groups.items()
+        }
+
+    def resolve(self, pathset) -> Any:
+        """The :class:`~repro.failures.FailureUniverse` this spec names,
+        built (and memoised) over ``pathset`` — the one place the
+        spec-to-universe translation is spelled."""
+        return pathset.universe(self.kind, groups=self.decoded_groups() or None)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "groups": dict(self.groups)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "UniverseSpec":
+        data = _expect_mapping(payload, "failure universe")
+        unknown = set(data) - {"kind", "groups"}
+        if unknown:
+            raise SpecError(f"unknown failure universe fields {sorted(unknown)}")
+        return cls(kind=data.get("kind", "node"), groups=data.get("groups") or {})
+
+
+@dataclass(frozen=True)
 class FailureModel:
-    """Failure-sampling defaults for the localisation campaign analysis."""
+    """Failure-sampling defaults for the localisation campaign analysis,
+    plus the failure universe every analysis of the scenario ranges over."""
 
     model: str = "uniform"
     size: int = 1
     n_trials: int = 10
+    universe: UniverseSpec = field(default_factory=UniverseSpec)
 
     def __post_init__(self) -> None:
         if self.model != "uniform":
@@ -252,20 +340,33 @@ class FailureModel:
             raise SpecError(f"failure size must be >= 0, got {self.size}")
         if self.n_trials < 1:
             raise SpecError(f"failure n_trials must be >= 1, got {self.n_trials}")
+        if not isinstance(self.universe, UniverseSpec):
+            # Accept the JSON spellings too: None (and a mapping) mean what
+            # they mean in a serialised document — node mode by default.
+            object.__setattr__(
+                self, "universe", UniverseSpec.from_dict(self.universe or {})
+            )
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"model": self.model, "size": self.size, "n_trials": self.n_trials}
+        return {
+            "model": self.model,
+            "size": self.size,
+            "n_trials": self.n_trials,
+            "universe": self.universe.to_dict(),
+        }
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "FailureModel":
         data = _expect_mapping(payload, "failure model")
-        unknown = set(data) - {"model", "size", "n_trials"}
+        unknown = set(data) - {"model", "size", "n_trials", "universe"}
         if unknown:
             raise SpecError(f"unknown failure model fields {sorted(unknown)}")
         return cls(
             model=data.get("model", "uniform"),
             size=data.get("size", 1),
             n_trials=data.get("n_trials", 10),
+            # Absent in schema-v1 documents: upgrade to the node universe.
+            universe=UniverseSpec.from_dict(data.get("universe") or {}),
         )
 
 
@@ -346,6 +447,13 @@ class ScenarioSpec:
         """Override the failure-campaign trial count (the CLI ``--trials``)."""
         return replace(self, failures=replace(self.failures, n_trials=n_trials))
 
+    def with_universe(self, universe: "UniverseSpec | str") -> "ScenarioSpec":
+        """Override the failure universe (how the CLI ``--universe`` reaches
+        the paper-table drivers' per-trial specs)."""
+        if isinstance(universe, str):
+            universe = UniverseSpec(kind=universe)
+        return replace(self, failures=replace(self.failures, universe=universe))
+
     def display_name(self) -> str:
         if self.label:
             return self.label
@@ -383,10 +491,11 @@ class ScenarioSpec:
         if unknown:
             raise SpecError(f"unknown scenario spec fields {sorted(unknown)}")
         version = data.get("schema_version", SCHEMA_VERSION)
-        if version != SCHEMA_VERSION:
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
             raise SpecError(
                 f"unsupported scenario schema version {version!r}; "
-                f"this library speaks version {SCHEMA_VERSION}"
+                f"this library speaks versions {SUPPORTED_SCHEMA_VERSIONS} "
+                f"(current: {SCHEMA_VERSION})"
             )
         if "topology" not in data or "placement" not in data:
             raise SpecError("scenario spec requires 'topology' and 'placement'")

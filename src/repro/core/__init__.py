@@ -23,6 +23,7 @@ from repro.core.identifiability import (
     maximal_identifiability_detailed,
     mu,
     mu_detailed,
+    resolve_universe,
     separability_matrix,
 )
 from repro.core.local import (
@@ -67,6 +68,7 @@ __all__ = [
     "maximal_identifiability_detailed",
     "mu",
     "mu_detailed",
+    "resolve_universe",
     "separability_matrix",
     # local
     "is_locally_k_identifiable",

@@ -132,27 +132,55 @@ class BoundReport:
     """All structural upper bounds applicable to a (graph, placement) pair.
 
     ``combined`` is the minimum of the applicable bounds and is what the exact
-    µ computation uses to cap its search.
+    µ computation uses to cap its search.  For non-node failure universes no
+    Section-3 theorem applies, so every per-bound field is ``None`` and
+    ``combined`` carries the conservative universe-size cap alone.
     """
 
     monitor_count: Optional[int]
-    degree: int
+    degree: Optional[int]
     edge_count: Optional[int]
     combined: int
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        parts = [f"degree<= {self.degree}"]
+        parts = []
+        if self.degree is not None:
+            parts.append(f"degree<= {self.degree}")
         if self.monitor_count is not None:
             parts.append(f"monitors<= {self.monitor_count}")
         if self.edge_count is not None:
             parts.append(f"edges<= {self.edge_count}")
+        if not parts:
+            parts.append("universe-size cap")
         return f"BoundReport(combined<= {self.combined}; " + ", ".join(parts) + ")"
+
+
+def universe_size_bound(graph: AnyGraph, universe) -> int:
+    """The trivial cap ``µ ≤ |elements|`` for a non-node failure universe.
+
+    The Section-3 theorems are proved for *node* failures; no analogous
+    degree/monitor bound is claimed for links or SRLGs, so the exact search
+    over those universes is capped conservatively by the universe size (the
+    search still terminates early at the first signature collision, which in
+    practice arrives at small subset sizes).
+    """
+    if isinstance(universe, str):
+        if universe == "link":
+            return graph.number_of_edges()
+        if universe == "node":
+            return graph.number_of_nodes()
+        raise TopologyError(
+            f"cannot derive a bound for universe kind {universe!r} from the "
+            "graph alone; pass the built FailureUniverse"
+        )
+    return len(universe.elements)
 
 
 def structural_upper_bound(
     graph: AnyGraph,
     placement: Optional[MonitorPlacement] = None,
     mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
+    universe=None,
 ) -> BoundReport:
     """Combine every applicable structural bound of Section 3.
 
@@ -164,11 +192,27 @@ def structural_upper_bound(
     Under CAP (with DLPs) the degree-based bounds do not hold — a DLP node is
     trivially identifiable regardless of its degree — so the combined bound
     falls back to the number of nodes.
+
+    ``universe`` selects the failure universe the bound caps: ``None`` /
+    ``"node"`` (or a node-kind :class:`~repro.failures.FailureUniverse`)
+    yields the Section-3 node bounds above; any other universe falls back to
+    :func:`universe_size_bound`, since the paper's structural theorems are
+    node statements.
     """
     mechanism = RoutingMechanism.parse(mechanism)
     n = graph.number_of_nodes()
     if n == 0:
         raise TopologyError("bounds undefined on the empty graph")
+    if universe is not None and not (
+        universe == "node" or getattr(universe, "kind", None) == "node"
+    ):
+        # No Section-3 theorem is claimed off the node universe: leave every
+        # per-bound field empty rather than mislabelling the universe-size
+        # cap as a degree bound.
+        size = universe_size_bound(graph, universe)
+        return BoundReport(
+            monitor_count=None, degree=None, edge_count=None, combined=size
+        )
 
     if mechanism.allows_dlp:
         # Lemma 3.2/3.4 and Theorem 3.1 are stated for CSP/CAP⁻ only.

@@ -31,16 +31,23 @@ CSP and CAP⁻ — and otherwise explores up to ``max_size`` subsets.
 from __future__ import annotations
 
 import warnings
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple, Union
 
 from repro._typing import AnyGraph, Node
 from repro.core.bounds import structural_upper_bound
 from repro.engine.backends import BackendSpec
 from repro.engine.signatures import ConfusablePair, IdentifiabilityResult
 from repro.exceptions import IdentifiabilityError
+from repro.failures.universe import FailureUniverse
 from repro.monitors.placement import MonitorPlacement
 from repro.routing.mechanisms import RoutingMechanism
 from repro.routing.paths import PathSet, enumerate_paths
+
+#: How the ``universe=`` argument of the thin clients is spelled: ``None``
+#: (node mode, the historical default), a kind name (``"node"``/``"link"``),
+#: or a built :class:`~repro.failures.FailureUniverse` (required for SRLGs,
+#: which carry their groups).
+UniverseLike = Optional[Union[FailureUniverse, str]]
 
 __all__ = [
     "ConfusablePair",
@@ -51,8 +58,31 @@ __all__ = [
     "find_confusable_pair",
     "mu",
     "mu_detailed",
+    "resolve_universe",
     "separability_matrix",
 ]
+
+
+def resolve_universe(pathset: PathSet, universe: UniverseLike) -> FailureUniverse:
+    """Canonicalise a ``universe=`` argument into a :class:`FailureUniverse`.
+
+    ``None`` and ``"node"`` resolve to the pathset's node universe; a kind
+    name resolves through :meth:`PathSet.universe` (memoised); a
+    :class:`FailureUniverse` instance passes through after an ownership
+    check (:meth:`FailureUniverse.check_built_over`) — its masks index the
+    owner's path order, and a universe carried over from a different path
+    set (even one with the same path count) would silently compute wrong
+    values.
+    """
+    if universe is None or isinstance(universe, str):
+        return pathset.universe(universe or "node")
+    if not isinstance(universe, FailureUniverse):
+        raise IdentifiabilityError(
+            f"universe must be None, a kind name or a FailureUniverse, "
+            f"got {type(universe).__name__}"
+        )
+    universe.check_built_over(pathset)
+    return universe
 
 
 def maximal_identifiability_detailed(
@@ -61,6 +91,7 @@ def maximal_identifiability_detailed(
     nodes: Optional[Iterable[Node]] = None,
     backend: BackendSpec = None,
     compress: Optional[bool] = None,
+    universe: UniverseLike = None,
 ) -> IdentifiabilityResult:
     """Compute µ with full diagnostics.
 
@@ -69,11 +100,11 @@ def maximal_identifiability_detailed(
     pathset:
         The measurement paths.
     max_size:
-        Cap on the subset size explored.  ``None`` means ``|V|`` (fully
-        exhaustive).  When the cap is reached without a collision the result
-        reports ``exhausted_search=True`` and ``value = max_size``.
+        Cap on the subset size explored.  ``None`` means the universe size
+        (fully exhaustive).  When the cap is reached without a collision the
+        result reports ``exhausted_search=True`` and ``value = max_size``.
     nodes:
-        Restrict the universe to these nodes (defaults to the pathset's node
+        Restrict the universe to these elements (defaults to the whole
         universe).  Used by the local-identifiability and what-if analyses.
     backend:
         Signature backend override (see :func:`repro.engine.select_backend`).
@@ -81,11 +112,20 @@ def maximal_identifiability_detailed(
         Signature-universe compression override (see
         :func:`repro.engine.select_compression`); ``None`` follows the global
         policy.  The computed result is identical either way.
+    universe:
+        The failure universe µ ranges over: ``None``/``"node"`` (the paper's
+        node measure, bit-identical to the historical behaviour), ``"link"``,
+        or a :class:`~repro.failures.FailureUniverse` built over ``pathset``
+        (the SRLG route).  Witnesses are frozensets of that universe's
+        elements.
     """
-    if nodes is None and (max_size is None or max_size >= 1) and pathset.nodes:
-        # µ = 0 early exit: an uncovered node is confusable with the empty
-        # set, so no subset enumeration (or engine construction) is needed.
-        uncovered = pathset.uncovered_nodes()
+    resolved = resolve_universe(pathset, universe)
+    if nodes is None and (max_size is None or max_size >= 1) and resolved.elements:
+        # µ = 0 early exit: an uncovered element is confusable with the
+        # empty set, so no subset enumeration (or engine construction) is
+        # needed.  Over the node universe this is exactly the historical
+        # uncovered-node check.
+        uncovered = resolved.uncovered_elements()
         if uncovered:
             witness = ConfusablePair(
                 frozenset(), frozenset({min(uncovered, key=repr)})
@@ -93,7 +133,7 @@ def maximal_identifiability_detailed(
             return IdentifiabilityResult(
                 value=0, witness=witness, searched_up_to=1, exhausted_search=False
             )
-    return pathset.engine(backend, compress).identifiability(
+    return pathset.engine(backend, compress, universe=resolved).identifiability(
         max_size=max_size, nodes=nodes
     )
 
@@ -104,10 +144,12 @@ def maximal_identifiability(
     nodes: Optional[Iterable[Node]] = None,
     backend: BackendSpec = None,
     compress: Optional[bool] = None,
+    universe: UniverseLike = None,
 ) -> int:
-    """µ of the node universe with respect to ``pathset`` (Definition 2.2)."""
+    """µ of the failure universe with respect to ``pathset`` (Definition 2.2,
+    generalised from nodes to arbitrary failure elements)."""
     return maximal_identifiability_detailed(
-        pathset, max_size, nodes, backend, compress
+        pathset, max_size, nodes, backend, compress, universe
     ).value
 
 
@@ -116,8 +158,10 @@ def is_k_identifiable(
     k: int,
     nodes: Optional[Iterable[Node]] = None,
     backend: BackendSpec = None,
+    universe: UniverseLike = None,
 ) -> bool:
-    """Definition 2.1: is the node universe k-identifiable w.r.t. ``pathset``?
+    """Definition 2.1: is the failure universe k-identifiable w.r.t.
+    ``pathset``?
 
     ``k = 0`` is vacuously true.
     """
@@ -126,7 +170,7 @@ def is_k_identifiable(
     if k == 0:
         return True
     result = maximal_identifiability_detailed(
-        pathset, max_size=k, nodes=nodes, backend=backend
+        pathset, max_size=k, nodes=nodes, backend=backend, universe=universe
     )
     return result.value >= k
 
@@ -136,9 +180,12 @@ def find_confusable_pair(
     max_size: Optional[int] = None,
     nodes: Optional[Iterable[Node]] = None,
     backend: BackendSpec = None,
+    universe: UniverseLike = None,
 ) -> Optional[ConfusablePair]:
     """Smallest confusable pair (the witness of Section 2.0.1), if any."""
-    return maximal_identifiability_detailed(pathset, max_size, nodes, backend).witness
+    return maximal_identifiability_detailed(
+        pathset, max_size, nodes, backend, universe=universe
+    ).witness
 
 
 def _warn_graph_level_shim(old: str) -> None:
@@ -248,8 +295,9 @@ def separability_matrix(
     size: int,
     backend: BackendSpec = None,
     compress: Optional[bool] = None,
+    universe: UniverseLike = None,
 ) -> Dict[Tuple[FrozenSet[Node], FrozenSet[Node]], bool]:
-    """Explicit separation table for all pairs of node sets of a given size.
+    """Explicit separation table for all pairs of element sets of a given size.
 
     Mainly a debugging/teaching aid (and used by small-scale tests): maps each
     unordered pair ``{U, W}`` of distinct subsets of the given size to whether
@@ -257,4 +305,6 @@ def separability_matrix(
     expected to use it on small universes only.  Signatures are computed once
     per subset by the engine, so each pair costs one key comparison.
     """
-    return pathset.engine(backend, compress).separability_matrix(size)
+    return pathset.engine(backend, compress, universe=universe).separability_matrix(
+        size
+    )

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, Optional, Set
 
 from repro._typing import Node
+from repro.core.identifiability import UniverseLike, resolve_universe
 from repro.engine.backends import BackendSpec
 from repro.exceptions import IdentifiabilityError
 from repro.routing.paths import PathSet
@@ -33,13 +34,14 @@ def _local_search(
     cap: int,
     backend: BackendSpec = None,
     compress: Optional[bool] = None,
+    universe: UniverseLike = None,
 ) -> int:
     """Largest k ≤ cap with local k-identifiability (cap when none fails).
 
     Walks subsets in increasing size; a failure at size s is two subsets with
     the same signature but different S-projections, giving ``s − 1``.
     """
-    engine = pathset.engine(backend, compress)
+    engine = pathset.engine(backend, compress, universe=universe)
     # signature key -> set of distinct S-projections observed so far.
     projections: Dict[object, Set[FrozenSet[Node]]] = {}
     for subset, signature_key in engine.iter_subset_signatures(range(0, cap + 1)):
@@ -57,21 +59,26 @@ def is_locally_k_identifiable(
     k: int,
     backend: BackendSpec = None,
     compress: Optional[bool] = None,
+    universe: UniverseLike = None,
 ) -> bool:
     """Local k-identifiability w.r.t. the scope ``S``.
 
     For all ``U, W`` with ``|U|, |W| ≤ k`` and ``(U ∩ S) △ (W ∩ S) ≠ ∅`` we
-    require ``P(U) △ P(W) ≠ ∅``.
+    require ``P(U) △ P(W) ≠ ∅``.  ``scope`` must consist of elements of the
+    chosen failure universe (nodes by default).
     """
     if k < 0:
         raise IdentifiabilityError(f"k must be >= 0, got {k}")
     scope_set = frozenset(scope)
-    unknown = scope_set - pathset.node_universe
+    resolved = resolve_universe(pathset, universe)
+    unknown = scope_set - frozenset(resolved.elements)
     if unknown:
-        raise IdentifiabilityError(f"scope nodes {sorted(map(repr, unknown))} not in universe")
+        raise IdentifiabilityError(
+            f"scope elements {sorted(map(repr, unknown))} not in universe"
+        )
     if k == 0:
         return True
-    return _local_search(pathset, scope_set, k, backend, compress) >= k
+    return _local_search(pathset, scope_set, k, backend, compress, resolved) >= k
 
 
 def local_maximal_identifiability(
@@ -80,17 +87,19 @@ def local_maximal_identifiability(
     max_size: Optional[int] = None,
     backend: BackendSpec = None,
     compress: Optional[bool] = None,
+    universe: UniverseLike = None,
 ) -> int:
     """The largest k such that the universe is locally k-identifiable w.r.t. S.
 
     Capped at ``max_size`` (default: the universe size).  Note that, unlike
     the global measure, local identifiability can legitimately reach the size
-    of the universe when ``S`` is a single well-covered node.
+    of the universe when ``S`` is a single well-covered element.
     """
     scope_set = frozenset(scope)
-    n = len(pathset.nodes)
+    resolved = resolve_universe(pathset, universe)
+    n = len(resolved.elements)
     cap = n if max_size is None else max(0, min(max_size, n))
-    return _local_search(pathset, scope_set, cap, backend, compress)
+    return _local_search(pathset, scope_set, cap, backend, compress, resolved)
 
 
 def local_identifiability_per_node(
@@ -98,16 +107,20 @@ def local_identifiability_per_node(
     max_size: int = 3,
     backend: BackendSpec = None,
     compress: Optional[bool] = None,
+    universe: UniverseLike = None,
 ) -> Dict[Node, int]:
     """Local maximal identifiability of every singleton scope ``S = {v}``.
 
-    This is the per-node measure used informally in the DLP discussion: a DLP
-    node reaches the cap, while a node sharing all its paths with a neighbour
-    stays at 0.  ``max_size`` caps the (expensive) per-node searches.
+    This is the per-element measure used informally in the DLP discussion: a
+    DLP node reaches the cap, while an element sharing all its paths with a
+    neighbour stays at 0.  ``max_size`` caps the (expensive) per-element
+    searches.
     """
+    resolved = resolve_universe(pathset, universe)
     return {
-        node: local_maximal_identifiability(
-            pathset, {node}, max_size=max_size, backend=backend, compress=compress
+        element: local_maximal_identifiability(
+            pathset, {element}, max_size=max_size, backend=backend,
+            compress=compress, universe=resolved,
         )
-        for node in pathset.nodes
+        for element in resolved.elements
     }

@@ -24,6 +24,7 @@ from typing import FrozenSet, Iterable, Optional, Tuple
 import networkx as nx
 
 from repro._typing import AnyGraph, Node, Path
+from repro.core.identifiability import UniverseLike, resolve_universe
 from repro.exceptions import IdentifiabilityError
 from repro.monitors.placement import MonitorPlacement
 from repro.routing.paths import PathSet
@@ -41,7 +42,10 @@ def separating_path(
 
 
 def verify_k_identifiability_by_separation(
-    pathset: PathSet, k: int, nodes: Optional[Iterable[Node]] = None
+    pathset: PathSet,
+    k: int,
+    nodes: Optional[Iterable[Node]] = None,
+    universe: UniverseLike = None,
 ) -> Tuple[bool, Optional[Tuple[FrozenSet[Node], FrozenSet[Node]]]]:
     """Check Definition 2.1 literally: every pair of distinct sets of size ≤ k
     must admit a separating path.
@@ -49,23 +53,27 @@ def verify_k_identifiability_by_separation(
     Returns ``(True, None)`` when k-identifiability holds, otherwise
     ``(False, (U, W))`` with an inseparable witness pair.  Exponential in k —
     intended for tests and small graphs, not for production computation (use
-    :func:`repro.core.identifiability.is_k_identifiable`).
+    :func:`repro.core.identifiability.is_k_identifiable`).  With a
+    ``universe`` the definition is checked over that universe's elements and
+    masks — the naive oracle the engine-parity tests run for the link and
+    SRLG variants.
     """
     if k < 0:
         raise IdentifiabilityError(f"k must be >= 0, got {k}")
-    universe = (
-        tuple(sorted(set(nodes), key=repr)) if nodes is not None else pathset.nodes
+    resolved = resolve_universe(pathset, universe)
+    elements = (
+        tuple(sorted(set(nodes), key=repr)) if nodes is not None else resolved.elements
     )
     subsets = [
         frozenset(combo)
         for size in range(0, k + 1)
-        for combo in itertools.combinations(universe, size)
+        for combo in itertools.combinations(elements, size)
     ]
     for i, first in enumerate(subsets):
         for second in subsets[i + 1 :]:
             if first == second:
                 continue
-            if not pathset.separates(first, second):
+            if not resolved.separates(first, second):
                 return False, (first, second)
     return True, None
 
@@ -139,13 +147,17 @@ def _simple_paths_or_single(
 
 
 def inseparable_pairs_of_size(
-    pathset: PathSet, size: int, compress: Optional[bool] = None
+    pathset: PathSet,
+    size: int,
+    compress: Optional[bool] = None,
+    universe: UniverseLike = None,
 ) -> Tuple[Tuple[FrozenSet[Node], FrozenSet[Node]], ...]:
-    """All unordered pairs of distinct node sets of exactly ``size`` nodes with
-    identical path sets.  Exponential; meant for diagnostics on small graphs.
+    """All unordered pairs of distinct element sets of exactly ``size``
+    elements with identical path sets.  Exponential; meant for diagnostics on
+    small graphs.
 
     Delegates the signature grouping to the engine, which computes each
     subset's signature incrementally instead of re-deriving ``P(U)`` per
-    subset.
+    subset.  ``universe`` selects the failure universe (nodes by default).
     """
-    return pathset.engine(compress=compress).inseparable_pairs(size)
+    return pathset.engine(compress=compress, universe=universe).inseparable_pairs(size)

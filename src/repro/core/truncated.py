@@ -21,6 +21,7 @@ from typing import Optional
 from repro._typing import AnyGraph
 from repro.core.identifiability import (
     IdentifiabilityResult,
+    UniverseLike,
     maximal_identifiability_detailed,
 )
 from repro.engine.backends import BackendSpec
@@ -36,12 +37,20 @@ def truncated_identifiability_detailed(
     alpha: int,
     backend: BackendSpec = None,
     compress: Optional[bool] = None,
+    universe: UniverseLike = None,
 ) -> IdentifiabilityResult:
-    """µ_α with diagnostics: the engine search capped at subset size α."""
+    """µ_α with diagnostics: the engine search capped at subset size α.
+
+    ``universe`` follows :func:`repro.core.identifiability.resolve_universe`
+    — node mode by default, ``"link"`` or a
+    :class:`~repro.failures.FailureUniverse` for the element-generic
+    variants.
+    """
     if alpha < 1:
         raise IdentifiabilityError(f"alpha must be >= 1, got {alpha}")
     return maximal_identifiability_detailed(
-        pathset, max_size=alpha, backend=backend, compress=compress
+        pathset, max_size=alpha, backend=backend, compress=compress,
+        universe=universe,
     )
 
 
@@ -50,6 +59,7 @@ def truncated_identifiability(
     alpha: int,
     backend: BackendSpec = None,
     compress: Optional[bool] = None,
+    universe: UniverseLike = None,
 ) -> int:
     """µ_α(G): the truncated maximal identifiability.
 
@@ -57,7 +67,9 @@ def truncated_identifiability(
     up to α and returns α (the truncated measure cannot distinguish higher
     values).
     """
-    return truncated_identifiability_detailed(pathset, alpha, backend, compress).value
+    return truncated_identifiability_detailed(
+        pathset, alpha, backend, compress, universe
+    ).value
 
 
 def mu_truncated(

@@ -2,11 +2,19 @@
 
 Every quantity the paper computes — µ, µ_α, local identifiability,
 separability tables, Boolean measurement vectors — reduces to questions about
-*signatures*: ``P(U)``, the set of measurement paths touched by a node set.
-:class:`SignatureEngine` interns the per-node signatures once (packed by a
-:mod:`~repro.engine.backends` backend), collapses nodes into signature
-equivalence classes, and answers all downstream queries without ever going
-back to the raw paths.
+*signatures*: ``P(U)``, the set of measurement paths touched by a set of
+failure elements.  :class:`SignatureEngine` interns the per-element
+signatures once (packed by a :mod:`~repro.engine.backends` backend),
+collapses elements into signature equivalence classes, and answers all
+downstream queries without ever going back to the raw paths.
+
+The engine is **element-generic**: a row can be a node's ``P(v)``, a link's
+traversal mask, or a shared-risk link group's union mask — the signature
+algebra (unions, equalities, inclusions over GF(2) incidence vectors) never
+inspects what a row represents.  Which rows exist is decided by the
+:class:`~repro.failures.FailureUniverse` the engine is built over (node mode
+being the historical default); the ``nodes`` naming below is kept for
+backward compatibility and reads as "elements" in non-node universes.
 
 By default the engine first compresses the signature universe — duplicate
 path columns (paths with identical touch-sets) are collapsed and all-zero
@@ -188,17 +196,41 @@ class SignatureEngine:
             return self.compression.n_compressed
         return self.n_paths
 
+    @property
+    def elements(self) -> Tuple[Node, ...]:
+        """The failure elements this engine's rows belong to.
+
+        An alias of :attr:`nodes` — the engine is element-generic, and
+        ``nodes`` keeps its historical name for the default node universe.
+        """
+        return self.nodes
+
     @classmethod
     def from_pathset(
         cls, pathset, backend: BackendSpec = None, compress: Optional[bool] = None
     ) -> "SignatureEngine":
-        """Build an engine over a :class:`~repro.routing.paths.PathSet`.
+        """Build an engine over a :class:`~repro.routing.paths.PathSet`'s
+        node universe.
 
         Prefer :meth:`PathSet.engine() <repro.routing.paths.PathSet.engine>`,
-        which memoises the engine per (backend, compression) pair.
+        which memoises the engine per (universe, backend, compression).
         """
         masks = {node: pathset.paths_through(node) for node in pathset.nodes}
         return cls(pathset.nodes, masks, pathset.n_paths, backend, compress)
+
+    @classmethod
+    def from_universe(
+        cls, universe, backend: BackendSpec = None, compress: Optional[bool] = None
+    ) -> "SignatureEngine":
+        """Build an engine over a :class:`~repro.failures.FailureUniverse`.
+
+        Prefer :meth:`PathSet.engine(universe=...)
+        <repro.routing.paths.PathSet.engine>`, which memoises per universe
+        fingerprint.
+        """
+        return cls(
+            universe.elements, universe.masks, universe.n_paths, backend, compress
+        )
 
     # -- signature accessors -------------------------------------------------
     def signature(self, node: Node):
@@ -214,7 +246,7 @@ class SignatureEngine:
             return self._signatures[node]
         except KeyError as exc:
             raise IdentifiabilityError(
-                f"{node!r} is not in the engine's node universe"
+                f"{node!r} is not in the engine's element universe"
             ) from exc
 
     def signature_key(self, node: Node):
@@ -223,7 +255,7 @@ class SignatureEngine:
             return self._keys[node]
         except KeyError as exc:
             raise IdentifiabilityError(
-                f"{node!r} is not in the engine's node universe"
+                f"{node!r} is not in the engine's element universe"
             ) from exc
 
     def union_signature(self, nodes: Iterable[Node]):
@@ -353,7 +385,7 @@ class SignatureEngine:
         """
         universe = self._resolve_universe(nodes)
         if not universe:
-            raise IdentifiabilityError("the node universe is empty")
+            raise IdentifiabilityError("the element universe is empty")
         n = len(universe)
         cap = n if max_size is None else max(0, min(max_size, n))
         if cap == 0:
@@ -475,7 +507,7 @@ class SignatureEngine:
         for node in universe:
             if node not in self._signatures:
                 raise IdentifiabilityError(
-                    f"{node!r} is not in the engine's node universe"
+                    f"{node!r} is not in the engine's element universe"
                 )
         return universe
 

@@ -24,10 +24,12 @@ import networkx as nx
 from repro.api.registries import AGRID_SELECTORS
 from repro.api.spec import (
     EngineConfig,
+    FailureModel,
     PlacementSpec,
     RoutingSpec,
     ScenarioSpec,
     TopologySpec,
+    UniverseSpec,
 )
 from repro.exceptions import ExperimentError
 from repro.experiments.common import resolve_dimension
@@ -108,9 +110,11 @@ def _run_variant(
     placement_name: str,
     mechanism: RoutingMechanism | str,
     jobs: int = 1,
+    universe: str = "node",
 ) -> AblationCell:
     mechanism = RoutingMechanism.parse(mechanism)
     engine = EngineConfig.from_policy()
+    failures = FailureModel(universe=UniverseSpec(kind=universe))
     base_topology = TopologySpec.from_graph(graph).to_dict()
     specs = [
         TrialSpec(
@@ -127,6 +131,7 @@ def _run_variant(
                     ),
                     placement=_placement_spec(placement_name, dimension),
                     routing=RoutingSpec(mechanism=mechanism.value),
+                    failures=failures,
                     engine=engine,
                     seed=spawn_seed(rng, run),
                     label=f"ablation {variant} run={run}",
@@ -153,6 +158,7 @@ def placement_ablation(
     mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
     dimension: Optional[int] = None,
     jobs: int = 1,
+    universe: str = "node",
 ) -> AblationResult:
     """Ablation 1: how the monitor-placement heuristic affects µ(G^A).
 
@@ -167,7 +173,7 @@ def placement_ablation(
     cells = {
         name: _run_variant(
             graph, d, n_runs, spawn_rng(rng, index), name,
-            "uniform", name, mechanism, jobs=jobs,
+            "uniform", name, mechanism, jobs=jobs, universe=universe,
         )
         for index, name in enumerate(PLACEMENT_VARIANTS)
     }
@@ -181,6 +187,7 @@ def selector_ablation(
     mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
     dimension: Optional[int] = None,
     jobs: int = 1,
+    universe: str = "node",
 ) -> AblationResult:
     """Ablation 2: how Agrid's edge-selection rule affects µ(G^A)."""
     if n_runs < 1:
@@ -190,7 +197,7 @@ def selector_ablation(
     cells = {
         name: _run_variant(
             graph, d, n_runs, spawn_rng(rng, index), name,
-            name, "mdmp", mechanism, jobs=jobs,
+            name, "mdmp", mechanism, jobs=jobs, universe=universe,
         )
         for index, name in enumerate(SELECTOR_VARIANTS)
     }

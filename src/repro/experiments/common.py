@@ -17,18 +17,43 @@ import networkx as nx
 
 from repro._typing import AnyGraph
 from repro.agrid.algorithm import AgridResult, agrid
-from repro.api.spec import EngineConfig
+from repro.api.spec import EngineConfig, UniverseSpec
 from repro.core.bounds import structural_upper_bound
 from repro.core.identifiability import maximal_identifiability_detailed
 from repro.core.truncated import truncated_identifiability
 from repro.engine.cache import cached_enumerate_paths
 from repro.exceptions import ExperimentError
+from repro.failures.universe import FailureUniverse
 from repro.routing.paths import enumerate_paths
 from repro.monitors.placement import MonitorPlacement
 from repro.routing.mechanisms import RoutingMechanism
 from repro.routing.paths import PathSet
 from repro.topology.base import min_degree
 from repro.utils.seeds import RngLike, resolve_rng
+
+def _resolve_measure_universe(
+    pathset: PathSet, universe
+) -> Optional[FailureUniverse]:
+    """Resolve a driver-level ``universe`` argument against a path set.
+
+    Returns ``None`` for node mode — so the node-mode code path below stays
+    exactly the pre-universe computation — and a built
+    :class:`FailureUniverse` otherwise.
+    """
+    if universe is None:
+        return None
+    if isinstance(universe, str):
+        if universe == "node":
+            return None
+        return pathset.universe(universe)
+    if isinstance(universe, UniverseSpec):
+        if universe.kind == "node":
+            return None
+        return universe.resolve(pathset)
+    raise ExperimentError(
+        f"universe must be None, a kind name or a UniverseSpec, "
+        f"got {type(universe).__name__}"
+    )
 
 
 def dimension_log(n_nodes: int, graph: Optional[AnyGraph] = None) -> int:
@@ -98,6 +123,7 @@ def measure_network(
     max_paths: Optional[int] = None,
     cutoff: Optional[int] = None,
     engine: Optional[EngineConfig] = None,
+    universe=None,
 ) -> NetworkMeasurement:
     """Enumerate paths and compute (possibly truncated) µ for one network.
 
@@ -114,6 +140,12 @@ def measure_network(
     process-global policies at call time — the exact legacy behaviour — so
     specs carrying an explicit config and legacy global-policy callers
     compute identically.
+
+    ``universe`` selects the failure universe µ ranges over: ``None`` /
+    ``"node"`` (the bit-identical historical behaviour), ``"link"``, or a
+    :class:`~repro.api.spec.UniverseSpec` (the SRLG route).  Because the
+    universes of one path set share its cache entry, a node-mode and a
+    link-mode measurement of the same triple enumerate paths only once.
     """
     mechanism = RoutingMechanism.parse(mechanism)
     if engine is None:
@@ -129,17 +161,22 @@ def measure_network(
         if max_paths is not None:
             kwargs["max_paths"] = max_paths
         pathset = enumerate_paths(graph, placement, mechanism, **kwargs)
+    resolved = _resolve_measure_universe(pathset, universe)
     if truncation is not None:
         mu_value = truncated_identifiability(
-            pathset, truncation, backend=engine.backend, compress=engine.compress
+            pathset, truncation, backend=engine.backend, compress=engine.compress,
+            universe=resolved,
         )
     else:
-        bound = structural_upper_bound(graph, placement, mechanism)
+        bound = structural_upper_bound(
+            graph, placement, mechanism, universe=resolved
+        )
         mu_value = maximal_identifiability_detailed(
             pathset,
             max_size=bound.combined + 1,
             backend=engine.backend,
             compress=engine.compress,
+            universe=resolved,
         ).value
     return NetworkMeasurement(
         mu=mu_value,
@@ -178,6 +215,7 @@ def compare_with_agrid(
     ] = None,
     max_paths: Optional[int] = None,
     engine: Optional[EngineConfig] = None,
+    universe=None,
 ) -> AgridComparison:
     """Run Agrid and measure both G and G^A under the same experiment settings.
 
@@ -185,7 +223,9 @@ def compare_with_agrid(
     callable (e.g. a random placement closure) overrides how monitors are
     chosen on *both* graphs, which is what the Tables 11-13 experiments do.
     ``engine`` scopes the signature-engine configuration to both
-    measurements (``None`` = capture the global policies, as before).
+    measurements (``None`` = capture the global policies, as before);
+    ``universe`` selects the failure universe for both (node mode when
+    omitted).
     """
     generator = resolve_rng(rng)
     result: AgridResult = agrid(graph, dimension, rng=generator)
@@ -196,11 +236,12 @@ def compare_with_agrid(
         placement_original = placement_builder(graph, dimension)
         placement_boosted = placement_builder(result.boosted, dimension)
     original = measure_network(
-        graph, placement_original, mechanism, truncation, max_paths, engine=engine
+        graph, placement_original, mechanism, truncation, max_paths,
+        engine=engine, universe=universe,
     )
     boosted = measure_network(
         result.boosted, placement_boosted, mechanism, truncation, max_paths,
-        engine=engine,
+        engine=engine, universe=universe,
     )
     return AgridComparison(
         dimension=dimension,

@@ -18,10 +18,12 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.api.registries import build_topology
 from repro.api.spec import (
     EngineConfig,
+    FailureModel,
     PlacementSpec,
     RoutingSpec,
     ScenarioSpec,
     TopologySpec,
+    UniverseSpec,
 )
 from repro.exceptions import ExperimentError
 from repro.experiments.common import DIMENSION_RULES, compare_with_agrid
@@ -75,7 +77,7 @@ def random_graph_trial(spec: ScenarioSpec, dimension_rule: str) -> int:
     """One Table-6/7 trial: sample G, boost it, return µ(G^A) − µ(G).
 
     The whole trial — topology source and its parameters, routing mechanism,
-    engine config and seed — travels inside one pickled
+    failure universe, engine config and seed — travels inside one pickled
     :class:`~repro.api.spec.ScenarioSpec`; only the dimension rule rides
     alongside, because the dimension depends on the graph that is sampled
     *inside* the trial.  The seed string fully determines both the sampled
@@ -96,6 +98,7 @@ def random_graph_trial(spec: ScenarioSpec, dimension_rule: str) -> int:
         rng=trial_rng,
         mechanism=spec.mechanism,
         engine=spec.engine,
+        universe=spec.failures.universe,
     )
     return comparison.improvement
 
@@ -108,8 +111,14 @@ def run_random_graph_cell(
     rng: RngLike = 2018,
     mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
     jobs: int = 1,
+    universe: str = "node",
 ) -> RandomGraphCell:
-    """Run one batch of Agrid-on-random-graph trials (``jobs`` workers)."""
+    """Run one batch of Agrid-on-random-graph trials (``jobs`` workers).
+
+    ``universe`` selects the failure universe of every µ in the cell
+    (``"node"``, the paper's measure and the bit-identical default, or
+    ``"link"``); it is stamped into each trial's pickled spec, so it reaches
+    the pool workers with no extra plumbing."""
     if n_trials < 1:
         raise ExperimentError(f"n_trials must be >= 1, got {n_trials}")
     if dimension_rule not in DIMENSION_RULES:
@@ -119,6 +128,7 @@ def run_random_graph_cell(
         )
     mechanism = RoutingMechanism.parse(mechanism)
     engine = EngineConfig.from_policy()
+    failures = FailureModel(universe=UniverseSpec(kind=universe))
     specs = [
         TrialSpec(
             random_graph_trial,
@@ -132,6 +142,7 @@ def run_random_graph_cell(
                     # the strategy is recorded here for provenance.
                     placement=PlacementSpec("mdmp"),
                     routing=RoutingSpec(mechanism=mechanism.value),
+                    failures=failures,
                     engine=engine,
                     seed=spawn_seed(rng, trial),
                     label=f"random-graph n={n_nodes} trial={trial}",
@@ -191,6 +202,7 @@ def run_random_graph_table(
     probability: float = DEFAULT_EDGE_PROBABILITY,
     rng: RngLike = 2018,
     jobs: int = 1,
+    universe: str = "node",
 ) -> RandomGraphTable:
     """Run a full random-graph table.
 
@@ -209,6 +221,7 @@ def run_random_graph_table(
                 probability=probability,
                 rng=cell_rng,
                 jobs=jobs,
+                universe=universe,
             )
     return RandomGraphTable(dimension_rule=dimension_rule, cells=cells)
 
@@ -218,10 +231,11 @@ def run_table6(
     batch_sizes: Sequence[int] = (50, 100),
     rng: RngLike = 2018,
     jobs: int = 1,
+    universe: str = "node",
 ) -> RandomGraphTable:
     """Table 6: the d = sqrt(log n) case."""
     return run_random_graph_table(
-        "sqrt_log", node_counts, batch_sizes, rng=rng, jobs=jobs
+        "sqrt_log", node_counts, batch_sizes, rng=rng, jobs=jobs, universe=universe
     )
 
 
@@ -230,6 +244,9 @@ def run_table7(
     batch_sizes: Sequence[int] = (50, 100),
     rng: RngLike = 2018,
     jobs: int = 1,
+    universe: str = "node",
 ) -> RandomGraphTable:
     """Table 7: the d = log n case."""
-    return run_random_graph_table("log", node_counts, batch_sizes, rng=rng, jobs=jobs)
+    return run_random_graph_table(
+        "log", node_counts, batch_sizes, rng=rng, jobs=jobs, universe=universe
+    )

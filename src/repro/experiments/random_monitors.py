@@ -18,10 +18,12 @@ import networkx as nx
 from repro.agrid.algorithm import agrid
 from repro.api.spec import (
     EngineConfig,
+    FailureModel,
     PlacementSpec,
     RoutingSpec,
     ScenarioSpec,
     TopologySpec,
+    UniverseSpec,
 )
 from repro.exceptions import ExperimentError
 from repro.experiments.common import resolve_dimension
@@ -122,8 +124,13 @@ def run_random_monitor_experiment(
     mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
     dimension: Optional[int] = None,
     jobs: int = 1,
+    universe: str = "node",
 ) -> RandomMonitorResult:
-    """Run the random-monitor comparison on one network (``jobs`` workers)."""
+    """Run the random-monitor comparison on one network (``jobs`` workers).
+
+    ``universe`` selects the failure universe of every µ (``"node"`` — the
+    bit-identical default — or ``"link"``); it rides inside each trial's
+    pickled spec, and the facade's ``measurement`` analysis honours it."""
     if n_placements < 1:
         raise ExperimentError(f"n_placements must be >= 1, got {n_placements}")
     mechanism = RoutingMechanism.parse(mechanism)
@@ -132,6 +139,7 @@ def run_random_monitor_experiment(
 
     engine = EngineConfig.from_policy()
     routing = RoutingSpec(mechanism=mechanism.value)
+    failures = FailureModel(universe=UniverseSpec(kind=universe))
     placement_spec = PlacementSpec("random", {"n_inputs": d, "n_outputs": d})
     topology_original = TopologySpec.from_graph(graph)
     topology_boosted = TopologySpec.from_graph(boost.boosted)
@@ -146,6 +154,7 @@ def run_random_monitor_experiment(
                     topology=topology_original,
                     placement=placement_spec,
                     routing=routing,
+                    failures=failures,
                     engine=engine,
                     seed=spawn_seed(rng, 2 * trial + 1),
                     label=f"{graph.name or 'G'} trial={trial}",
@@ -154,6 +163,7 @@ def run_random_monitor_experiment(
                     topology=topology_boosted,
                     placement=placement_spec,
                     routing=routing,
+                    failures=failures,
                     engine=engine,
                     seed=spawn_seed(rng, 2 * trial + 2),
                     label=f"{graph.name or 'G'}^A trial={trial}",
@@ -178,33 +188,44 @@ def run_random_monitor_experiment(
 
 
 def run_table11(
-    n_placements: int = PAPER_N_PLACEMENTS, rng: RngLike = 2018, jobs: int = 1
+    n_placements: int = PAPER_N_PLACEMENTS, rng: RngLike = 2018, jobs: int = 1,
+    universe: str = "node",
 ) -> RandomMonitorResult:
     """Table 11: Claranet with random monitors."""
-    return run_random_monitor_experiment(zoo.claranet(), n_placements, rng, jobs=jobs)
+    return run_random_monitor_experiment(
+        zoo.claranet(), n_placements, rng, jobs=jobs, universe=universe
+    )
 
 
 def run_table12(
-    n_placements: int = PAPER_N_PLACEMENTS, rng: RngLike = 2018, jobs: int = 1
+    n_placements: int = PAPER_N_PLACEMENTS, rng: RngLike = 2018, jobs: int = 1,
+    universe: str = "node",
 ) -> RandomMonitorResult:
     """Table 12: EuNetworks with random monitors."""
-    return run_random_monitor_experiment(zoo.eunetworks(), n_placements, rng, jobs=jobs)
+    return run_random_monitor_experiment(
+        zoo.eunetworks(), n_placements, rng, jobs=jobs, universe=universe
+    )
 
 
 def run_table13(
-    n_placements: int = PAPER_N_PLACEMENTS, rng: RngLike = 2018, jobs: int = 1
+    n_placements: int = PAPER_N_PLACEMENTS, rng: RngLike = 2018, jobs: int = 1,
+    universe: str = "node",
 ) -> RandomMonitorResult:
     """Table 13: GetNet with random monitors."""
-    return run_random_monitor_experiment(zoo.getnet(), n_placements, rng, jobs=jobs)
+    return run_random_monitor_experiment(
+        zoo.getnet(), n_placements, rng, jobs=jobs, universe=universe
+    )
 
 
 def run_all_random_monitors(
-    n_placements: int = PAPER_N_PLACEMENTS, rng: RngLike = 2018, jobs: int = 1
+    n_placements: int = PAPER_N_PLACEMENTS, rng: RngLike = 2018, jobs: int = 1,
+    universe: str = "node",
 ) -> Dict[str, RandomMonitorResult]:
     """Run Tables 11-13 and return results keyed by network name."""
     return {
         name: run_random_monitor_experiment(
-            zoo.load(name), n_placements, spawn_rng(rng, index), jobs=jobs
+            zoo.load(name), n_placements, spawn_rng(rng, index), jobs=jobs,
+            universe=universe,
         )
         for index, name in enumerate(RANDOM_MONITOR_TABLES)
     }

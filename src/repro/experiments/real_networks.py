@@ -83,11 +83,14 @@ def run_real_network(
     mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
     max_paths: Optional[int] = None,
     engine: Optional[EngineConfig] = None,
+    universe: str = "node",
 ) -> RealNetworkResult:
     """Reproduce the Table-3/4/5 measurement for one zoo network.
 
     ``engine`` scopes the signature-engine configuration to this table
-    (``None`` captures the global policies, the legacy behaviour).
+    (``None`` captures the global policies, the legacy behaviour);
+    ``universe`` selects the failure universe of every µ (``"node"`` — the
+    bit-identical default — or ``"link"``).
     """
     graph = zoo.load(name)
     n = graph.number_of_nodes()
@@ -102,6 +105,7 @@ def run_real_network(
         mechanism=mechanism,
         max_paths=max_paths,
         engine=engine,
+        universe=universe,
     )
     log_comparison = compare_with_agrid(
         graph,
@@ -110,6 +114,7 @@ def run_real_network(
         mechanism=mechanism,
         max_paths=max_paths,
         engine=engine,
+        universe=universe,
     )
     return RealNetworkResult(
         network=graph.name or name,
@@ -134,6 +139,11 @@ def run_table5(rng: RngLike = 2018) -> RealNetworkResult:
     return run_real_network("dataxchange", rng)
 
 
-def run_all_real_networks(rng: RngLike = 2018) -> Dict[str, RealNetworkResult]:
+def run_all_real_networks(
+    rng: RngLike = 2018, universe: str = "node"
+) -> Dict[str, RealNetworkResult]:
     """Run Tables 3-5 and return the results keyed by network name."""
-    return {name: run_real_network(name, rng) for name in REAL_NETWORK_TABLES}
+    return {
+        name: run_real_network(name, rng, universe=universe)
+        for name in REAL_NETWORK_TABLES
+    }

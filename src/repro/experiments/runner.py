@@ -9,7 +9,9 @@ Installed as the ``repro-experiments`` console script.  Examples::
     repro-experiments --tables all --seed 7       # everything, custom seed
     repro-experiments --tables random --jobs 4    # fan trials out over 4 workers
     repro-experiments --tables random --trials 10 --format json --output out.json
+    repro-experiments --tables real --universe link   # link-failure variant
     repro-experiments --spec examples/specs/claranet.json --jobs 2   # user batch
+    repro-experiments --spec specs/ extra.json        # files and directories
 
 The default ``--format text`` prints one paper-style table per experiment,
 suitable for pasting into EXPERIMENTS.md; ``--format json`` emits one
@@ -18,11 +20,15 @@ result data of every section.  ``--jobs N`` parallelises the Monte-Carlo
 batches over N worker processes (0 = all cores) with bit-identical output to
 a serial run of the same seed.
 
-``--spec FILE`` switches the runner to *user-defined scenario batches*: the
-file is a JSON :class:`repro.api.spec.ScenarioSpec` (or a list, or a
-``{"scenarios": [...]}`` document) and every scenario runs its declared
-analyses through the :class:`repro.api.scenario.Scenario` facade — one
-pickled spec per pool trial, engine config scoped inside the spec.
+``--spec PATH [PATH ...]`` switches the runner to *user-defined scenario
+batches*: each path is a JSON :class:`repro.api.spec.ScenarioSpec` document
+(or a list, or a ``{"scenarios": [...]}`` wrapper) — or a directory, which
+expands to its ``*.json`` files in sorted order — and every scenario runs its
+declared analyses through the :class:`repro.api.scenario.Scenario` facade —
+one pickled spec per pool trial, engine config and failure universe scoped
+inside the spec.  ``--universe`` switches the paper-table groups to the
+link-failure variant of every µ; spec batches instead declare their universe
+per scenario (``failures.universe``, schema v2).
 ``--output`` writes are atomic (missing directories created, temp file +
 ``os.replace``), so parallel or interrupted invocations cannot leave
 truncated artifacts.
@@ -74,12 +80,13 @@ class Section:
         return f"== {self.title} ==\n{self.body}"
 
 
-#: Mapping of CLI group name -> callable(seed, jobs, trials) -> sections.
-_GROUPS: Dict[str, Callable[[int, int, Optional[int]], List[Section]]] = {}
+#: Mapping of CLI group name -> callable(seed, jobs, trials, universe) ->
+#: sections.
+_GROUPS: Dict[str, Callable[[int, int, Optional[int], str], List[Section]]] = {}
 
 
 def _register(name: str):
-    def decorator(func: Callable[[int, int, Optional[int]], List[Section]]):
+    def decorator(func: Callable[[int, int, Optional[int], str], List[Section]]):
         _GROUPS[name] = func
         return func
 
@@ -87,11 +94,15 @@ def _register(name: str):
 
 
 @_register("real")
-def _run_real(seed: int, jobs: int, trials: Optional[int]) -> List[Section]:
+def _run_real(
+    seed: int, jobs: int, trials: Optional[int], universe: str = "node"
+) -> List[Section]:
     # Tables 3-5 are single deterministic measurements per network — there is
     # no trial batch to fan out, so ``jobs``/``trials`` are ignored here.
     sections = []
-    for table_name, result in real_networks.run_all_real_networks(rng=seed).items():
+    for table_name, result in real_networks.run_all_real_networks(
+        rng=seed, universe=universe
+    ).items():
         label = real_networks.REAL_NETWORK_TABLES[table_name]
         sections.append(
             Section(group="real", title=label, body=result.render(),
@@ -101,12 +112,16 @@ def _run_real(seed: int, jobs: int, trials: Optional[int]) -> List[Section]:
 
 
 @_register("random")
-def _run_random(seed: int, jobs: int, trials: Optional[int]) -> List[Section]:
+def _run_random(
+    seed: int, jobs: int, trials: Optional[int], universe: str = "node"
+) -> List[Section]:
     batch_sizes = (trials,) if trials else (50, 100)
     sections = []
     for title, run_table in (("Table 6", random_graphs.run_table6),
                              ("Table 7", random_graphs.run_table7)):
-        table = run_table(batch_sizes=batch_sizes, rng=seed, jobs=jobs)
+        table = run_table(
+            batch_sizes=batch_sizes, rng=seed, jobs=jobs, universe=universe
+        )
         sections.append(
             Section(group="random", title=title, body=table.render(),
                     data=to_jsonable(table))
@@ -115,10 +130,14 @@ def _run_random(seed: int, jobs: int, trials: Optional[int]) -> List[Section]:
 
 
 @_register("truncated")
-def _run_truncated(seed: int, jobs: int, trials: Optional[int]) -> List[Section]:
+def _run_truncated(
+    seed: int, jobs: int, trials: Optional[int], universe: str = "node"
+) -> List[Section]:
     n_samples = trials if trials else truncated.PAPER_N_SAMPLES
     sections = []
-    results = truncated.run_all_truncated(n_samples=n_samples, rng=seed, jobs=jobs)
+    results = truncated.run_all_truncated(
+        n_samples=n_samples, rng=seed, jobs=jobs, universe=universe
+    )
     for name, result in results.items():
         label = truncated.TRUNCATED_TABLES[name]
         sections.append(
@@ -129,11 +148,13 @@ def _run_truncated(seed: int, jobs: int, trials: Optional[int]) -> List[Section]
 
 
 @_register("monitors")
-def _run_monitors(seed: int, jobs: int, trials: Optional[int]) -> List[Section]:
+def _run_monitors(
+    seed: int, jobs: int, trials: Optional[int], universe: str = "node"
+) -> List[Section]:
     n_placements = trials if trials else random_monitors.PAPER_N_PLACEMENTS
     sections = []
     results = random_monitors.run_all_random_monitors(
-        n_placements=n_placements, rng=seed, jobs=jobs
+        n_placements=n_placements, rng=seed, jobs=jobs, universe=universe
     )
     for name, result in results.items():
         label = random_monitors.RANDOM_MONITOR_TABLES[name]
@@ -145,11 +166,17 @@ def _run_monitors(seed: int, jobs: int, trials: Optional[int]) -> List[Section]:
 
 
 @_register("ablation")
-def _run_ablation(seed: int, jobs: int, trials: Optional[int]) -> List[Section]:
+def _run_ablation(
+    seed: int, jobs: int, trials: Optional[int], universe: str = "node"
+) -> List[Section]:
     graph = zoo.eunetworks()
     n_runs = trials if trials else 5
-    placement = ablation.placement_ablation(graph, n_runs=n_runs, rng=seed, jobs=jobs)
-    selector = ablation.selector_ablation(graph, n_runs=n_runs, rng=seed, jobs=jobs)
+    placement = ablation.placement_ablation(
+        graph, n_runs=n_runs, rng=seed, jobs=jobs, universe=universe
+    )
+    selector = ablation.selector_ablation(
+        graph, n_runs=n_runs, rng=seed, jobs=jobs, universe=universe
+    )
     return [
         Section(
             group="ablation",
@@ -252,6 +279,64 @@ def run_spec_sections(
     return sections
 
 
+def expand_spec_paths(paths: Iterable[str]) -> List[str]:
+    """Expand a ``--spec`` path list into concrete spec files.
+
+    Files pass through in the order given; a directory expands to its
+    ``*.json`` entries in sorted order, so batches are deterministic however
+    the shell globs.  An empty directory is an error (a silently empty batch
+    would read as success).
+    """
+    expanded: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            # listdir, not glob: a directory name containing glob
+            # metacharacters ("specs [v2]/") must not change the match.
+            matches = sorted(
+                os.path.join(path, name)
+                for name in os.listdir(path)
+                if name.endswith(".json")
+            )
+            if not matches:
+                raise SpecError(f"spec directory {path!r} contains no *.json files")
+            expanded.extend(matches)
+        else:
+            expanded.append(path)
+    return expanded
+
+
+def _load_spec_file(path: str) -> List[ScenarioSpec]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = handle.read()
+    except OSError as exc:
+        raise SpecError(f"cannot read spec file {path!r}: {exc}") from exc
+    return list(load_spec_batch(document))
+
+
+def run_spec_files(
+    paths: Iterable[str],
+    jobs: int = 1,
+    trials: Optional[int] = None,
+    seed: Optional[int] = None,
+    engine: Optional["EngineConfig"] = None,
+) -> List[Section]:
+    """Load one or more ``--spec`` documents (files or directories) and run
+    the concatenated scenario batch.
+
+    Scenarios keep their file order; the ``--seed`` offset for specs without
+    a pinned seed runs over the *whole* batch, so repeated scenarios across
+    files stay decorrelated exactly as they would inside one file.
+    """
+    specs: List[ScenarioSpec] = []
+    for path in expand_spec_paths(paths):
+        specs.extend(_load_spec_file(path))
+    clear_pathset_cache()
+    return run_spec_sections(
+        specs, jobs=jobs, trials=trials, seed=seed, engine=engine
+    )
+
+
 def run_spec_file(
     path: str,
     jobs: int = 1,
@@ -259,17 +344,8 @@ def run_spec_file(
     seed: Optional[int] = None,
     engine: Optional["EngineConfig"] = None,
 ) -> List[Section]:
-    """Load a ``--spec`` JSON document and run its scenario batch."""
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            document = handle.read()
-    except OSError as exc:
-        raise SpecError(f"cannot read spec file {path!r}: {exc}") from exc
-    clear_pathset_cache()
-    return run_spec_sections(
-        load_spec_batch(document), jobs=jobs, trials=trials, seed=seed,
-        engine=engine,
-    )
+    """Load a single ``--spec`` JSON document and run its scenario batch."""
+    return run_spec_files([path], jobs=jobs, trials=trials, seed=seed, engine=engine)
 
 
 def write_output_atomic(path: str, payload: str) -> None:
@@ -318,10 +394,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--spec",
         default=None,
-        metavar="FILE",
+        nargs="+",
+        metavar="PATH",
         help="run a user-defined scenario batch instead of the paper tables: "
-        "FILE is a JSON ScenarioSpec, a list of them, or a "
-        '{"scenarios": [...]} document (see repro.api); --jobs fans the '
+        "each PATH is a JSON ScenarioSpec, a list of them, or a "
+        '{"scenarios": [...]} document (see repro.api) — or a directory, '
+        "which expands to its *.json files in sorted order; --jobs fans the "
         "scenarios out, --trials overrides their campaign trial counts, "
         "--seed fills in specs without a pinned seed",
     )
@@ -366,6 +444,16 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: the engine's current policy)",
     )
     parser.add_argument(
+        "--universe",
+        default="node",
+        choices=["node", "link"],
+        help="failure universe for the paper-table groups: 'node' (the "
+        "paper's measure, the default) or 'link' (every µ/µ_λ computed over "
+        "link failures; same topologies, placements and seeds).  Spec "
+        "batches ignore this flag — their universe is declared per scenario "
+        "in failures.universe (schema v2, including SRLGs)",
+    )
+    parser.add_argument(
         "--no-compress",
         action="store_true",
         help="disable signature-universe compression (duplicate path columns "
@@ -386,12 +474,15 @@ def run(
     seed: int,
     jobs: int = 1,
     trials: Optional[int] = None,
+    universe: str = "node",
 ) -> List[Section]:
     """Run one group (or 'all') and return the result sections.
 
     The pathset cache is cleared once per invocation — groups inside an
     ``'all'`` run deliberately share entries — so every invocation is
     reproducible and its reported statistics describe this run only.
+    ``universe`` switches every µ of the paper tables to the link-failure
+    variant (``"node"`` is bit-identical to the historical output).
     """
     if trials is not None and trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -399,9 +490,9 @@ def run(
     if group == "all":
         sections: List[Section] = []
         for name in sorted(_GROUPS):
-            sections.extend(_GROUPS[name](seed, jobs, trials))
+            sections.extend(_GROUPS[name](seed, jobs, trials, universe))
         return sections
-    return _GROUPS[group](seed, jobs, trials)
+    return _GROUPS[group](seed, jobs, trials, universe)
 
 
 def render_text(sections: Iterable[Section]) -> str:
@@ -448,7 +539,7 @@ def main(argv: List[str] | None = None) -> int:
             engine_override = None
             if args.backend is not None or args.no_compress:
                 engine_override = EngineConfig.from_policy()
-            sections = run_spec_file(
+            sections = run_spec_files(
                 args.spec,
                 jobs=args.jobs,
                 trials=args.trials,
@@ -456,7 +547,10 @@ def main(argv: List[str] | None = None) -> int:
                 engine=engine_override,
             )
         else:
-            sections = run(args.tables, args.seed, jobs=args.jobs, trials=args.trials)
+            sections = run(
+                args.tables, args.seed, jobs=args.jobs, trials=args.trials,
+                universe=args.universe,
+            )
         if args.format == "json":
             payload = render_json(sections, args.seed, args.jobs)
         else:

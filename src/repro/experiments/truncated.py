@@ -18,10 +18,12 @@ import networkx as nx
 
 from repro.api.spec import (
     EngineConfig,
+    FailureModel,
     PlacementSpec,
     RoutingSpec,
     ScenarioSpec,
     TopologySpec,
+    UniverseSpec,
 )
 from repro.core.truncated import default_truncation_level
 from repro.exceptions import ExperimentError
@@ -121,8 +123,13 @@ def run_truncated_experiment(
     mechanism: RoutingMechanism | str = RoutingMechanism.CSP,
     dimension: Optional[int] = None,
     jobs: int = 1,
+    universe: str = "node",
 ) -> TruncatedResult:
-    """Run the µ_λ comparison on one network (``jobs`` workers)."""
+    """Run the µ_λ comparison on one network (``jobs`` workers).
+
+    ``universe`` selects the failure universe of every µ_λ (``"node"`` — the
+    bit-identical default — or ``"link"``); it travels inside each sample's
+    pickled spec and the facade's ``truncated`` analysis honours it."""
     if n_samples < 1:
         raise ExperimentError(f"n_samples must be >= 1, got {n_samples}")
     mechanism = RoutingMechanism.parse(mechanism)
@@ -130,6 +137,7 @@ def run_truncated_experiment(
 
     engine = EngineConfig.from_policy()
     routing = RoutingSpec(mechanism=mechanism.value)
+    failures = FailureModel(universe=UniverseSpec(kind=universe))
     base_topology = TopologySpec.from_graph(graph)
     placement = PlacementSpec("mdmp", {"d": d})
 
@@ -145,6 +153,7 @@ def run_truncated_experiment(
         mechanism,
         truncation=original_truncation,
         engine=engine,
+        universe=universe,
     )
     original = TruncatedDistribution(
         truncation=original_truncation, counts={original_measure.mu: 1}
@@ -160,6 +169,7 @@ def run_truncated_experiment(
                     ),
                     placement=placement,
                     routing=routing,
+                    failures=failures,
                     engine=engine,
                     seed=spawn_seed(rng, sample + 1),
                     label=f"truncated {graph.name or 'G'} sample={sample}",
@@ -185,33 +195,44 @@ def run_truncated_experiment(
 
 
 def run_table8(
-    n_samples: int = PAPER_N_SAMPLES, rng: RngLike = 2018, jobs: int = 1
+    n_samples: int = PAPER_N_SAMPLES, rng: RngLike = 2018, jobs: int = 1,
+    universe: str = "node",
 ) -> TruncatedResult:
     """Table 8: Claranet."""
-    return run_truncated_experiment(zoo.claranet(), n_samples, rng, jobs=jobs)
+    return run_truncated_experiment(
+        zoo.claranet(), n_samples, rng, jobs=jobs, universe=universe
+    )
 
 
 def run_table9(
-    n_samples: int = PAPER_N_SAMPLES, rng: RngLike = 2018, jobs: int = 1
+    n_samples: int = PAPER_N_SAMPLES, rng: RngLike = 2018, jobs: int = 1,
+    universe: str = "node",
 ) -> TruncatedResult:
     """Table 9: GridNetwork (|V| = 7)."""
-    return run_truncated_experiment(zoo.gridnetwork(), n_samples, rng, jobs=jobs)
+    return run_truncated_experiment(
+        zoo.gridnetwork(), n_samples, rng, jobs=jobs, universe=universe
+    )
 
 
 def run_table10(
-    n_samples: int = PAPER_N_SAMPLES, rng: RngLike = 2018, jobs: int = 1
+    n_samples: int = PAPER_N_SAMPLES, rng: RngLike = 2018, jobs: int = 1,
+    universe: str = "node",
 ) -> TruncatedResult:
     """Table 10: the 7-node EuNetwork."""
-    return run_truncated_experiment(zoo.eunetwork_small(), n_samples, rng, jobs=jobs)
+    return run_truncated_experiment(
+        zoo.eunetwork_small(), n_samples, rng, jobs=jobs, universe=universe
+    )
 
 
 def run_all_truncated(
-    n_samples: int = PAPER_N_SAMPLES, rng: RngLike = 2018, jobs: int = 1
+    n_samples: int = PAPER_N_SAMPLES, rng: RngLike = 2018, jobs: int = 1,
+    universe: str = "node",
 ) -> Dict[str, TruncatedResult]:
     """Run Tables 8-10 and return results keyed by network name."""
     return {
         name: run_truncated_experiment(
-            zoo.load(name), n_samples, spawn_rng(rng, i), jobs=jobs
+            zoo.load(name), n_samples, spawn_rng(rng, i), jobs=jobs,
+            universe=universe,
         )
         for i, name in enumerate(TRUNCATED_TABLES)
     }

@@ -1,0 +1,29 @@
+"""repro.failures — element-generic failure universes.
+
+The paper defines maximal identifiability µ over *node* failures, but the
+signature algebra the engine runs on — unions, equalities and inclusions of
+path-incidence bitmasks over GF(2) — never looks at what a row *is*.  This
+package makes that genericity explicit: a :class:`FailureUniverse` is an
+ordered set of failure *elements* (nodes, links, or shared-risk link groups),
+each mapped to the bitmask of measurement paths that cross it.  Every layer
+above routing — the :class:`~repro.engine.signatures.SignatureEngine`, the
+identifiability core, the tomography session, the :class:`repro.Scenario`
+facade and the experiment drivers — accepts a universe and computes the same
+measures over it, with node mode as the bit-identical default.
+"""
+
+from repro.failures.universe import (
+    UNIVERSE_KINDS,
+    FailureUniverse,
+    build_universe,
+    canonical_link,
+    normalize_groups,
+)
+
+__all__ = [
+    "UNIVERSE_KINDS",
+    "FailureUniverse",
+    "build_universe",
+    "canonical_link",
+    "normalize_groups",
+]

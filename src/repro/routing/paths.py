@@ -1,16 +1,22 @@
 """Measurement-path enumeration and the :class:`PathSet` container.
 
-The identifiability machinery never looks at a path beyond the *set of nodes
-it touches*, so :class:`PathSet` stores, for every node ``v``, the bitmask of
-indices of paths crossing ``v`` (``P(v)`` in the paper).  The enumerator
-accumulates these masks in the same pass that discovers the paths —
-:func:`enumerate_paths` hands the finished table to :class:`PathSet`, and
-only directly-constructed path sets fall back to the
-:func:`repro.utils.bitset.masks_from_paths` re-scan.  Unions over node
-sets — ``P(U)`` — are then single bitwise ORs.  All heavy identifiability
-queries go through the :class:`~repro.engine.signatures.SignatureEngine`
-exposed by :meth:`PathSet.engine`, which interns these masks once per backend
-and shares them across the core, tomography and experiment layers.
+The identifiability machinery never looks at a path beyond the *set of
+elements it touches*, so :class:`PathSet` stores, for every node ``v``, the
+bitmask of indices of paths crossing ``v`` (``P(v)`` in the paper) — and, for
+every link ``(u, v)``, the bitmask of paths traversing it.  The enumerator
+accumulates the node table in the same pass that discovers the paths and
+captures the link *universe* (every edge of the graph); the link masks fall
+out of the consecutive node pairs of the stored paths in one deferred,
+memoised scan on first link-universe query, so node-only consumers never pay
+for them.  Only directly-constructed path sets fall back to re-scanning
+their paths for the node table too.
+Unions over element sets — ``P(U)`` — are then single bitwise ORs.  All heavy
+identifiability queries go through the
+:class:`~repro.engine.signatures.SignatureEngine` exposed by
+:meth:`PathSet.engine`, which interns the masks of one
+:class:`~repro.failures.FailureUniverse` (nodes by default; links and
+shared-risk link groups via :meth:`PathSet.universe`) once per backend and
+shares them across the core, tomography and experiment layers.
 
 Enumeration per mechanism
 -------------------------
@@ -39,6 +45,7 @@ from typing import (
     Iterable,
     Iterator,
     List,
+    Mapping,
     Optional,
     Sequence,
     Tuple,
@@ -46,6 +53,14 @@ from typing import (
 
 from repro._typing import AnyGraph, Node, Path
 from repro.exceptions import PathExplosionError, RoutingError
+from repro.failures.universe import (
+    FailureUniverse,
+    Link,
+    build_universe,
+    canonical_link,
+    normalize_groups,
+    srlg_universe_from_canonical,
+)
 from repro.monitors.placement import MonitorPlacement
 from repro.routing.mechanisms import RoutingMechanism
 from repro.utils.bitset import (
@@ -88,6 +103,25 @@ class PathSet:
     _engines: Dict[object, "SignatureEngine"] = field(
         repr=False, compare=False, default_factory=dict
     )
+    #: Whether the underlying topology is directed (decides how links are
+    #: canonicalised: directed links keep their orientation, undirected ones
+    #: are repr-ordered).  ``None`` — the default for directly-constructed
+    #: path sets — is treated as undirected.
+    directed: Optional[bool] = field(default=None, compare=False)
+    #: The link universe and its ``link -> mask`` table.  The enumerator
+    #: passes the full edge set of the graph (untraversed links keep an empty
+    #: mask, so they count as uncovered); directly-constructed path sets
+    #: derive the links appearing in their paths lazily on first use.  The
+    #: masks themselves are always derived lazily from the stored paths —
+    #: one scan of the consecutive node pairs, memoised per path set — so
+    #: node-only workloads never pay for the link table.
+    _links: Optional[Tuple[Link, ...]] = field(repr=False, compare=False, default=None)
+    _link_masks: Optional[Dict[Link, int]] = field(
+        repr=False, compare=False, default=None
+    )
+    _universes: Dict[object, FailureUniverse] = field(
+        repr=False, compare=False, default_factory=dict
+    )
 
     def __post_init__(self) -> None:
         if self._node_masks:
@@ -103,7 +137,16 @@ class PathSet:
             except ValueError as exc:
                 raise RoutingError(str(exc)) from exc
             object.__setattr__(self, "_node_masks", masks)
+        if self._link_masks is not None:
+            if self._links is None or (
+                len(self._link_masks) != len(set(self._links))
+                or any(link not in self._link_masks for link in self._links)
+            ):
+                raise RoutingError(
+                    "precomputed link masks must cover exactly the link universe"
+                )
         object.__setattr__(self, "_engines", {})
+        object.__setattr__(self, "_universes", {})
 
     # -- basic accessors ---------------------------------------------------
     def __len__(self) -> int:
@@ -148,6 +191,117 @@ class PathSet:
         """Nodes crossed by no measurement path (these force µ = 0)."""
         return frozenset(node for node, mask in self._node_masks.items() if not mask)
 
+    # -- link universe -------------------------------------------------------
+    def _derive_links(self) -> None:
+        """Build the ``link -> mask`` table from the stored paths (memoised).
+
+        One scan over the consecutive node pairs of every path.  When the
+        enumerator provided the link universe (the full edge set of its
+        graph), masks are accumulated against it and untraversed links keep
+        an empty mask — they are *uncovered* elements; directly-constructed
+        path sets fall back to the links their paths traverse.  Deferred to
+        the first link-universe query, so node-only consumers never pay.
+        """
+        directed = bool(self.directed)
+        if self._links is not None:
+            index_lists: Dict[Link, List[int]] = {link: [] for link in self._links}
+            # Canonical lookup for both traversal orientations, so the scan
+            # below costs one dict access per edge (no repr-based ordering).
+            canon: Dict[Tuple[Node, Node], List[int]] = {}
+            for (u, v), indices in index_lists.items():
+                canon[(u, v)] = indices
+                if not directed:
+                    canon[(v, u)] = indices
+            for index, path in enumerate(self.paths):
+                for pair in zip(path, path[1:]):
+                    if pair[0] == pair[1]:
+                        continue  # degenerate loop probes traverse no link
+                    indices = canon.get(pair)
+                    if indices is None:
+                        raise RoutingError(
+                            f"path {index} traverses {pair!r} which is outside "
+                            "the link universe"
+                        )
+                    indices.append(index)
+            links = self._links
+        else:
+            discovered: Dict[Link, List[int]] = {}
+            for index, path in enumerate(self.paths):
+                for u, v in zip(path, path[1:]):
+                    if u == v:
+                        continue
+                    link = canonical_link(u, v, directed)
+                    discovered.setdefault(link, []).append(index)
+            links = tuple(sorted(discovered, key=repr))
+            index_lists = discovered
+        masks = {link: mask_from_indices(index_lists[link]) for link in links}
+        object.__setattr__(self, "_links", links)
+        object.__setattr__(self, "_link_masks", masks)
+
+    @property
+    def links(self) -> Tuple[Link, ...]:
+        """The link universe, in canonical order.
+
+        Enumerator-built path sets carry every edge of their topology (so a
+        link no path traverses is *uncovered*, forcing µ = 0 over the link
+        universe, exactly like an uncovered node); directly-constructed sets
+        fall back to the links their paths traverse.
+        """
+        if self._links is None:
+            self._derive_links()
+        assert self._links is not None
+        return self._links
+
+    def paths_through_link(self, link: Link) -> int:
+        """Bitmask of the paths traversing ``link`` (either orientation when
+        the path set is undirected)."""
+        if self._link_masks is None:
+            self._derive_links()
+        assert self._link_masks is not None
+        pair = tuple(link)
+        if len(pair) != 2:
+            raise RoutingError(f"{link!r} is not a (u, v) link")
+        key = canonical_link(pair[0], pair[1], bool(self.directed))
+        try:
+            return self._link_masks[key]
+        except KeyError as exc:
+            raise RoutingError(f"{link!r} is not in the link universe") from exc
+
+    def paths_through_links(self, links: Iterable[Link]) -> int:
+        """Bitmask of ``P(L) = ∪_{l in L} P(l)`` over links."""
+        mask = 0
+        for link in links:
+            mask |= self.paths_through_link(link)
+        return mask
+
+    # -- failure universes ---------------------------------------------------
+    def universe(
+        self,
+        kind: str = "node",
+        groups: Optional[Mapping[str, Iterable[Iterable[Node]]]] = None,
+    ) -> FailureUniverse:
+        """The :class:`~repro.failures.FailureUniverse` of the given kind.
+
+        Universes are memoised per content fingerprint (``groups`` included
+        for SRLGs — normalised first, so a repeated SRLG request costs only
+        the validation pass, not the mask unions), so every consumer of the
+        same kind shares one instance — and, through :meth:`engine`, one
+        interned signature store.
+        """
+        if kind == "srlg" and groups is not None:
+            canonical = normalize_groups(self, groups)
+            cached = self._universes.get(("srlg", canonical))
+            if cached is not None:
+                return cached
+            universe: FailureUniverse = srlg_universe_from_canonical(self, canonical)
+        else:
+            if kind in ("node", "link") and not groups:
+                cached = self._universes.get((kind,))
+                if cached is not None:
+                    return cached
+            universe = build_universe(self, kind, groups)
+        return self._universes.setdefault(universe.fingerprint, universe)
+
     # -- identifiability primitives ----------------------------------------
     def separates(self, first: Iterable[Node], second: Iterable[Node]) -> bool:
         """True when ``P(U) △ P(W) ≠ ∅`` for ``U = first`` and ``W = second``.
@@ -165,35 +319,52 @@ class PathSet:
         return tuple(self.paths[i] for i in bits_of(diff))
 
     # -- signature engine ---------------------------------------------------
-    def engine(self, backend=None, compress: Optional[bool] = None) -> "SignatureEngine":
-        """The :class:`~repro.engine.signatures.SignatureEngine` over this
-        path set's node masks.
+    def engine(
+        self,
+        backend=None,
+        compress: Optional[bool] = None,
+        universe: Optional[FailureUniverse | str] = None,
+    ) -> "SignatureEngine":
+        """The :class:`~repro.engine.signatures.SignatureEngine` over one of
+        this path set's failure universes (node masks by default).
 
-        Engines are memoised per (normalised backend spec, compression
-        flag), so every consumer of the same :class:`PathSet` — the
-        identifiability core, the tomography layer, the experiment drivers —
-        shares one interned signature store.  ``backend`` follows
-        :func:`repro.engine.select_backend` semantics: ``None`` defers to the
-        global policy, a name forces that backend, and a
-        :class:`~repro.engine.backends.SignatureBackend` instance is used
-        as-is (not memoised).  An ``"auto"`` spec is kept symbolic here and
-        resolved by the engine against the width it actually operates on —
-        the compressed column count — so this route and a direct
-        :meth:`SignatureEngine.from_pathset` pick the same backend.
-        ``compress`` follows :func:`repro.engine.select_compression`:
-        ``None`` defers to the global policy (on), and an explicit boolean
-        forces/disables the duplicate-column collapse for this engine.
+        Engines are memoised per (universe fingerprint, normalised backend
+        spec, compression flag), so every consumer of the same
+        :class:`PathSet` — the identifiability core, the tomography layer,
+        the experiment drivers — shares one interned signature store per
+        universe.  ``backend`` follows :func:`repro.engine.select_backend`
+        semantics: ``None`` defers to the global policy, a name forces that
+        backend, and a :class:`~repro.engine.backends.SignatureBackend`
+        instance is used as-is (not memoised).  An ``"auto"`` spec is kept
+        symbolic here and resolved by the engine against the width it
+        actually operates on — the compressed column count — so this route
+        and a direct :meth:`SignatureEngine.from_pathset` pick the same
+        backend.  ``compress`` follows
+        :func:`repro.engine.select_compression`: ``None`` defers to the
+        global policy (on), and an explicit boolean forces/disables the
+        duplicate-column collapse for this engine.  ``universe`` is ``None``
+        (node mode), a kind name (``"node"``/``"link"``), or a
+        :class:`~repro.failures.FailureUniverse` built over this path set
+        (the only way to reach SRLG mode, which needs its groups).
         """
         # Imported lazily: the engine layer sits above routing.
         from repro.engine.backends import SignatureBackend, normalize_backend_spec
         from repro.engine.compress import compression_enabled
         from repro.engine.signatures import SignatureEngine
 
+        if universe is None or isinstance(universe, str):
+            universe = self.universe(universe or "node")
+        else:
+            # A universe built over a different path set would silently
+            # compute over foreign masks AND poison the fingerprint-keyed
+            # memo below for every later caller — refuse it outright.
+            universe.check_built_over(self)
         if compress is None:
             compress = compression_enabled()
+        elements, masks = universe.elements, universe.masks
         if isinstance(backend, SignatureBackend):
             return SignatureEngine(
-                self.nodes, self._node_masks, len(self.paths), backend, compress
+                elements, masks, len(self.paths), backend, compress
             )
         from repro.engine.backends import NUMPY_MIN_PATHS, numpy_available
 
@@ -204,17 +375,25 @@ class PathSet:
             # Below the numpy threshold the compressed width is too (it can
             # only shrink), so "auto" is decidable without building the plan.
             name = "python"
-        key = (name, bool(compress))
+        if universe.owner is not self:
+            # A hand-built (owner-less) universe passed the width check, but
+            # its fingerprint says nothing about its content — memoising it
+            # would poison the cache for the canonical universe of the same
+            # kind.  Build an un-memoised engine instead.
+            return SignatureEngine(elements, masks, len(self.paths), name, compress)
+        key = (universe.fingerprint, name, bool(compress))
         cached = self._engines.get(key)
         if cached is None:
             cached = SignatureEngine(
-                self.nodes, self._node_masks, len(self.paths), name, compress
+                elements, masks, len(self.paths), name, compress
             )
             self._engines[key] = cached
             # Alias the concrete backend name so a later explicit request
             # (e.g. engine("python") after a policy-default engine()) shares
             # this instance instead of re-interning the signatures.
-            self._engines.setdefault((cached.backend.name, bool(compress)), cached)
+            self._engines.setdefault(
+                (universe.fingerprint, cached.backend.name, bool(compress)), cached
+            )
         return cached
 
     def restrict_to_paths(self, indices: Sequence[int]) -> "PathSet":
@@ -245,13 +424,30 @@ class PathSet:
         # index against every node mask with O(|P|)-cost big-int shifts.
         remap = {original: j for j, original in enumerate(indices)}
         lookup = remap.get
-        masks = {}
-        for node, mask in self._node_masks.items():
-            kept = [
-                j for i in bit_indices(mask) if (j := lookup(i)) is not None
-            ]
-            masks[node] = mask_from_indices(kept)
-        return PathSet(self.nodes, selected, masks)
+
+        def _select(mask: int) -> int:
+            return mask_from_indices(
+                [j for i in bit_indices(mask) if (j := lookup(i)) is not None]
+            )
+
+        masks = {node: _select(mask) for node, mask in self._node_masks.items()}
+        # Column-select the link table too when the parent has one, so the
+        # restriction keeps the full link universe (including untraversed
+        # links) instead of re-deriving only the links its paths touch.
+        links = self._links
+        link_masks = (
+            {link: _select(mask) for link, mask in self._link_masks.items()}
+            if self._link_masks is not None
+            else None
+        )
+        return PathSet(
+            self.nodes,
+            selected,
+            masks,
+            directed=self.directed,
+            _links=links,
+            _link_masks=link_masks,
+        )
 
     def describe(self) -> str:
         """One-line human-readable summary."""
@@ -426,6 +622,17 @@ def enumerate_paths(
     """
     mechanism = RoutingMechanism.parse(mechanism)
     node_universe = tuple(sorted(graph.nodes, key=repr))
+    directed = bool(graph.is_directed())
+    # The link universe is the *full* edge set of the graph (canonicalised),
+    # so an edge no path traverses is an uncovered failure element.  Only the
+    # universe is captured here; the per-link masks derive from the stored
+    # paths on first link-universe query (PathSet._derive_links), keeping the
+    # node-only hot path exactly as fast as before links existed.
+    link_universe = tuple(
+        sorted(
+            {canonical_link(u, v, directed) for u, v in graph.edges()}, key=repr
+        )
+    )
 
     paths: List[Path] = []
     index_lists: Dict[Node, List[int]] = {node: [] for node in node_universe}
@@ -453,7 +660,13 @@ def enumerate_paths(
     masks = {
         node: mask_from_indices(indices) for node, indices in index_lists.items()
     }
-    return PathSet(node_universe, tuple(paths), masks)
+    return PathSet(
+        node_universe,
+        tuple(paths),
+        masks,
+        directed=directed,
+        _links=link_universe,
+    )
 
 
 def path_length_histogram(pathset: PathSet) -> Dict[int, int]:

@@ -10,9 +10,11 @@ from repro.tomography.boolean_system import (
 )
 from repro.tomography.inference import (
     LocalizationResult,
+    consistent_element_sets,
     consistent_failure_sets,
     identifiability_implies_unique_localization,
     localization_is_unique,
+    localize_element_failures,
     localize_failures,
 )
 from repro.tomography.scenario import (
@@ -27,7 +29,9 @@ __all__ = [
     "build_system",
     "measurement_vector",
     "LocalizationResult",
+    "consistent_element_sets",
     "consistent_failure_sets",
+    "localize_element_failures",
     "identifiability_implies_unique_localization",
     "localization_is_unique",
     "localize_failures",

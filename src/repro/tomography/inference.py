@@ -12,10 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
 
+import itertools
+
 from repro._typing import MeasurementVector, Node
 from repro.exceptions import IdentifiabilityError
+from repro.failures.universe import FailureUniverse
 from repro.routing.paths import PathSet
 from repro.tomography.boolean_system import BooleanSystem, measurement_vector
+from repro.utils.bitset import mask_from_indices
 
 
 @dataclass(frozen=True)
@@ -79,6 +83,74 @@ def localize_failures(
     if max_failures < 0:
         raise IdentifiabilityError(f"max_failures must be >= 0, got {max_failures}")
     sets = consistent_failure_sets(pathset, observations, max_failures, universe)
+    return LocalizationResult(consistent_sets=sets, max_failures=max_failures)
+
+
+def consistent_element_sets(
+    universe: FailureUniverse,
+    observations: Sequence[int],
+    max_failures: int,
+) -> Tuple[FrozenSet[Node], ...]:
+    """All element sets of size ≤ ``max_failures`` consistent with the
+    observations, over an arbitrary failure universe.
+
+    The mask-native restatement of :meth:`BooleanSystem.solutions
+    <repro.tomography.boolean_system.BooleanSystem.solutions>`: a candidate
+    element must touch some failing path and no healthy path, and a candidate
+    set is consistent iff the union of its masks covers every failing path.
+    For the node universe this enumerates exactly the sets the clause-based
+    localiser finds, in the same (size-ascending, repr-sorted) order — the
+    parity tests hold it to that.
+    """
+    if max_failures < 0:
+        raise IdentifiabilityError(
+            f"max_failures must be >= 0, got {max_failures}"
+        )
+    if len(observations) != universe.n_paths:
+        raise IdentifiabilityError(
+            f"expected {universe.n_paths} observations, got {len(observations)}"
+        )
+    for bit in observations:
+        if bit not in (0, 1):
+            # Same contract as the clause-based node localiser, which
+            # rejects malformed vectors in BooleanEquation.__post_init__.
+            raise IdentifiabilityError(
+                f"observation must be 0 or 1, got {bit!r}"
+            )
+    failing = mask_from_indices(
+        [i for i, bit in enumerate(observations) if bit]
+    )
+    healthy = mask_from_indices(
+        [i for i, bit in enumerate(observations) if not bit]
+    )
+    candidates = sorted(
+        (
+            element
+            for element in universe.elements
+            if universe.mask(element) & failing
+            and not universe.mask(element) & healthy
+        ),
+        key=repr,
+    )
+    masks = {element: universe.mask(element) for element in candidates}
+    solutions = []
+    for size in range(0, max_failures + 1):
+        for combo in itertools.combinations(candidates, size):
+            covered = 0
+            for element in combo:
+                covered |= masks[element]
+            if covered == failing:
+                solutions.append(frozenset(combo))
+    return tuple(solutions)
+
+
+def localize_element_failures(
+    universe: FailureUniverse,
+    observations: Sequence[int],
+    max_failures: int,
+) -> LocalizationResult:
+    """Run the Boolean localiser over an arbitrary failure universe."""
+    sets = consistent_element_sets(universe, observations, max_failures)
     return LocalizationResult(consistent_sets=sets, max_failures=max_failures)
 
 

@@ -21,11 +21,17 @@ from repro.engine.backends import BackendSpec
 from repro.engine.signatures import SignatureEngine
 from repro.exceptions import IdentifiabilityError
 from repro.core.bounds import structural_upper_bound
+from repro.core.identifiability import resolve_universe
+from repro.failures.universe import FailureUniverse
 from repro.monitors.placement import MonitorPlacement
 from repro.routing.mechanisms import RoutingMechanism
 from repro.routing.paths import PathSet, enumerate_paths
 from repro.tomography.boolean_system import measurement_vector
-from repro.tomography.inference import LocalizationResult, localize_failures
+from repro.tomography.inference import (
+    LocalizationResult,
+    localize_element_failures,
+    localize_failures,
+)
 from repro.utils.seeds import RngLike, resolve_rng
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api sits above)
@@ -69,6 +75,13 @@ class TomographySession:
 
     Parameters mirror :func:`repro.routing.paths.enumerate_paths`; the path
     set is computed eagerly at construction so repeated trials are cheap.
+
+    ``universe`` selects the failure universe the session simulates and
+    localises over: ``None``/``"node"`` (the default, bit-identical to the
+    historical node sessions), ``"link"``, or a built
+    :class:`~repro.failures.FailureUniverse` (the SRLG route).  Failure
+    sets, measurement vectors and localisation candidates are then sets of
+    that universe's elements.
     """
 
     def __init__(
@@ -81,6 +94,7 @@ class TomographySession:
         backend: BackendSpec = None,
         compress: Optional[bool] = None,
         pathset: Optional[PathSet] = None,
+        universe: Optional["FailureUniverse | str"] = None,
     ) -> None:
         self.graph = graph
         self.placement = placement
@@ -93,18 +107,22 @@ class TomographySession:
                 kwargs["max_paths"] = max_paths
             pathset = enumerate_paths(graph, placement, self.mechanism, **kwargs)
         self.pathset: PathSet = pathset
+        #: The failure universe of the session (node mode by default).
+        self.universe: FailureUniverse = resolve_universe(pathset, universe)
         #: The shared signature engine; every identifiability and measurement
         #: query of the session runs on these packed signatures.
-        self.engine: SignatureEngine = self.pathset.engine(backend, compress)
+        self.engine: SignatureEngine = self.pathset.engine(
+            backend, compress, universe=self.universe
+        )
         self._mu_cache: Optional[int] = None
 
     @classmethod
     def from_scenario(cls, scenario: "Scenario") -> "TomographySession":
         """A session over a :class:`repro.api.scenario.Scenario`'s pipeline.
 
-        Reuses the scenario's already-enumerated path set and its spec-scoped
-        engine configuration, so the session shares the interned signatures
-        instead of re-enumerating.
+        Reuses the scenario's already-enumerated path set, its spec-scoped
+        engine configuration and its failure universe, so the session shares
+        the interned signatures instead of re-enumerating.
         """
         config = scenario.spec.engine
         return cls(
@@ -114,49 +132,70 @@ class TomographySession:
             backend=config.backend,
             compress=config.compress,
             pathset=scenario.pathset,
+            universe=scenario.universe,
         )
+
+    @property
+    def _node_mode(self) -> bool:
+        return self.universe.kind == "node"
 
     # -- identifiability ----------------------------------------------------
     @property
     def mu(self) -> int:
-        """Exact maximal identifiability of the session's path set (cached)."""
+        """Exact maximal identifiability of the session's universe (cached)."""
         if self._mu_cache is None:
-            bound = structural_upper_bound(self.graph, self.placement, self.mechanism)
+            bound = structural_upper_bound(
+                self.graph, self.placement, self.mechanism,
+                universe=None if self._node_mode else self.universe,
+            )
             result = self.engine.identifiability(max_size=bound.combined + 1)
             self._mu_cache = result.value
         return self._mu_cache
 
     # -- forward model ------------------------------------------------------
     def measure(self, failure_set: Iterable[Node]) -> MeasurementVector:
-        """Boolean measurement vector produced by ``failure_set``."""
-        return measurement_vector(self.pathset, failure_set)
+        """Boolean measurement vector produced by ``failure_set`` (a set of
+        this session's universe elements)."""
+        if self._node_mode:
+            return measurement_vector(self.pathset, failure_set)
+        failed = frozenset(failure_set)
+        for element in failed:
+            self.universe.mask(element)  # membership check with a clear error
+        return self.engine.measurement_vector(failed)
 
     def localize(
         self, observations: Sequence[int], max_failures: int
     ) -> LocalizationResult:
         """Run the localiser on an observation vector."""
-        return localize_failures(self.pathset, observations, max_failures)
+        if self._node_mode:
+            return localize_failures(self.pathset, observations, max_failures)
+        return localize_element_failures(self.universe, observations, max_failures)
 
     # -- simulation ---------------------------------------------------------
     def sample_failure_set(self, size: int, rng: RngLike = None) -> FrozenSet[Node]:
-        """Uniformly random failure set of the given size over non-monitor nodes.
+        """Uniformly random failure set of the given size.
 
-        Monitors are assumed reliable (Section 2: "monitors by default must be
-        reliable"), so failures are drawn from the remaining nodes whenever
-        enough of them exist; otherwise from the whole universe.
+        In node mode, monitors are assumed reliable (Section 2: "monitors by
+        default must be reliable"), so failures are drawn from the remaining
+        nodes whenever enough of them exist; otherwise from the whole
+        universe.  Link and SRLG universes have no monitor elements, so their
+        failures are drawn uniformly from all elements.
         """
         if size < 0:
             raise IdentifiabilityError(f"failure size must be >= 0, got {size}")
         generator = resolve_rng(rng)
-        non_monitors = sorted(
-            self.pathset.node_universe - self.placement.monitor_nodes, key=repr
-        )
-        pool = non_monitors if len(non_monitors) >= size else sorted(
-            self.pathset.node_universe, key=repr
-        )
+        if self._node_mode:
+            non_monitors = sorted(
+                self.pathset.node_universe - self.placement.monitor_nodes, key=repr
+            )
+            pool = non_monitors if len(non_monitors) >= size else sorted(
+                self.pathset.node_universe, key=repr
+            )
+        else:
+            pool = sorted(self.universe.elements, key=repr)
         if size > len(pool):
             raise IdentifiabilityError(
-                f"cannot sample {size} failing nodes from a pool of {len(pool)}"
+                f"cannot sample {size} failing elements from a pool of {len(pool)}"
             )
         return frozenset(generator.sample(pool, size))
 
@@ -197,8 +236,9 @@ class TomographySession:
 
     def describe(self) -> str:
         """One-line summary used by examples."""
+        universe = "" if self._node_mode else f", universe={self.universe.kind}"
         return (
             f"TomographySession({self.graph.name or 'graph'}, "
             f"|m|={self.placement.n_inputs}, |M|={self.placement.n_outputs}, "
-            f"{self.mechanism.value}, |P|={self.pathset.n_paths})"
+            f"{self.mechanism.value}, |P|={self.pathset.n_paths}{universe})"
         )

@@ -20,6 +20,7 @@ EXPECTED_ALL = [
     "AnalysisSpec",
     "EngineConfig",
     "FailureModel",
+    "FailureUniverse",
     "MonitorPlacement",
     "PathSet",
     "PlacementSpec",
@@ -30,6 +31,7 @@ EXPECTED_ALL = [
     "SignatureEngine",
     "TomographySession",
     "TopologySpec",
+    "UniverseSpec",
     "__version__",
     "agrid",
     "available_backends",
@@ -61,13 +63,20 @@ EXPECTED_ALL = [
 ]
 
 #: The full serialised form of a minimal spec — field names AND defaults.
+#: Schema v2 (PR 5) added ``failures.universe``; v1 documents still parse
+#: and auto-upgrade to node mode (see test_universes.py for the snapshot).
 EXPECTED_SPEC_SCHEMA = {
-    "schema_version": 1,
+    "schema_version": 2,
     "label": "",
     "topology": {"name": "claranet", "params": {}},
     "placement": {"strategy": "mdmp", "params": {"d": 3}},
     "routing": {"mechanism": "CSP", "cutoff": None, "max_paths": None},
-    "failures": {"model": "uniform", "size": 1, "n_trials": 10},
+    "failures": {
+        "model": "uniform",
+        "size": 1,
+        "n_trials": 10,
+        "universe": {"kind": "node", "groups": {}},
+    },
     "engine": {"backend": "auto", "compress": True, "cache": True},
     "seed": None,
     "analyses": [{"analysis": "mu", "params": {}}],
@@ -94,7 +103,10 @@ class TestPublicSurface:
             assert getattr(repro, name) is not None
 
     def test_schema_version(self):
-        assert SCHEMA_VERSION == 1
+        assert SCHEMA_VERSION == 2
+        from repro.api.spec import SUPPORTED_SCHEMA_VERSIONS
+
+        assert SUPPORTED_SCHEMA_VERSIONS == (1, 2)
 
     def test_scenario_spec_schema_snapshot(self):
         spec = ScenarioSpec(
