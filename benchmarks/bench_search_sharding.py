@@ -1,0 +1,146 @@
+"""PR 6 perf trajectory: sharded subset-search inside a single µ computation.
+
+Three cells on the Table 3 topology (Claranet under the log-N Agrid boost),
+every one asserting **hard bit-parity** between ``search_jobs=1`` and
+``search_jobs=4`` — same µ, same witness pair, same ``searched_up_to``:
+
+* **natural node / link cells (d = 3)** — the real Table 3 µ computations.
+  These terminate at the first collision, typically long before the size-3
+  frontier grows past :data:`~repro.engine.signatures.MIN_SHARDED_FRONTIER`,
+  so they measure that the sharding knob costs nothing when it does not
+  engage (the executor is created lazily, per size, only for frontiers worth
+  splitting).
+* **residual certification cell (d = 4, link universe)** — the cell the
+  speedup claim is made on.  The natural d-4 link µ is computed first; the
+  witness links are excised from the universe and the *residual* link set is
+  certified up to size 3.  No collision survives, so the sweep walks the
+  whole ``C(n, 3)`` frontier — the exhaustive-certification workload the
+  sharded search exists for, and large enough that every size-3 scan
+  actually fans out.
+
+Wall-clock speedup is asserted only on hosts with >= 4 cores (the fork
+process pool cannot beat serial on fewer), via ``BENCH_SHARD_MIN_SPEEDUP``
+(default 1.5); the parity assertions are hard everywhere, including
+single-core CI runners where the sharded run still executes the full
+partition/merge machinery.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from typing import Dict, Optional
+
+from conftest import run_once
+
+from repro.agrid.algorithm import agrid
+from repro.engine.signatures import MIN_SHARDED_FRONTIER
+from repro.routing.paths import enumerate_paths
+from repro.topology import zoo
+
+#: Job count for the sharded side of every cell.
+SHARD_JOBS = 4
+
+#: Hard floor on the certification-cell speedup, applied only when the host
+#: has at least SHARD_JOBS cores (speedup on fewer cores is physically
+#: impossible for a CPU-bound sweep; parity is still asserted).
+MIN_SHARD_SPEEDUP = float(os.environ.get("BENCH_SHARD_MIN_SPEEDUP", "1.5"))
+
+
+def _timed(engine, max_size: Optional[int], nodes, jobs: int):
+    start = time.perf_counter()
+    result = engine.identifiability(
+        max_size=max_size, nodes=nodes, search_jobs=jobs
+    )
+    return result, time.perf_counter() - start
+
+
+def _cell(engine, max_size: Optional[int] = None, nodes=None) -> Dict[str, object]:
+    serial, serial_seconds = _timed(engine, max_size, nodes, 1)
+    sharded, sharded_seconds = _timed(engine, max_size, nodes, SHARD_JOBS)
+    # Bit-parity: dataclass equality covers value, witness, searched_up_to
+    # and exhausted_search (stats are compare-excluded diagnostics).
+    assert sharded == serial, (serial, sharded)
+    return {
+        "mu": serial.value,
+        "witness": serial.witness,
+        "searched_up_to": serial.searched_up_to,
+        "serial_seconds": serial_seconds,
+        "sharded_seconds": sharded_seconds,
+        "speedup": (
+            serial_seconds / sharded_seconds
+            if sharded_seconds
+            else float("inf")
+        ),
+        "serial_stats": serial.stats.as_dict(),
+        "sharded_stats": sharded.stats.as_dict(),
+    }
+
+
+def _sharding_suite(seed: int) -> Dict[str, object]:
+    graph = zoo.load("claranet")
+    measured: Dict[str, object] = {}
+
+    # Natural Table 3 cells: the d-3 boosted graph, node and link universes.
+    boost3 = agrid(graph, 3, rng=seed)
+    pathset3 = enumerate_paths(boost3.boosted, boost3.placement_boosted)
+    for kind in ("node", "link"):
+        measured[f"natural_{kind}_d3"] = _cell(pathset3.engine(universe=kind))
+
+    # Certification cell: excise the natural d-4 link witness, certify the
+    # residual universe up to size 3 (an exhaustive C(n, 3) sweep).
+    boost4 = agrid(graph, 4, rng=seed)
+    pathset4 = enumerate_paths(boost4.boosted, boost4.placement_boosted)
+    engine = pathset4.engine(universe="link")
+    natural = engine.identifiability()
+    excised = natural.witness.first | natural.witness.second
+    residual = [link for link in engine.nodes if link not in excised]
+    cell = _cell(engine, max_size=3, nodes=residual)
+    cell["natural_mu"] = natural.value
+    cell["n_links"] = len(engine.nodes)
+    cell["n_residual"] = len(residual)
+    cell["frontier_size_3"] = math.comb(len(residual), 3)
+    measured["residual_certification_link_d4"] = cell
+    return measured
+
+
+def test_search_sharding_claranet(benchmark, bench_seed):
+    measured = run_once(benchmark, _sharding_suite, bench_seed)
+
+    cert = measured["residual_certification_link_d4"]
+    # The certification sweep must actually certify: no collision up to the
+    # cap, so µ (restricted) reaches the cap and the whole frontier was
+    # walked — by both executions, identically.
+    assert cert["mu"] == cert["searched_up_to"] == 3, cert
+    assert cert["witness"] is None, cert
+    # ... and the size-3 frontier must be large enough that the sharded run
+    # really fanned out (lazy executor threshold), else the cell measures
+    # nothing.
+    assert cert["frontier_size_3"] >= MIN_SHARDED_FRONTIER, cert
+    assert cert["sharded_stats"]["jobs"] == SHARD_JOBS, cert
+    assert cert["sharded_stats"]["shard_subsets"], cert
+    # Both sweeps enumerated the same number of subsets (the merge never
+    # drops or duplicates work).
+    assert (
+        cert["sharded_stats"]["subsets_enumerated"]
+        == cert["serial_stats"]["subsets_enumerated"]
+    ), cert
+
+    n_cores = os.cpu_count() or 1
+    cell_speedup = cert["speedup"]
+    if n_cores >= SHARD_JOBS:
+        assert cell_speedup >= MIN_SHARD_SPEEDUP, (
+            f"certification cell speedup {cell_speedup:.2f}x at "
+            f"search_jobs={SHARD_JOBS} on {n_cores} cores is below the "
+            f"{MIN_SHARD_SPEEDUP}x bar (tune BENCH_SHARD_MIN_SPEEDUP on "
+            "noisy runners)"
+        )
+
+    benchmark.extra_info["experiment"] = (
+        "Sharded subset-search: serial vs search_jobs=4 on Claranet cells "
+        "(natural d-3 node/link + d-4 residual link certification)"
+    )
+    benchmark.extra_info["n_cores"] = n_cores
+    benchmark.extra_info["speedup_asserted"] = n_cores >= SHARD_JOBS
+    benchmark.extra_info["measured"] = measured

@@ -244,6 +244,7 @@ class Scenario:
             backend=config.backend,
             compress=config.compress,
             universe=None if node_mode else universe,
+            search_jobs=config.search_jobs,
         )
         return result, bound_value
 
@@ -301,6 +302,7 @@ class Scenario:
             backend=config.backend,
             compress=config.compress,
             universe=None if universe.kind == "node" else universe,
+            search_jobs=config.search_jobs,
         )
         return TruncatedMuReport(
             value=result.value,
@@ -320,7 +322,9 @@ class Scenario:
         import math
 
         universe = self.universe
-        pairs = self.engine.inseparable_pairs(size)
+        pairs = self.engine.inseparable_pairs(
+            size, search_jobs=self.spec.engine.search_jobs
+        )
         n_subsets = math.comb(len(universe.elements), size)
         return SeparabilityReport(
             size=size,

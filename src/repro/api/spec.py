@@ -82,13 +82,20 @@ class EngineConfig:
     compress the signature universe, and whether to use the pathset cache.
 
     Defaults match the library defaults (``auto`` backend, compression on,
-    cache on), so a default-constructed config computes exactly what the
-    global-policy path computes out of the box — without touching globals.
+    cache on, serial search), so a default-constructed config computes
+    exactly what the global-policy path computes out of the box — without
+    touching globals.
+
+    ``search_jobs`` shards each exact-µ subset search across workers
+    (0 = all cores, 1 = serial); results are bit-identical for every value,
+    so the field is an execution knob, not a semantic one.  Additive in
+    schema v2: documents without the field parse with the serial default.
     """
 
     backend: str = "auto"
     compress: bool = True
     cache: bool = True
+    search_jobs: int = 1
 
     def __post_init__(self) -> None:
         from repro.engine.backends import normalize_backend_spec
@@ -96,6 +103,12 @@ class EngineConfig:
         object.__setattr__(self, "backend", normalize_backend_spec(self.backend))
         object.__setattr__(self, "compress", bool(self.compress))
         object.__setattr__(self, "cache", bool(self.cache))
+        jobs = self.search_jobs
+        if isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 0:
+            raise SpecError(
+                f"engine search_jobs must be an int >= 0 (0 = all cores), "
+                f"got {jobs!r}"
+            )
 
     @classmethod
     def from_policy(cls, cache: bool = True) -> "EngineConfig":
@@ -107,24 +120,34 @@ class EngineConfig:
         """
         from repro.engine.backends import select_backend
         from repro.engine.compress import compression_enabled
+        from repro.engine.signatures import select_search_jobs
 
         return cls(
-            backend=select_backend(), compress=compression_enabled(), cache=cache
+            backend=select_backend(),
+            compress=compression_enabled(),
+            cache=cache,
+            search_jobs=select_search_jobs(),
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"backend": self.backend, "compress": self.compress, "cache": self.cache}
+        return {
+            "backend": self.backend,
+            "compress": self.compress,
+            "cache": self.cache,
+            "search_jobs": self.search_jobs,
+        }
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "EngineConfig":
         data = _expect_mapping(payload, "engine config")
-        unknown = set(data) - {"backend", "compress", "cache"}
+        unknown = set(data) - {"backend", "compress", "cache", "search_jobs"}
         if unknown:
             raise SpecError(f"unknown engine config fields {sorted(unknown)}")
         return cls(
             backend=data.get("backend", "auto"),
             compress=data.get("compress", True),
             cache=data.get("cache", True),
+            search_jobs=data.get("search_jobs", 1),
         )
 
 

@@ -92,6 +92,7 @@ def maximal_identifiability_detailed(
     backend: BackendSpec = None,
     compress: Optional[bool] = None,
     universe: UniverseLike = None,
+    search_jobs: Optional[int] = None,
 ) -> IdentifiabilityResult:
     """Compute µ with full diagnostics.
 
@@ -118,6 +119,10 @@ def maximal_identifiability_detailed(
         or a :class:`~repro.failures.FailureUniverse` built over ``pathset``
         (the SRLG route).  Witnesses are frozensets of that universe's
         elements.
+    search_jobs:
+        Shard the subset search across workers (``None`` = the global policy,
+        0 = all cores, 1 = serial).  Bit-identical results for every value —
+        see :func:`repro.engine.search_jobs_policy`.
     """
     resolved = resolve_universe(pathset, universe)
     if nodes is None and (max_size is None or max_size >= 1) and resolved.elements:
@@ -134,7 +139,7 @@ def maximal_identifiability_detailed(
                 value=0, witness=witness, searched_up_to=1, exhausted_search=False
             )
     return pathset.engine(backend, compress, universe=resolved).identifiability(
-        max_size=max_size, nodes=nodes
+        max_size=max_size, nodes=nodes, search_jobs=search_jobs
     )
 
 
@@ -145,11 +150,12 @@ def maximal_identifiability(
     backend: BackendSpec = None,
     compress: Optional[bool] = None,
     universe: UniverseLike = None,
+    search_jobs: Optional[int] = None,
 ) -> int:
     """µ of the failure universe with respect to ``pathset`` (Definition 2.2,
     generalised from nodes to arbitrary failure elements)."""
     return maximal_identifiability_detailed(
-        pathset, max_size, nodes, backend, compress, universe
+        pathset, max_size, nodes, backend, compress, universe, search_jobs
     ).value
 
 
@@ -159,6 +165,7 @@ def is_k_identifiable(
     nodes: Optional[Iterable[Node]] = None,
     backend: BackendSpec = None,
     universe: UniverseLike = None,
+    search_jobs: Optional[int] = None,
 ) -> bool:
     """Definition 2.1: is the failure universe k-identifiable w.r.t.
     ``pathset``?
@@ -170,7 +177,8 @@ def is_k_identifiable(
     if k == 0:
         return True
     result = maximal_identifiability_detailed(
-        pathset, max_size=k, nodes=nodes, backend=backend, universe=universe
+        pathset, max_size=k, nodes=nodes, backend=backend, universe=universe,
+        search_jobs=search_jobs,
     )
     return result.value >= k
 
@@ -181,10 +189,12 @@ def find_confusable_pair(
     nodes: Optional[Iterable[Node]] = None,
     backend: BackendSpec = None,
     universe: UniverseLike = None,
+    search_jobs: Optional[int] = None,
 ) -> Optional[ConfusablePair]:
     """Smallest confusable pair (the witness of Section 2.0.1), if any."""
     return maximal_identifiability_detailed(
-        pathset, max_size, nodes, backend, universe=universe
+        pathset, max_size, nodes, backend, universe=universe,
+        search_jobs=search_jobs,
     ).witness
 
 
@@ -296,6 +306,7 @@ def separability_matrix(
     backend: BackendSpec = None,
     compress: Optional[bool] = None,
     universe: UniverseLike = None,
+    search_jobs: Optional[int] = None,
 ) -> Dict[Tuple[FrozenSet[Node], FrozenSet[Node]], bool]:
     """Explicit separation table for all pairs of element sets of a given size.
 
@@ -306,5 +317,5 @@ def separability_matrix(
     per subset by the engine, so each pair costs one key comparison.
     """
     return pathset.engine(backend, compress, universe=universe).separability_matrix(
-        size
+        size, search_jobs=search_jobs
     )

@@ -19,11 +19,12 @@ enumerated with incrementally-carried prefix unions instead of recomputing
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional, Set
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set
 
 from repro._typing import Node
 from repro.core.identifiability import UniverseLike, resolve_universe
 from repro.engine.backends import BackendSpec
+from repro.engine.signatures import resolve_search_jobs
 from repro.exceptions import IdentifiabilityError
 from repro.routing.paths import PathSet
 
@@ -35,21 +36,47 @@ def _local_search(
     backend: BackendSpec = None,
     compress: Optional[bool] = None,
     universe: UniverseLike = None,
+    search_jobs: Optional[int] = None,
 ) -> int:
     """Largest k ≤ cap with local k-identifiability (cap when none fails).
 
     Walks subsets in increasing size; a failure at size s is two subsets with
-    the same signature but different S-projections, giving ``s − 1``.
+    the same signature but different S-projections, giving ``s − 1``.  With
+    ``search_jobs > 1`` the per-size enumeration is sharded
+    (:meth:`SignatureEngine.iter_subset_digests`): subsets still arrive in
+    serial order, digest matches are exact-verified through
+    :meth:`SignatureEngine.union_key`, and the result is bit-identical.
     """
     engine = pathset.engine(backend, compress, universe=universe)
-    # signature key -> set of distinct S-projections observed so far.
-    projections: Dict[object, Set[FrozenSet[Node]]] = {}
-    for subset, signature_key in engine.iter_subset_signatures(range(0, cap + 1)):
+    if resolve_search_jobs(search_jobs) <= 1:
+        # signature key -> set of distinct S-projections observed so far.
+        projections: Dict[object, Set[FrozenSet[Node]]] = {}
+        for subset, signature_key in engine.iter_subset_signatures(
+            range(0, cap + 1)
+        ):
+            projection = frozenset(subset) & scope_set
+            seen = projections.setdefault(signature_key, set())
+            if any(other != projection for other in seen):
+                return len(subset) - 1
+            seen.add(projection)
+        return cap
+    # digest -> [subset, projection, exact key or None (computed lazily)].
+    buckets: Dict[int, List[List[Any]]] = {}
+    for subset, digest in engine.iter_subset_digests(
+        range(0, cap + 1), search_jobs=search_jobs
+    ):
         projection = frozenset(subset) & scope_set
-        seen = projections.setdefault(signature_key, set())
-        if any(other != projection for other in seen):
-            return len(subset) - 1
-        seen.add(projection)
+        bucket = buckets.get(digest)
+        if bucket is None:
+            buckets[digest] = [[subset, projection, None]]
+            continue
+        exact = engine.union_key(subset)
+        for item in bucket:
+            if item[2] is None:
+                item[2] = engine.union_key(item[0])
+            if item[2] == exact and item[1] != projection:
+                return len(subset) - 1
+        bucket.append([subset, projection, exact])
     return cap
 
 
@@ -60,6 +87,7 @@ def is_locally_k_identifiable(
     backend: BackendSpec = None,
     compress: Optional[bool] = None,
     universe: UniverseLike = None,
+    search_jobs: Optional[int] = None,
 ) -> bool:
     """Local k-identifiability w.r.t. the scope ``S``.
 
@@ -78,7 +106,11 @@ def is_locally_k_identifiable(
         )
     if k == 0:
         return True
-    return _local_search(pathset, scope_set, k, backend, compress, resolved) >= k
+    return (
+        _local_search(pathset, scope_set, k, backend, compress, resolved,
+                      search_jobs)
+        >= k
+    )
 
 
 def local_maximal_identifiability(
@@ -88,6 +120,7 @@ def local_maximal_identifiability(
     backend: BackendSpec = None,
     compress: Optional[bool] = None,
     universe: UniverseLike = None,
+    search_jobs: Optional[int] = None,
 ) -> int:
     """The largest k such that the universe is locally k-identifiable w.r.t. S.
 
@@ -99,7 +132,9 @@ def local_maximal_identifiability(
     resolved = resolve_universe(pathset, universe)
     n = len(resolved.elements)
     cap = n if max_size is None else max(0, min(max_size, n))
-    return _local_search(pathset, scope_set, cap, backend, compress, resolved)
+    return _local_search(
+        pathset, scope_set, cap, backend, compress, resolved, search_jobs
+    )
 
 
 def local_identifiability_per_node(
@@ -108,6 +143,7 @@ def local_identifiability_per_node(
     backend: BackendSpec = None,
     compress: Optional[bool] = None,
     universe: UniverseLike = None,
+    search_jobs: Optional[int] = None,
 ) -> Dict[Node, int]:
     """Local maximal identifiability of every singleton scope ``S = {v}``.
 
@@ -120,7 +156,7 @@ def local_identifiability_per_node(
     return {
         element: local_maximal_identifiability(
             pathset, {element}, max_size=max_size, backend=backend,
-            compress=compress, universe=resolved,
+            compress=compress, universe=resolved, search_jobs=search_jobs,
         )
         for element in resolved.elements
     }

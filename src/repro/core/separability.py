@@ -151,6 +151,7 @@ def inseparable_pairs_of_size(
     size: int,
     compress: Optional[bool] = None,
     universe: UniverseLike = None,
+    search_jobs: Optional[int] = None,
 ) -> Tuple[Tuple[FrozenSet[Node], FrozenSet[Node]], ...]:
     """All unordered pairs of distinct element sets of exactly ``size``
     elements with identical path sets.  Exponential; meant for diagnostics on
@@ -160,4 +161,6 @@ def inseparable_pairs_of_size(
     subset's signature incrementally instead of re-deriving ``P(U)`` per
     subset.  ``universe`` selects the failure universe (nodes by default).
     """
-    return pathset.engine(compress=compress, universe=universe).inseparable_pairs(size)
+    return pathset.engine(compress=compress, universe=universe).inseparable_pairs(
+        size, search_jobs=search_jobs
+    )

@@ -38,6 +38,7 @@ def truncated_identifiability_detailed(
     backend: BackendSpec = None,
     compress: Optional[bool] = None,
     universe: UniverseLike = None,
+    search_jobs: Optional[int] = None,
 ) -> IdentifiabilityResult:
     """µ_α with diagnostics: the engine search capped at subset size α.
 
@@ -50,7 +51,7 @@ def truncated_identifiability_detailed(
         raise IdentifiabilityError(f"alpha must be >= 1, got {alpha}")
     return maximal_identifiability_detailed(
         pathset, max_size=alpha, backend=backend, compress=compress,
-        universe=universe,
+        universe=universe, search_jobs=search_jobs,
     )
 
 
@@ -60,6 +61,7 @@ def truncated_identifiability(
     backend: BackendSpec = None,
     compress: Optional[bool] = None,
     universe: UniverseLike = None,
+    search_jobs: Optional[int] = None,
 ) -> int:
     """µ_α(G): the truncated maximal identifiability.
 
@@ -68,7 +70,7 @@ def truncated_identifiability(
     values).
     """
     return truncated_identifiability_detailed(
-        pathset, alpha, backend, compress, universe
+        pathset, alpha, backend, compress, universe, search_jobs
     ).value
 
 

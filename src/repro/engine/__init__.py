@@ -78,7 +78,15 @@ from repro.engine.cache import (
 from repro.engine.signatures import (
     ConfusablePair,
     IdentifiabilityResult,
+    SearchCounters,
+    SearchStats,
     SignatureEngine,
+    record_external_search,
+    reset_search_counters,
+    resolve_search_jobs,
+    search_counters,
+    search_jobs_policy,
+    select_search_jobs,
 )
 
 __all__ = [
@@ -86,6 +94,14 @@ __all__ = [
     "SignatureEngine",
     "ConfusablePair",
     "IdentifiabilityResult",
+    "SearchStats",
+    "SearchCounters",
+    "search_counters",
+    "reset_search_counters",
+    "record_external_search",
+    "resolve_search_jobs",
+    "search_jobs_policy",
+    "select_search_jobs",
     # backends
     "SignatureBackend",
     "PythonBackend",

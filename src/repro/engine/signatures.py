@@ -41,7 +41,9 @@ are identical — but obtains each subset's signature differently:
    universe, and the subset search runs over provably distinct signatures.
 2. **Incremental DFS.**  Subsets of each size are enumerated by a DFS that
    carries the union of the chosen prefix, so extending a subset by one node
-   costs one backend union instead of ``|U|`` dict lookups and ORs.
+   costs one backend union instead of ``|U|`` dict lookups and ORs.  The
+   enumeration lives in one shared generator, :func:`_combination_frontier`,
+   used by the serial sweep, the census queries and the sharded workers.
 3. **Subset-dominance pruning.**  When the last node ``u`` of a candidate
    ``U`` satisfies ``P(u) ⊆ P(U∖{u})``, then ``P(U) = P(U∖{u})`` and the
    collision is certified immediately — no hashing, no partner lookup.
@@ -51,12 +53,54 @@ are identical — but obtains each subset's signature differently:
 4. **Signature table.**  Remaining candidates are checked against a
    ``key -> subset`` table spanning all sizes searched so far, exactly like
    the reference implementation.
+
+Sharded search
+--------------
+
+The size-``s`` frontier decomposes cleanly by leading element: the subsets
+whose smallest index falls in ``[lo, hi)`` form a contiguous lexicographic
+block, and the blocks concatenate, in first-index order, to exactly the
+serial enumeration order.  With ``search_jobs > 1`` the engine partitions the
+first indices into balanced blocks (weighted by ``C(n-1-i, s-1)``, the number
+of subsets led by index ``i``) and fans the blocks out over a ``fork``
+``ProcessPoolExecutor`` (or a thread pool where ``fork`` is unavailable).
+
+Collision detection stays sound across shards.  Each worker receives the
+*digest history* — ``hash(key)`` plus index tuple for every subset the search
+has certified collision-free at smaller sizes — seeds it with the locally
+derivable size-0/1 keys, and scans its block with the same dominance-then-
+table branch order as the serial sweep, exact-verifying any digest match by
+recomputing the candidate's union key.  A worker therefore only ever stops
+at a position where the serial sweep would also have stopped (its view of
+the table is a subset of the serial table at that position).  The parent
+then merges deterministically: worker hits plus cross-shard duplicates among
+the surviving entries (digest-grouped, exact-verified, partnered with their
+earliest exact-equal occurrence) are candidate collisions, and the
+lexicographically smallest candidate subset is the serial sweep's first
+collision — same µ, same witness pair, same ``searched_up_to`` and
+``exhausted_search``, bit-identical for every ``search_jobs``.  Sizes whose
+frontier is below :data:`MIN_SHARDED_FRONTIER` are scanned inline in the
+parent through the same code path, so small searches never pay pool setup.
+
+There is no cross-shard early stop within a size: shards past the first
+collision finish their block (or stop at a later local hit), so the
+:class:`SearchStats` counters — but never the result — may differ from the
+serial sweep's at the terminal size.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import contextlib
+import itertools
+import math
+import multiprocessing
+import os
+import threading
+import warnings
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
 from typing import (
+    Any,
     Dict,
     FrozenSet,
     Iterable,
@@ -80,6 +124,463 @@ from repro.engine.compress import (
     compression_enabled,
 )
 from repro.exceptions import IdentifiabilityError
+
+# -- the search_jobs policy ---------------------------------------------------
+
+#: Raw process-global ``search_jobs`` policy (0 = all cores, resolved lazily).
+_search_jobs = 1
+
+
+def _validate_search_jobs(jobs: Any) -> int:
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise IdentifiabilityError(
+            f"search_jobs must be an int >= 0 (0 = all cores), got {jobs!r}"
+        )
+    if jobs < 0:
+        raise IdentifiabilityError(
+            f"search_jobs must be >= 0 (0 = all cores), got {jobs}"
+        )
+    return jobs
+
+
+def _install_search_jobs(jobs: int) -> int:
+    """Install the search-sharding policy without a deprecation warning
+    (internal setter for :func:`search_jobs_policy` and the pool workers)."""
+    global _search_jobs
+    _search_jobs = _validate_search_jobs(jobs)
+    return _search_jobs
+
+
+def select_search_jobs(jobs: Optional[int] = None) -> int:
+    """Get or set the global intra-search sharding policy.
+
+    With no argument, returns the current policy (no warning); with an int,
+    installs it for every search run without an explicit ``search_jobs=``
+    argument and returns the new value.  ``1`` is the serial default, ``0``
+    means all cores, ``N`` a pool of N shard workers.  The counterpart of
+    :func:`repro.engine.compress.select_compression` for the sharding axis.
+
+    .. deprecated::
+        Setting the global policy is deprecated in favour of the spec-scoped
+        engine configuration — pass ``EngineConfig(search_jobs=...)`` into a
+        :class:`repro.Scenario` (or the ``search_jobs=`` parameter of the
+        pathset-level functions).  Behaviour is unchanged while it lives.
+    """
+    if jobs is None:
+        return _search_jobs
+    warnings.warn(
+        "select_search_jobs(jobs) mutates process-global state; prefer the "
+        "spec-scoped repro.EngineConfig(search_jobs=...) on a repro.Scenario, "
+        "or the scoped search_jobs_policy() context manager",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _install_search_jobs(jobs)
+
+
+@contextlib.contextmanager
+def search_jobs_policy(jobs: Optional[int] = None) -> Iterator[int]:
+    """Scope a search-sharding policy change to a ``with`` block.
+
+    ``None`` leaves the policy untouched (the block still restores whatever
+    was in effect on entry, so nesting is safe)::
+
+        with search_jobs_policy(4):
+            ...  # every search here without an explicit knob uses 4 shards
+    """
+    previous = _search_jobs
+    try:
+        if jobs is not None:
+            _install_search_jobs(jobs)
+        yield _search_jobs
+    finally:
+        _install_search_jobs(previous)
+
+
+def resolve_search_jobs(jobs: Optional[int] = None) -> int:
+    """Normalise a ``search_jobs`` value: ``None`` = global policy,
+    ``0`` = all cores, ``N`` = N shard workers (1 = serial)."""
+    if jobs is None:
+        jobs = _search_jobs
+    jobs = _validate_search_jobs(jobs)
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+# -- search observability -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SearchStats:
+    """Diagnostic counters for one subset search.
+
+    Only the *result* of a search is bit-identical across ``search_jobs``
+    values; these counters describe the work actually performed, which for a
+    sharded run depends on the shard partition (shards past the first
+    collision finish their blocks).
+    """
+
+    jobs: int
+    subsets_enumerated: int
+    dominance_prunes: int
+    table_entries: int
+    shard_subsets: Tuple[int, ...] = ()
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "subsets_enumerated": self.subsets_enumerated,
+            "dominance_prunes": self.dominance_prunes,
+            "table_entries": self.table_entries,
+            "shard_subsets": list(self.shard_subsets),
+        }
+
+
+@dataclass(frozen=True)
+class SearchCounters:
+    """Process-global accumulated search counters (``--search-stats``)."""
+
+    searches: int
+    sharded_searches: int
+    subsets_enumerated: int
+    dominance_prunes: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "searches": self.searches,
+            "sharded_searches": self.sharded_searches,
+            "subsets_enumerated": self.subsets_enumerated,
+            "dominance_prunes": self.dominance_prunes,
+        }
+
+
+_COUNTERS: Dict[str, int] = {
+    "searches": 0,
+    "sharded_searches": 0,
+    "subsets_enumerated": 0,
+    "dominance_prunes": 0,
+}
+
+
+def search_counters() -> SearchCounters:
+    """Snapshot of the process-global search counters."""
+    return SearchCounters(**_COUNTERS)
+
+
+def reset_search_counters() -> None:
+    """Zero the process-global search counters (pool-worker initialisation)."""
+    for name in _COUNTERS:
+        _COUNTERS[name] = 0
+
+
+def record_external_search(
+    searches: int = 0,
+    sharded_searches: int = 0,
+    subsets_enumerated: int = 0,
+    dominance_prunes: int = 0,
+) -> None:
+    """Fold counters reported by worker processes into this process's totals
+    (the search-counter analogue of ``PathSetCache.record_external``)."""
+    _COUNTERS["searches"] += searches
+    _COUNTERS["sharded_searches"] += sharded_searches
+    _COUNTERS["subsets_enumerated"] += subsets_enumerated
+    _COUNTERS["dominance_prunes"] += dominance_prunes
+
+
+def _record_search(stats: SearchStats, sharded: bool) -> None:
+    _COUNTERS["searches"] += 1
+    if sharded:
+        _COUNTERS["sharded_searches"] += 1
+    _COUNTERS["subsets_enumerated"] += stats.subsets_enumerated
+    _COUNTERS["dominance_prunes"] += stats.dominance_prunes
+
+
+# -- the shared combination frontier ------------------------------------------
+
+
+def _combination_frontier(
+    signatures: Sequence[Any],
+    backend: SignatureBackend,
+    size: int,
+    first_lo: int = 0,
+    first_hi: Optional[int] = None,
+) -> Iterator[Tuple[List[int], Any, Any]]:
+    """Enumerate the size-``size`` subsets whose smallest index lies in
+    ``[first_lo, first_hi)``, carrying incremental prefix unions.
+
+    Yields ``(indices, rest, last_signature)`` where ``indices`` is the
+    **live** index list (snapshot before the next advance), ``rest`` is the
+    union of the first ``size - 1`` signatures and ``last_signature`` the
+    last element's row — exactly the operands of the dominance test and of
+    the subset's full union ``union(rest, last_signature)``.  Subsets appear
+    in lexicographic order; blocks over consecutive first-index ranges
+    concatenate to the full lexicographic enumeration, which is what makes
+    the sharded sweep order-equivalent to the serial one.
+    """
+    n = len(signatures)
+    if first_hi is None or first_hi > n - size + 1:
+        first_hi = n - size + 1
+    if size < 1 or first_lo >= first_hi:
+        return
+    union, empty = backend.union, backend.empty
+    indices = list(range(first_lo, first_lo + size))
+    # prefix[d] is the union of the signatures at indices[:d].
+    prefix: List[Any] = [empty()] * size
+    for depth in range(size - 1):
+        prefix[depth + 1] = union(prefix[depth], signatures[indices[depth]])
+    while True:
+        yield indices, prefix[size - 1], signatures[indices[size - 1]]
+        # Advance to the next combination, recomputing only the prefix
+        # unions right of the bumped position.
+        position = size - 1
+        while position >= 0 and indices[position] == position + n - size:
+            position -= 1
+        if position < 0 or (position == 0 and indices[0] + 1 >= first_hi):
+            return
+        indices[position] += 1
+        for depth in range(position + 1, size):
+            indices[depth] = indices[depth - 1] + 1
+        for depth in range(position, size - 1):
+            prefix[depth + 1] = union(prefix[depth], signatures[indices[depth]])
+
+
+def _first_index_blocks(n: int, size: int, jobs: int) -> List[Tuple[int, int]]:
+    """Partition the first indices ``[0, n - size + 1)`` into at most ``jobs``
+    contiguous blocks of near-equal subset count (index ``i`` leads
+    ``C(n-1-i, size-1)`` subsets)."""
+    n_firsts = n - size + 1
+    jobs = min(jobs, n_firsts)
+    weights = [math.comb(n - 1 - i, size - 1) for i in range(n_firsts)]
+    remaining = sum(weights)
+    blocks: List[Tuple[int, int]] = []
+    lo, acc = 0, 0
+    for i, weight in enumerate(weights):
+        acc += weight
+        blocks_left = jobs - len(blocks)
+        if (
+            blocks_left > 1
+            and n_firsts - (i + 1) >= blocks_left - 1
+            and acc * blocks_left >= remaining
+        ):
+            blocks.append((lo, i + 1))
+            remaining -= acc
+            lo, acc = i + 1, 0
+    blocks.append((lo, n_firsts))
+    return blocks
+
+
+def _lex_rank(indices: Sequence[int], n: int, size: int) -> int:
+    """0-based rank of a combination in the lexicographic enumeration."""
+    rank, prev = 0, -1
+    for depth, index in enumerate(indices):
+        for j in range(prev + 1, index):
+            rank += math.comb(n - 1 - j, size - 1 - depth)
+        prev = index
+    return rank
+
+
+# -- shard-worker plumbing ----------------------------------------------------
+
+#: Frontier size below which a sharded search scans inline in the parent.
+MIN_SHARDED_FRONTIER = 1024
+
+#: Test hook: force the shard executor kind ("process" / "thread" / None).
+_FORCE_EXECUTOR: Optional[str] = None
+
+#: ``(token, signatures, backend)`` — installed by the parent before the
+#: shard executor is created, inherited by fork workers / shared by threads.
+_SHARD_CONTEXT: Optional[Tuple[int, List[Any], SignatureBackend]] = None
+_SHARD_TABLES: Dict[Tuple[int, int], Dict[int, List[Tuple[int, ...]]]] = {}
+_SHARD_LOCK = threading.Lock()
+#: Serialises sharded searches per process (one shard context at a time).
+_SHARD_SEARCH_LOCK = threading.Lock()
+_SHARD_TOKENS = itertools.count(1)
+
+
+def _install_shard_context(
+    token: int, signatures: List[Any], backend: SignatureBackend
+) -> None:
+    global _SHARD_CONTEXT
+    _SHARD_CONTEXT = (token, signatures, backend)
+
+
+def _clear_shard_context() -> None:
+    global _SHARD_CONTEXT
+    _SHARD_CONTEXT = None
+    with _SHARD_LOCK:
+        _SHARD_TABLES.clear()
+
+
+def _shard_context(token: int) -> Tuple[List[Any], SignatureBackend]:
+    context = _SHARD_CONTEXT
+    if context is None or context[0] != token:
+        raise IdentifiabilityError(
+            "sharded-search context is not installed in this worker"
+        )
+    return context[1], context[2]
+
+
+def _make_shard_executor(jobs: int) -> Executor:
+    """A fork process pool when possible, else threads.
+
+    ``fork`` workers inherit the interned signatures (and the hash seed the
+    digests depend on) zero-copy; threads share them outright.  ``spawn`` is
+    never used — it would re-randomise the hash seed under the digests.
+    """
+    kind = _FORCE_EXECUTOR
+    if kind is None:
+        can_fork = (
+            "fork" in multiprocessing.get_all_start_methods()
+            and not multiprocessing.current_process().daemon
+        )
+        kind = "process" if can_fork else "thread"
+    if kind == "process":
+        return ProcessPoolExecutor(
+            max_workers=jobs, mp_context=multiprocessing.get_context("fork")
+        )
+    return ThreadPoolExecutor(max_workers=jobs)
+
+
+def _subset_key(
+    signatures: Sequence[Any], backend: SignatureBackend, indices: Sequence[int]
+) -> Any:
+    """Recompute the exact union key of a subset (digest verification)."""
+    union = backend.union
+    signature = backend.empty()
+    for index in indices:
+        signature = union(signature, signatures[index])
+    return backend.key(signature)
+
+
+def _shard_table(
+    token: int, size: int, history: Tuple[Tuple[int, Tuple[int, ...]], ...]
+) -> Dict[int, List[Tuple[int, ...]]]:
+    """The digest → [subset, ...] table a shard probes: locally derived
+    size-0/1 seeds first, then the shipped smaller-size history, in serial
+    order.  Cached per ``(token, size)`` so threads (and a process worker
+    handling several blocks) build it once."""
+    with _SHARD_LOCK:
+        cached = _SHARD_TABLES.get((token, size))
+        if cached is not None:
+            return cached
+        signatures, backend = _shard_context(token)
+        key = backend.key
+        table: Dict[int, List[Tuple[int, ...]]] = {}
+        table.setdefault(hash(key(backend.empty())), []).append(())
+        for index in range(len(signatures)):
+            table.setdefault(hash(key(signatures[index])), []).append((index,))
+        for digest, indices in history:
+            table.setdefault(digest, []).append(indices)
+        _SHARD_TABLES.clear()  # at most one (token, size) table is ever live
+        _SHARD_TABLES[(token, size)] = table
+        return table
+
+
+def _scan_shard(
+    task: Tuple[int, int, int, int, Tuple[Tuple[int, Tuple[int, ...]], ...]]
+) -> Dict[str, Any]:
+    """Scan one first-index block of one size — the shard worker body.
+
+    Mirrors the serial sweep branch-for-branch (dominance first, then the
+    table) over a view of the table that is a *subset* of the serial one, so
+    a hit here is always a genuine serial collision position.  Digest matches
+    are exact-verified by recomputing the candidate's union key; bucket order
+    (seeds, history, then local entries) is serial order, so the first exact
+    match is the earliest visible occurrence.
+    """
+    token, size, first_lo, first_hi, history = task
+    signatures, backend = _shard_context(token)
+    table = _shard_table(token, size, history)
+    union, key, is_subset = backend.union, backend.key, backend.is_subset
+    local: Dict[int, List[Tuple[Tuple[int, ...], Any]]] = {}
+    entries: List[Tuple[int, Tuple[int, ...]]] = []
+    scanned = 0
+    hit: Optional[Tuple[str, Tuple[int, ...], Optional[Tuple[int, ...]]]] = None
+    for indices, rest, last_signature in _combination_frontier(
+        signatures, backend, size, first_lo, first_hi
+    ):
+        scanned += 1
+        if is_subset(last_signature, rest):
+            hit = ("dominance", tuple(indices), None)
+            break
+        exact = key(union(rest, last_signature))
+        digest = hash(exact)
+        partner: Optional[Tuple[int, ...]] = None
+        for candidate in table.get(digest, ()):
+            if _subset_key(signatures, backend, candidate) == exact:
+                partner = candidate
+                break
+        if partner is None:
+            for candidate, candidate_key in local.get(digest, ()):
+                if candidate_key == exact:
+                    partner = candidate
+                    break
+        if partner is not None:
+            hit = ("table", tuple(indices), partner)
+            break
+        subset = tuple(indices)
+        entries.append((digest, subset))
+        local.setdefault(digest, []).append((subset, exact))
+    return {"scanned": scanned, "entries": entries, "hit": hit}
+
+
+def _census_shard(task: Tuple[int, int, int, int]) -> List[Tuple[int, Tuple[int, ...]]]:
+    """Digest census of one first-index block (separability/local queries):
+    no dominance, no early stop — every subset's ``(digest, indices)``."""
+    token, size, first_lo, first_hi = task
+    signatures, backend = _shard_context(token)
+    union, key = backend.union, backend.key
+    out: List[Tuple[int, Tuple[int, ...]]] = []
+    for indices, rest, last_signature in _combination_frontier(
+        signatures, backend, size, first_lo, first_hi
+    ):
+        out.append((hash(key(union(rest, last_signature))), tuple(indices)))
+    return out
+
+
+def _merge_shard_results(
+    results: Sequence[Dict[str, Any]],
+    signatures: Sequence[Any],
+    backend: SignatureBackend,
+) -> Optional[Tuple[str, Tuple[int, ...], Optional[Tuple[int, ...]]]]:
+    """Deterministic cross-shard merge of one size's scan results.
+
+    Candidates are the worker hits plus every cross-shard duplicate among the
+    surviving entries (digest-grouped, exact-verified, partnered with the
+    earliest exact-equal occurrence).  Every candidate position is a genuine
+    serial collision position, and every serial position before the first
+    one was scanned and shipped by its shard, so the lexicographically
+    smallest candidate *is* the serial sweep's first collision.
+    """
+    candidates: List[Tuple[Tuple[int, ...], str, Optional[Tuple[int, ...]]]] = []
+    for result in results:
+        hit = result["hit"]
+        if hit is not None:
+            kind, indices, partner = hit
+            candidates.append((indices, kind, partner))
+    buckets: Dict[int, List[Tuple[int, ...]]] = {}
+    for result in results:
+        for digest, indices in result["entries"]:
+            buckets.setdefault(digest, []).append(indices)
+    for members in buckets.values():
+        if len(members) < 2:
+            continue
+        first_of: Dict[Any, Tuple[int, ...]] = {}
+        for indices in members:
+            exact = _subset_key(signatures, backend, indices)
+            earlier = first_of.get(exact)
+            if earlier is None:
+                first_of[exact] = indices
+            else:
+                candidates.append((indices, "table", earlier))
+    if not candidates:
+        return None
+    indices, kind, partner = min(candidates, key=lambda candidate: candidate[0])
+    return kind, indices, partner
+
+
+# -- witnesses and results ----------------------------------------------------
 
 
 @dataclass(frozen=True)
@@ -119,12 +620,18 @@ class IdentifiabilityResult:
         The largest subset size whose subsets were fully enumerated.
     exhausted_search:
         True when the search hit its size cap without finding a collision.
+    stats:
+        :class:`SearchStats` diagnostics for the search that produced this
+        result.  Excluded from equality/repr: two results are the same
+        finding even when the work that produced them differed (e.g. serial
+        vs sharded).
     """
 
     value: int
     witness: Optional[ConfusablePair]
     searched_up_to: int
     exhausted_search: bool
+    stats: Optional[SearchStats] = field(default=None, compare=False, repr=False)
 
     def __int__(self) -> int:
         return self.value
@@ -350,31 +857,75 @@ class SignatureEngine:
                 continue
             if size > n:
                 continue
-            indices = list(range(size))
-            # prefix[d] is the union of the signatures at indices[:d].
-            prefix = [backend.empty()] * (size + 1)
-            for depth in range(size):
-                prefix[depth + 1] = union(prefix[depth], signatures[indices[depth]])
-            while True:
-                yield tuple(universe[i] for i in indices), key(prefix[size])
-                # Advance to the next combination, recomputing only the
-                # prefix unions right of the bumped position.
-                position = size - 1
-                while position >= 0 and indices[position] == position + n - size:
-                    position -= 1
-                if position < 0:
-                    break
-                indices[position] += 1
-                for depth in range(position + 1, size):
-                    indices[depth] = indices[depth - 1] + 1
-                for depth in range(position, size):
-                    prefix[depth + 1] = union(prefix[depth], signatures[indices[depth]])
+            for indices, rest, last_signature in _combination_frontier(
+                signatures, backend, size
+            ):
+                yield (
+                    tuple(universe[i] for i in indices),
+                    key(union(rest, last_signature)),
+                )
+
+    def iter_subset_digests(
+        self,
+        sizes: Iterable[int],
+        nodes: Optional[Iterable[Node]] = None,
+        search_jobs: Optional[int] = None,
+    ) -> Iterator[Tuple[Tuple[Node, ...], int]]:
+        """Like :meth:`iter_subset_signatures` but yielding ``hash(key)``
+        digests, sharding each large size across ``search_jobs`` workers.
+
+        Subsets still appear in exact serial (lexicographic) order.  Equal
+        keys always share a digest; distinct keys may rarely collide, so
+        digest-equal subsets must be exact-verified (e.g. via
+        :meth:`union_key`) before being treated as confusable.  This is the
+        substrate of the sharded local-identifiability sweep.
+        """
+        jobs = resolve_search_jobs(search_jobs)
+        universe = self._resolve_universe(nodes)
+        signatures = [self._signatures[node] for node in universe]
+        backend = self.backend
+        union, key = backend.union, backend.key
+        n = len(universe)
+        for size in sizes:
+            if size < 0:
+                raise IdentifiabilityError(f"subset size must be >= 0, got {size}")
+            if size == 0:
+                yield (), hash(key(backend.empty()))
+                continue
+            if size > n:
+                continue
+            if jobs > 1 and math.comb(n, size) >= MIN_SHARDED_FRONTIER:
+                token = next(_SHARD_TOKENS)
+                with _SHARD_SEARCH_LOCK:
+                    _install_shard_context(token, signatures, backend)
+                    executor = _make_shard_executor(jobs)
+                    try:
+                        tasks = [
+                            (token, size, lo, hi)
+                            for lo, hi in _first_index_blocks(n, size, jobs)
+                        ]
+                        chunks = list(executor.map(_census_shard, tasks))
+                    finally:
+                        _clear_shard_context()
+                        executor.shutdown()
+                for chunk in chunks:
+                    for digest, indices in chunk:
+                        yield tuple(universe[i] for i in indices), digest
+            else:
+                for indices, rest, last_signature in _combination_frontier(
+                    signatures, backend, size
+                ):
+                    yield (
+                        tuple(universe[i] for i in indices),
+                        hash(key(union(rest, last_signature))),
+                    )
 
     # -- the exact µ search --------------------------------------------------
     def identifiability(
         self,
         max_size: Optional[int] = None,
         nodes: Optional[Iterable[Node]] = None,
+        search_jobs: Optional[int] = None,
     ) -> IdentifiabilityResult:
         """Exact maximal identifiability of the (possibly restricted) universe.
 
@@ -382,46 +933,79 @@ class SignatureEngine:
         size ``s`` at which two subsets of size ≤ s share a signature gives
         ``µ = s − 1``; searching up to the cap without a collision gives the
         exhausted result.  See the module docstring for the fast paths.
+
+        ``search_jobs`` shards the per-size frontier across workers (``None``
+        = the global policy, 0 = all cores); the result is **bit-identical**
+        for every value — only wall-clock time and :attr:`.stats` change.
         """
         universe = self._resolve_universe(nodes)
         if not universe:
             raise IdentifiabilityError("the element universe is empty")
+        if max_size is not None and max_size < 0:
+            raise IdentifiabilityError(f"max_size must be >= 0, got {max_size}")
+        jobs = resolve_search_jobs(search_jobs)
         n = len(universe)
-        cap = n if max_size is None else max(0, min(max_size, n))
+        cap = n if max_size is None else min(max_size, n)
         if cap == 0:
-            return IdentifiabilityResult(
-                value=0, witness=None, searched_up_to=0, exhausted_search=True
+            result = IdentifiabilityResult(
+                value=0,
+                witness=None,
+                searched_up_to=0,
+                exhausted_search=True,
+                stats=SearchStats(jobs, 0, 0, 0),
             )
+            _record_search(result.stats, sharded=False)
+            return result
 
         # Size-0/size-1 fast path over the equivalence classes.
         witness = self._confusable_singletons(universe)
         if witness is not None:
-            return IdentifiabilityResult(
-                value=0, witness=witness, searched_up_to=1, exhausted_search=False
+            result = IdentifiabilityResult(
+                value=0,
+                witness=witness,
+                searched_up_to=1,
+                exhausted_search=False,
+                stats=SearchStats(jobs, n + 1, 0, n + 1),
             )
+            _record_search(result.stats, sharded=False)
+            return result
         if cap == 1:
-            return IdentifiabilityResult(
-                value=1, witness=None, searched_up_to=1, exhausted_search=True
+            result = IdentifiabilityResult(
+                value=1,
+                witness=None,
+                searched_up_to=1,
+                exhausted_search=True,
+                stats=SearchStats(jobs, n + 1, 0, n + 1),
             )
+            _record_search(result.stats, sharded=False)
+            return result
 
+        if jobs > 1:
+            result = self._identifiability_sharded(universe, cap, jobs)
+        else:
+            result = self._identifiability_serial(universe, cap)
+        _record_search(result.stats, sharded=jobs > 1)
+        return result
+
+    def _identifiability_serial(
+        self, universe: Tuple[Node, ...], cap: int
+    ) -> IdentifiabilityResult:
+        """The serial sweep over sizes 2..cap (sizes 0/1 already excluded)."""
         backend = self.backend
         union, key, is_subset = backend.union, backend.key, backend.is_subset
         signatures = [self._signatures[node] for node in universe]
+        n = len(universe)
         # Signature table over all subsets enumerated so far.  The singleton
         # pass found no collision, so seeding sizes 0 and 1 cannot collide.
         seen: Dict[object, Tuple[Node, ...]] = {key(backend.empty()): ()}
         for index, node in enumerate(universe):
             seen[key(signatures[index])] = (node,)
-
+        enumerated = n + 1  # the ∅ + singleton subsets the fast path covered
         for size in range(2, cap + 1):
-            indices = list(range(size))
-            prefix = [backend.empty()] * size
-            for depth in range(size - 1):
-                prefix[depth + 1] = union(prefix[depth], signatures[indices[depth]])
-            while True:
+            for indices, rest, last_signature in _combination_frontier(
+                signatures, backend, size
+            ):
                 last = indices[size - 1]
-                rest = prefix[size - 1]
-                last_signature = signatures[last]
                 if is_subset(last_signature, rest):
                     # Dominance: P(last) ⊆ P(U∖{last}), so U collides with
                     # U∖{last} — certified without touching the table.
@@ -433,6 +1017,12 @@ class SignatureEngine:
                         ),
                         searched_up_to=size,
                         exhausted_search=False,
+                        stats=SearchStats(
+                            1,
+                            enumerated + _lex_rank(indices, n, size) + 1,
+                            1,
+                            len(seen),
+                        ),
                     )
                 signature_key = key(union(rest, last_signature))
                 partner = seen.get(signature_key)
@@ -443,56 +1033,213 @@ class SignatureEngine:
                         witness=ConfusablePair(frozenset(partner), frozenset(subset)),
                         searched_up_to=size,
                         exhausted_search=False,
+                        stats=SearchStats(
+                            1,
+                            enumerated + _lex_rank(indices, n, size) + 1,
+                            0,
+                            len(seen),
+                        ),
                     )
                 seen[signature_key] = tuple(universe[i] for i in indices)
-                position = size - 1
-                while position >= 0 and indices[position] == position + n - size:
-                    position -= 1
-                if position < 0:
-                    break
-                indices[position] += 1
-                for depth in range(position + 1, size):
-                    indices[depth] = indices[depth - 1] + 1
-                for depth in range(position, size - 1):
-                    prefix[depth + 1] = union(prefix[depth], signatures[indices[depth]])
+            enumerated += math.comb(n, size)
         return IdentifiabilityResult(
-            value=cap, witness=None, searched_up_to=cap, exhausted_search=True
+            value=cap,
+            witness=None,
+            searched_up_to=cap,
+            exhausted_search=True,
+            stats=SearchStats(1, enumerated, 0, len(seen)),
         )
+
+    def _identifiability_sharded(
+        self, universe: Tuple[Node, ...], cap: int, jobs: int
+    ) -> IdentifiabilityResult:
+        """The sharded sweep: bit-identical to :meth:`_identifiability_serial`
+        (see the module docstring for the merge argument)."""
+        backend = self.backend
+        signatures = [self._signatures[node] for node in universe]
+        n = len(universe)
+        token = next(_SHARD_TOKENS)
+        history: List[Tuple[int, Tuple[int, ...]]] = []
+        enumerated = n + 1
+        dominance = 0
+        shard_subsets: Tuple[int, ...] = ()
+        executor: Optional[Executor] = None
+        with _SHARD_SEARCH_LOCK:
+            _install_shard_context(token, signatures, backend)
+            try:
+                for size in range(2, cap + 1):
+                    if math.comb(n, size) >= MIN_SHARDED_FRONTIER:
+                        blocks = _first_index_blocks(n, size, jobs)
+                    else:
+                        blocks = [(0, n - size + 1)]
+                    history_tuple = tuple(history)
+                    tasks = [
+                        (token, size, lo, hi, history_tuple) for lo, hi in blocks
+                    ]
+                    if len(tasks) > 1:
+                        if executor is None:
+                            executor = _make_shard_executor(jobs)
+                        results = list(executor.map(_scan_shard, tasks))
+                    else:
+                        results = [_scan_shard(tasks[0])]
+                    scanned = tuple(result["scanned"] for result in results)
+                    enumerated += sum(scanned)
+                    shard_subsets = scanned
+                    dominance += sum(
+                        1
+                        for result in results
+                        if result["hit"] is not None
+                        and result["hit"][0] == "dominance"
+                    )
+                    candidate = _merge_shard_results(results, signatures, backend)
+                    if candidate is not None:
+                        kind, indices, partner = candidate
+                        table_entries = (
+                            1
+                            + n
+                            + len(history)
+                            + sum(len(result["entries"]) for result in results)
+                        )
+                        if kind == "dominance":
+                            smaller = frozenset(universe[i] for i in indices[:-1])
+                            witness = ConfusablePair(
+                                smaller, smaller | {universe[indices[-1]]}
+                            )
+                        else:
+                            assert partner is not None
+                            witness = ConfusablePair(
+                                frozenset(universe[i] for i in partner),
+                                frozenset(universe[i] for i in indices),
+                            )
+                        return IdentifiabilityResult(
+                            value=size - 1,
+                            witness=witness,
+                            searched_up_to=size,
+                            exhausted_search=False,
+                            stats=SearchStats(
+                                jobs, enumerated, dominance, table_entries, scanned
+                            ),
+                        )
+                    for result in results:
+                        history.extend(result["entries"])
+                return IdentifiabilityResult(
+                    value=cap,
+                    witness=None,
+                    searched_up_to=cap,
+                    exhausted_search=True,
+                    stats=SearchStats(
+                        jobs, enumerated, dominance, 1 + n + len(history),
+                        shard_subsets,
+                    ),
+                )
+            finally:
+                _clear_shard_context()
+                if executor is not None:
+                    executor.shutdown()
 
     # -- separation queries --------------------------------------------------
     def separates(self, first: Iterable[Node], second: Iterable[Node]) -> bool:
         """Whether some measurement path touches exactly one of the two sets."""
         return self.union_key(first) != self.union_key(second)
 
+    def _subset_census(
+        self, universe: Tuple[Node, ...], size: int, jobs: int
+    ) -> List[List[Tuple[int, ...]]]:
+        """Signature-equality groups of all size-``size`` subsets, ordered by
+        first appearance (groups and members in lexicographic order) —
+        computed serially or via the digest census shards, identically."""
+        signatures = [self._signatures[node] for node in universe]
+        backend = self.backend
+        n = len(universe)
+        if jobs <= 1 or size > n or math.comb(n, size) < MIN_SHARDED_FRONTIER:
+            union, key = backend.union, backend.key
+            exact_groups: Dict[Any, List[Tuple[int, ...]]] = {}
+            for indices, rest, last_signature in _combination_frontier(
+                signatures, backend, size
+            ):
+                exact_groups.setdefault(
+                    key(union(rest, last_signature)), []
+                ).append(tuple(indices))
+            return list(exact_groups.values())
+        token = next(_SHARD_TOKENS)
+        with _SHARD_SEARCH_LOCK:
+            _install_shard_context(token, signatures, backend)
+            executor = _make_shard_executor(jobs)
+            try:
+                tasks = [
+                    (token, size, lo, hi)
+                    for lo, hi in _first_index_blocks(n, size, jobs)
+                ]
+                entries = [
+                    entry
+                    for chunk in executor.map(_census_shard, tasks)
+                    for entry in chunk
+                ]
+            finally:
+                _clear_shard_context()
+                executor.shutdown()
+        buckets: Dict[int, List[Tuple[int, ...]]] = {}
+        for digest, indices in entries:
+            buckets.setdefault(digest, []).append(indices)
+        groups: List[List[Tuple[int, ...]]] = []
+        for members in buckets.values():
+            if len(members) == 1:
+                groups.append(members)
+                continue
+            by_key: Dict[Any, List[Tuple[int, ...]]] = {}
+            for indices in members:
+                by_key.setdefault(
+                    _subset_key(signatures, backend, indices), []
+                ).append(indices)
+            groups.extend(by_key.values())
+        # First-appearance order == ascending first member (lexicographic).
+        groups.sort(key=lambda members: members[0])
+        return groups
+
     def separability_matrix(
-        self, size: int, nodes: Optional[Iterable[Node]] = None
+        self,
+        size: int,
+        nodes: Optional[Iterable[Node]] = None,
+        search_jobs: Optional[int] = None,
     ) -> Dict[Tuple[FrozenSet[Node], FrozenSet[Node]], bool]:
         """Pairwise separation table for all subsets of a given size."""
         if size < 1:
             raise IdentifiabilityError(f"size must be >= 1, got {size}")
+        jobs = resolve_search_jobs(search_jobs)
+        universe = self._resolve_universe(nodes)
+        groups = self._subset_census(universe, size, jobs)
+        group_of: Dict[Tuple[int, ...], int] = {}
+        for group_id, members in enumerate(groups):
+            for indices in members:
+                group_of[indices] = group_id
         entries = [
-            (frozenset(subset), signature_key)
-            for subset, signature_key in self.iter_subset_signatures([size], nodes)
+            (frozenset(universe[i] for i in indices), group_of[indices])
+            for indices in itertools.combinations(range(len(universe)), size)
         ]
         table: Dict[Tuple[FrozenSet[Node], FrozenSet[Node]], bool] = {}
-        for i, (first, first_key) in enumerate(entries):
-            for second, second_key in entries[i + 1 :]:
-                table[(first, second)] = first_key != second_key
+        for i, (first, first_group) in enumerate(entries):
+            for second, second_group in entries[i + 1 :]:
+                table[(first, second)] = first_group != second_group
         return table
 
     def inseparable_pairs(
-        self, size: int, nodes: Optional[Iterable[Node]] = None
+        self,
+        size: int,
+        nodes: Optional[Iterable[Node]] = None,
+        search_jobs: Optional[int] = None,
     ) -> Tuple[Tuple[FrozenSet[Node], FrozenSet[Node]], ...]:
         """All unordered pairs of same-size subsets with identical path sets."""
         if size < 1:
             raise IdentifiabilityError(f"size must be >= 1, got {size}")
-        groups: Dict[object, List[FrozenSet[Node]]] = {}
-        for subset, signature_key in self.iter_subset_signatures([size], nodes):
-            groups.setdefault(signature_key, []).append(frozenset(subset))
+        jobs = resolve_search_jobs(search_jobs)
+        universe = self._resolve_universe(nodes)
         pairs: List[Tuple[FrozenSet[Node], FrozenSet[Node]]] = []
-        for members in groups.values():
-            for i, first in enumerate(members):
-                for second in members[i + 1 :]:
+        for members in self._subset_census(universe, size, jobs):
+            subsets = [
+                frozenset(universe[i] for i in indices) for indices in members
+            ]
+            for i, first in enumerate(subsets):
+                for second in subsets[i + 1 :]:
                     pairs.append((first, second))
         return tuple(pairs)
 

@@ -38,6 +38,13 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 from repro.engine.backends import _install_policy, backend_policy, select_backend
 from repro.engine.compress import _install_compression, compression_enabled
 from repro.engine.cache import pathset_cache
+from repro.engine.signatures import (
+    _install_search_jobs,
+    record_external_search,
+    reset_search_counters,
+    search_counters,
+    select_search_jobs,
+)
 from repro.exceptions import ExperimentError
 
 
@@ -67,12 +74,15 @@ class TrialResult:
     ``cache_hits``/``cache_misses`` are the deltas the trial produced on its
     executing process's global :class:`PathSetCache` — the currency the
     parent uses to merge worker statistics after a fan-out.
+    ``search_counters`` carries the trial's subset-search counter deltas the
+    same way (``--search-stats``).
     """
 
     index: int
     value: Any
     cache_hits: int = 0
     cache_misses: int = 0
+    search_counters: Dict[str, int] = field(default_factory=dict)
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -86,12 +96,13 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-def _init_worker(backend: str, compress: bool) -> None:
+def _init_worker(backend: str, compress: bool, search_jobs: int = 1) -> None:
     """Pool initializer: propagate the engine policies, start a clean cache.
 
-    Both the signature-backend policy (``--backend``) and the
-    signature-universe compression policy (``--no-compress``) are installed
-    so workers compute exactly as the parent would.  Clearing makes worker
+    The signature-backend policy (``--backend``), the signature-universe
+    compression policy (``--no-compress``) and the search-sharding policy
+    (``--search-jobs``) are installed so workers compute exactly as the
+    parent would.  Clearing makes worker
     caches behave identically under ``fork`` (which inherits a copy of the
     parent's entries) and ``spawn`` (which starts empty), and makes the
     reported deltas describe this run only.
@@ -104,7 +115,9 @@ def _init_worker(backend: str, compress: bool) -> None:
     """
     _install_policy(backend)
     _install_compression(compress)
+    _install_search_jobs(search_jobs)
     pathset_cache().clear()
+    reset_search_counters()
 
 
 def _run_spec(indexed_spec: Tuple[int, TrialSpec]) -> TrialResult:
@@ -112,12 +125,19 @@ def _run_spec(indexed_spec: Tuple[int, TrialSpec]) -> TrialResult:
     index, spec = indexed_spec
     cache = pathset_cache()
     hits_before, misses_before = cache.hits, cache.misses
+    searches_before = search_counters()
     value = spec.run()
+    before = searches_before.as_dict()
+    deltas = {
+        name: value - before[name]
+        for name, value in search_counters().as_dict().items()
+    }
     return TrialResult(
         index=index,
         value=value,
         cache_hits=cache.hits - hits_before,
         cache_misses=cache.misses - misses_before,
+        search_counters=deltas,
     )
 
 
@@ -156,7 +176,7 @@ def run_trials(
     with ProcessPoolExecutor(
         max_workers=n_workers,
         initializer=_init_worker,
-        initargs=(policy, compression_enabled()),
+        initargs=(policy, compression_enabled(), select_search_jobs()),
     ) as pool:
         results = list(
             pool.map(_run_spec, enumerate(spec_list), chunksize=chunksize)
@@ -164,5 +184,17 @@ def run_trials(
     pathset_cache().record_external(
         hits=sum(result.cache_hits for result in results),
         misses=sum(result.cache_misses for result in results),
+    )
+    record_external_search(
+        searches=sum(r.search_counters.get("searches", 0) for r in results),
+        sharded_searches=sum(
+            r.search_counters.get("sharded_searches", 0) for r in results
+        ),
+        subsets_enumerated=sum(
+            r.search_counters.get("subsets_enumerated", 0) for r in results
+        ),
+        dominance_prunes=sum(
+            r.search_counters.get("dominance_prunes", 0) for r in results
+        ),
     )
     return [result.value for result in results]

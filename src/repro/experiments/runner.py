@@ -53,6 +53,8 @@ from repro.engine import (
     cache_stats,
     clear_pathset_cache,
     compression_policy,
+    search_counters,
+    search_jobs_policy,
 )
 from repro.exceptions import SpecError
 from repro.experiments import (
@@ -466,6 +468,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the pathset-cache hit/miss counters (worker deltas "
         "merged in) to stderr after the run",
     )
+    parser.add_argument(
+        "--search-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard every exact-µ subset search across N workers "
+        "(0 = all cores; default: serial).  Composes with --jobs trial "
+        "fan-out and is bit-identical to the serial search — same µ, "
+        "witnesses and search bookkeeping, only the wall-clock changes",
+    )
+    parser.add_argument(
+        "--search-stats",
+        action="store_true",
+        help="print the subset-search counters (searches run, sharded "
+        "searches, subsets enumerated, dominance prunes; worker deltas "
+        "merged in) to stderr after the run",
+    )
     return parser
 
 
@@ -523,21 +542,25 @@ def render_json(
 def main(argv: List[str] | None = None) -> int:
     """Console-script entry point.
 
-    The ``--backend`` and ``--no-compress`` selections are scoped to this
-    call (and propagated into any pool workers), so invoking ``main`` as a
-    library function never leaks an engine-policy change into the host
-    process.
+    The ``--backend``, ``--no-compress`` and ``--search-jobs`` selections are
+    scoped to this call (and propagated into any pool workers), so invoking
+    ``main`` as a library function never leaks an engine-policy change into
+    the host process.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
     with backend_policy(args.backend), compression_policy(
         False if args.no_compress else None
-    ):
+    ), search_jobs_policy(args.search_jobs):
         if args.spec:
             # An explicit engine flag overrides the batch's engine configs;
             # with no flag, each spec's own (or default) config stands.
             engine_override = None
-            if args.backend is not None or args.no_compress:
+            if (
+                args.backend is not None
+                or args.no_compress
+                or args.search_jobs is not None
+            ):
                 engine_override = EngineConfig.from_policy()
             sections = run_spec_files(
                 args.spec,
@@ -561,6 +584,8 @@ def main(argv: List[str] | None = None) -> int:
             sys.stdout.write(payload)
         if args.cache_stats:
             print(cache_stats(), file=sys.stderr)
+        if args.search_stats:
+            print(search_counters(), file=sys.stderr)
     return 0
 
 

@@ -474,7 +474,12 @@ class TestSpecRunner:
         )
         assert code == 0
         engine = json.loads(out_path.read_text())["sections"][0]["data"]["spec"]["engine"]
-        assert engine == {"backend": "python", "compress": False, "cache": True}
+        assert engine == {
+            "backend": "python",
+            "compress": False,
+            "cache": True,
+            "search_jobs": 1,
+        }
 
     def test_write_output_atomic_replaces_existing_content(self, tmp_path):
         from repro.experiments.runner import write_output_atomic

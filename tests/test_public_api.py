@@ -77,7 +77,12 @@ EXPECTED_SPEC_SCHEMA = {
         "n_trials": 10,
         "universe": {"kind": "node", "groups": {}},
     },
-    "engine": {"backend": "auto", "compress": True, "cache": True},
+    "engine": {
+        "backend": "auto",
+        "compress": True,
+        "cache": True,
+        "search_jobs": 1,
+    },
     "seed": None,
     "analyses": [{"analysis": "mu", "params": {}}],
 }
@@ -122,6 +127,7 @@ class TestPublicSurface:
             "backend": "auto",
             "compress": True,
             "cache": True,
+            "search_jobs": 1,
         }
 
     def test_available_analyses_snapshot(self):

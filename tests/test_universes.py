@@ -398,7 +398,8 @@ V1_PAYLOAD = {
 }
 
 #: What the v1 payload above must serialise to after parsing: the identical
-#: document at schema version 2 with the node-mode universe made explicit.
+#: document at schema version 2 with the node-mode universe made explicit
+#: (and, since the sharded-search knob landed, the serial search default).
 V1_UPGRADED_SNAPSHOT = {
     "schema_version": 2,
     "label": "legacy",
@@ -411,7 +412,12 @@ V1_UPGRADED_SNAPSHOT = {
         "n_trials": 10,
         "universe": {"kind": "node", "groups": {}},
     },
-    "engine": {"backend": "auto", "compress": True, "cache": True},
+    "engine": {
+        "backend": "auto",
+        "compress": True,
+        "cache": True,
+        "search_jobs": 1,
+    },
     "seed": 7,
     "analyses": [{"analysis": "mu", "params": {}}],
 }
