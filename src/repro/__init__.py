@@ -62,6 +62,7 @@ from repro.api import registries
 from repro.api.scenario import Scenario
 from repro.api.spec import (
     AnalysisSpec,
+    DeltaSpec,
     EngineConfig,
     FailureModel,
     PlacementSpec,
@@ -114,6 +115,7 @@ __all__ = [
     "RoutingSpec",
     "FailureModel",
     "UniverseSpec",
+    "DeltaSpec",
     "FailureUniverse",
     "AnalysisSpec",
     "EngineConfig",

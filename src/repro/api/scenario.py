@@ -220,6 +220,145 @@ class Scenario:
             config.backend, config.compress, universe=self.universe
         )
 
+    # -- evolution -----------------------------------------------------------
+    def evolve(self, delta) -> "Scenario":
+        """A new scenario with ``delta`` applied, reusing everything untouched.
+
+        ``delta`` is a :class:`~repro.api.spec.DeltaSpec` (or a mapping in its
+        JSON shape): link flaps, monitor joins/leaves and optionally a full
+        SRLG re-definition.  The returned scenario is indistinguishable from
+        building the post-delta spec from scratch — its spec is a literal,
+        serialisable :class:`ScenarioSpec` and every analysis result is
+        bit-identical — but the measurement paths are *patched* from this
+        scenario's path set (:meth:`PathSet.apply_delta
+        <repro.routing.paths.PathSet.apply_delta>`) rather than re-enumerated,
+        and the signature engines are re-interned only on the dirty rows.
+        When the spec's engine cache is on, evolved path sets are memoised
+        under (parent fingerprint, delta fingerprint), so replayed churn
+        sequences pay for each distinct transition once.
+
+        The node universe is fixed: delta links must connect existing nodes
+        and monitors must name existing nodes.  Removing a link that an SRLG
+        group references without re-defining the groups leaves the evolved
+        universe unresolvable (a :class:`SpecError` on first use).
+        """
+        from dataclasses import replace
+
+        from repro.api.spec import DeltaSpec, UniverseSpec
+        from repro.engine.cache import normalize_limits, pathset_cache
+        from repro.routing.paths import PathSet, PathSetDelta
+
+        if isinstance(delta, dict):
+            delta = DeltaSpec.from_dict(delta)
+        if not isinstance(delta, DeltaSpec):
+            raise SpecError(
+                f"evolve expects a DeltaSpec (or its dict form), got "
+                f"{type(delta).__name__}"
+            )
+
+        graph = self.graph
+        placement = self.placement
+        new_graph = graph.copy()
+        for u, v in delta.remove_links:
+            if not new_graph.has_edge(u, v):
+                raise SpecError(
+                    f"delta removes link ({u!r}, {v!r}) which is not in the "
+                    f"scenario's graph"
+                )
+            new_graph.remove_edge(u, v)
+        for u, v in delta.add_links:
+            if u not in graph or v not in graph:
+                raise SpecError(
+                    f"delta adds link ({u!r}, {v!r}) with an unknown endpoint "
+                    f"(the node universe is fixed under evolution)"
+                )
+            if graph.has_edge(u, v) or new_graph.has_edge(u, v):
+                raise SpecError(
+                    f"delta adds link ({u!r}, {v!r}) which is already present"
+                )
+            new_graph.add_edge(u, v)
+
+        def edit_monitors(current, role, removals, additions):
+            nodes = set(current)
+            for node in removals:
+                if node not in nodes:
+                    raise SpecError(
+                        f"delta removes {role} monitor {node!r} which is not "
+                        f"placed"
+                    )
+                nodes.discard(node)
+            for node in additions:
+                if node not in new_graph:
+                    raise SpecError(
+                        f"delta adds {role} monitor {node!r} which is not a "
+                        f"node of the graph"
+                    )
+                if node in nodes:
+                    raise SpecError(
+                        f"delta adds {role} monitor {node!r} which is already "
+                        f"placed"
+                    )
+                nodes.add(node)
+            if not nodes:
+                raise SpecError(f"delta leaves the scenario with no {role} monitors")
+            return nodes
+
+        inputs = edit_monitors(
+            placement.inputs, "input", delta.remove_inputs, delta.add_inputs
+        )
+        outputs = edit_monitors(
+            placement.outputs, "output", delta.remove_outputs, delta.add_outputs
+        )
+        new_placement = MonitorPlacement.of(inputs, outputs)
+
+        failures = self.spec.failures
+        if delta.srlg_groups is not None:
+            failures = replace(
+                failures,
+                universe=UniverseSpec(kind="srlg", groups=delta.srlg_groups),
+            )
+        label = self.spec.label
+        if delta.label:
+            label = f"{label}+{delta.label}" if label else delta.label
+        new_spec = replace(
+            self.spec,
+            topology=TopologySpec.from_graph(new_graph),
+            placement=PlacementSpec.from_placement(new_placement),
+            failures=failures,
+            label=label,
+        )
+        evolved = Scenario(new_spec)
+
+        path_delta = PathSetDelta(
+            add_links=delta.add_links,
+            remove_links=delta.remove_links,
+            add_inputs=delta.add_inputs,
+            remove_inputs=delta.remove_inputs,
+            add_outputs=delta.add_outputs,
+            remove_outputs=delta.remove_outputs,
+        )
+        routing = self.spec.routing
+
+        def build() -> PathSet:
+            kwargs: Dict[str, Any] = {}
+            if routing.cutoff is not None:
+                kwargs["cutoff"] = routing.cutoff
+            if routing.max_paths is not None:
+                kwargs["max_paths"] = routing.max_paths
+            return self.pathset.apply_delta(
+                evolved.graph, evolved.placement, self.mechanism, path_delta,
+                **kwargs,
+            )
+
+        if self.spec.engine.cache:
+            limits = normalize_limits(routing.cutoff, routing.max_paths)
+            evolved._pathset = pathset_cache().get_or_evolve(
+                self.pathset, (delta.fingerprint(), limits), build
+            )
+        else:
+            evolved._pathset = build()
+        return evolved
+
     # -- analyses ------------------------------------------------------------
     def _identifiability_detailed(self, max_size: Optional[int]):
         """Raw engine search result plus the structural bound (if derived)."""

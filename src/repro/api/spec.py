@@ -423,6 +423,218 @@ class AnalysisSpec:
         return cls(analysis=data["analysis"], params=data.get("params") or {})
 
 
+_DELTA_FIELDS = {
+    "add_links",
+    "remove_links",
+    "add_inputs",
+    "remove_inputs",
+    "add_outputs",
+    "remove_outputs",
+    "srlg_groups",
+    "label",
+}
+
+
+@dataclass(frozen=True)
+class DeltaSpec:
+    """A JSON-round-trippable scenario delta for :meth:`Scenario.evolve
+    <repro.api.scenario.Scenario.evolve>`.
+
+    Describes a small change to a live scenario — link flaps, monitor
+    joins/leaves, an SRLG re-definition — without restating the scenario::
+
+        {
+          "add_links":      [["u", "v"], ...],
+          "remove_links":   [["u", "v"], ...],
+          "add_inputs":     ["u", ...],
+          "remove_inputs":  ["u", ...],
+          "add_outputs":    ["u", ...],
+          "remove_outputs": ["u", ...],
+          "srlg_groups":    null,      # or {"name": [["u","v"], ...], ...}
+          "label": ""                  # optional display name
+        }
+
+    The schema is **additive**: deltas are a standalone document type (the
+    ``--churn`` driver's ``deltas`` entries), and :class:`ScenarioSpec`
+    documents are untouched — existing v2 specs parse unchanged.  Node
+    labels use the literal-spec codec (tuples as lists), links are endpoint
+    pairs in either orientation for undirected topologies, and
+    ``srlg_groups`` is ``None`` ("keep the scenario's universe") or a full
+    replacement group mapping, which switches the evolved scenario to an
+    SRLG universe over those groups.  The node universe itself is fixed —
+    links may only connect existing nodes and monitors must name existing
+    nodes.  Every edit must be a real change (removals must exist, additions
+    must not), which keeps :meth:`inverse` exact.
+    """
+
+    add_links: Tuple[Tuple[Any, Any], ...] = ()
+    remove_links: Tuple[Tuple[Any, Any], ...] = ()
+    add_inputs: Tuple[Any, ...] = ()
+    remove_inputs: Tuple[Any, ...] = ()
+    add_outputs: Tuple[Any, ...] = ()
+    remove_outputs: Tuple[Any, ...] = ()
+    srlg_groups: Optional[Dict[str, Any]] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        for attribute in ("add_links", "remove_links"):
+            links = []
+            for link in getattr(self, attribute):
+                pair = tuple(link)
+                if len(pair) != 2:
+                    raise SpecError(
+                        f"delta {attribute} entry {link!r} is not a (u, v) link"
+                    )
+                links.append(pair)
+            if len(set(links)) != len(links):
+                raise SpecError(f"delta {attribute} lists a link twice")
+            object.__setattr__(self, attribute, tuple(links))
+        for attribute in (
+            "add_inputs", "remove_inputs", "add_outputs", "remove_outputs"
+        ):
+            nodes = tuple(getattr(self, attribute))
+            if len(set(nodes)) != len(nodes):
+                raise SpecError(f"delta {attribute} lists a node twice")
+            object.__setattr__(self, attribute, nodes)
+        if set(self.add_links) & set(self.remove_links):
+            raise SpecError("a delta cannot both add and remove the same link")
+        if set(self.add_inputs) & set(self.remove_inputs):
+            raise SpecError("a delta cannot both add and remove the same input")
+        if set(self.add_outputs) & set(self.remove_outputs):
+            raise SpecError("a delta cannot both add and remove the same output")
+        if self.srlg_groups is not None:
+            # Reuse the universe-spec validation (and its JSON freezing).
+            validated = UniverseSpec(kind="srlg", groups=self.srlg_groups)
+            object.__setattr__(self, "srlg_groups", validated.groups)
+        if not isinstance(self.label, str):
+            raise SpecError(f"delta label must be a string, got {self.label!r}")
+
+    def is_noop(self) -> bool:
+        """True when the delta changes nothing."""
+        return self.srlg_groups is None and not (
+            self.add_links
+            or self.remove_links
+            or self.add_inputs
+            or self.remove_inputs
+            or self.add_outputs
+            or self.remove_outputs
+        )
+
+    def fingerprint(self) -> Tuple[Any, ...]:
+        """A hashable content key (order-insensitive, label-excluded) used
+        by the evolve-keyed :class:`~repro.engine.cache.PathSetCache`."""
+        groups: Optional[Tuple[Tuple[str, str], ...]] = None
+        if self.srlg_groups is not None:
+            groups = tuple(
+                sorted(
+                    (name, json.dumps(members, sort_keys=True))
+                    for name, members in self.srlg_groups.items()
+                )
+            )
+        return (
+            tuple(sorted(self.add_links, key=repr)),
+            tuple(sorted(self.remove_links, key=repr)),
+            tuple(sorted(self.add_inputs, key=repr)),
+            tuple(sorted(self.remove_inputs, key=repr)),
+            tuple(sorted(self.add_outputs, key=repr)),
+            tuple(sorted(self.remove_outputs, key=repr)),
+            groups,
+        )
+
+    def inverse(
+        self, previous_universe: Optional[UniverseSpec] = None
+    ) -> "DeltaSpec":
+        """The delta undoing this one (adds and removes swapped).
+
+        An SRLG re-definition is only invertible when the pre-delta universe
+        — passed as ``previous_universe`` — was itself an SRLG universe to
+        restore; anything else raises :class:`SpecError`.
+        """
+        groups: Optional[Dict[str, Any]] = None
+        if self.srlg_groups is not None:
+            if previous_universe is None or previous_universe.kind != "srlg":
+                raise SpecError(
+                    "inverting an SRLG re-definition needs the previous "
+                    "universe to restore, and it must be an srlg universe"
+                )
+            groups = dict(previous_universe.groups)
+        return DeltaSpec(
+            add_links=self.remove_links,
+            remove_links=self.add_links,
+            add_inputs=self.remove_inputs,
+            remove_inputs=self.add_inputs,
+            add_outputs=self.remove_outputs,
+            remove_outputs=self.add_outputs,
+            srlg_groups=groups,
+            label=f"inverse({self.label})" if self.label else "",
+        )
+
+    # -- serialisation ------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "add_links": [[encode_node(u), encode_node(v)] for u, v in self.add_links],
+            "remove_links": [
+                [encode_node(u), encode_node(v)] for u, v in self.remove_links
+            ],
+            "add_inputs": [encode_node(n) for n in self.add_inputs],
+            "remove_inputs": [encode_node(n) for n in self.remove_inputs],
+            "add_outputs": [encode_node(n) for n in self.add_outputs],
+            "remove_outputs": [encode_node(n) for n in self.remove_outputs],
+            "srlg_groups": dict(self.srlg_groups)
+            if self.srlg_groups is not None
+            else None,
+            "label": self.label,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DeltaSpec":
+        data = _expect_mapping(payload, "delta spec")
+        unknown = set(data) - _DELTA_FIELDS
+        if unknown:
+            raise SpecError(f"unknown delta spec fields {sorted(unknown)}")
+
+        def links(field_name: str) -> Tuple[Tuple[Any, Any], ...]:
+            entries = data.get(field_name) or []
+            if not isinstance(entries, Sequence) or isinstance(entries, str):
+                raise SpecError(f"delta {field_name} must be a list of [u, v] links")
+            decoded = []
+            for link in entries:
+                if not isinstance(link, Sequence) or isinstance(link, str) or len(link) != 2:
+                    raise SpecError(
+                        f"delta {field_name} entry {link!r} is not a [u, v] link"
+                    )
+                decoded.append((decode_node(link[0]), decode_node(link[1])))
+            return tuple(decoded)
+
+        def nodes(field_name: str) -> Tuple[Any, ...]:
+            entries = data.get(field_name) or []
+            if not isinstance(entries, Sequence) or isinstance(entries, str):
+                raise SpecError(f"delta {field_name} must be a list of nodes")
+            return tuple(decode_node(node) for node in entries)
+
+        return cls(
+            add_links=links("add_links"),
+            remove_links=links("remove_links"),
+            add_inputs=nodes("add_inputs"),
+            remove_inputs=nodes("remove_inputs"),
+            add_outputs=nodes("add_outputs"),
+            remove_outputs=nodes("remove_outputs"),
+            srlg_groups=data.get("srlg_groups"),
+            label=data.get("label", ""),
+        )
+
+    @classmethod
+    def from_json(cls, document: str) -> "DeltaSpec":
+        try:
+            payload = json.loads(document)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"invalid delta JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+
 _SPEC_FIELDS = {
     "schema_version",
     "label",

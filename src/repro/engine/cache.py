@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Optional, Tuple
+from typing import Callable, Hashable, Optional, Tuple
 
 from repro._typing import AnyGraph
 from repro.monitors.placement import MonitorPlacement
@@ -45,11 +45,15 @@ from repro.routing.paths import (
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss counters of a :class:`PathSetCache`."""
+    """Hit/miss/eviction counters of a :class:`PathSetCache`."""
 
     hits: int
     misses: int
     size: int
+    #: Entries silently dropped by the LRU bound.  A high eviction count with
+    #: a low hit rate means the working set exceeds ``maxsize`` — the cache
+    #: is thrashing, not helping.
+    evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -59,7 +63,8 @@ class CacheStats:
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"pathset cache: {self.hits} hits / {self.misses} misses "
-            f"({self.hit_rate:.0%}), {self.size} entries"
+            f"({self.hit_rate:.0%}), {self.size} entries, "
+            f"{self.evictions} evictions"
         )
 
 
@@ -108,6 +113,7 @@ class PathSetCache:
         self._entries: "OrderedDict[Hashable, PathSet]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @staticmethod
     def _key(
@@ -160,12 +166,46 @@ class PathSetCache:
         self.misses += 1
         pathset = enumerate_paths(graph, placement, mechanism, cutoff, max_paths)
         self._entries[key] = pathset
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        self._evict()
         return pathset
 
-    def record_external(self, hits: int, misses: int) -> None:
-        """Fold hit/miss counters observed elsewhere into this cache's stats.
+    def get_or_evolve(
+        self,
+        parent: PathSet,
+        delta_fingerprint: Hashable,
+        build: "Callable[[], PathSet]",
+    ) -> PathSet:
+        """The cached *evolved* path set of ``(parent, delta)``.
+
+        Evolved path sets are keyed by (parent content fingerprint, delta
+        fingerprint) rather than by enumeration inputs: the parent's
+        fingerprint covers everything its own key covered (it is a digest of
+        the enumerated content), so chains of deltas hit the cache — a
+        replayed flap sequence pays for each distinct (state, delta) pair
+        once.  Entries share the LRU bound and counters with the enumeration
+        entries; a hit returns the same :class:`PathSet` instance, so the
+        engines memoised on it are reused too.
+        """
+        key = ("evolve", parent.fingerprint(), delta_fingerprint)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        pathset = build()
+        self._entries[key] = pathset
+        self._evict()
+        return pathset
+
+    def _evict(self) -> None:
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def record_external(self, hits: int, misses: int, evictions: int = 0) -> None:
+        """Fold hit/miss/eviction counters observed elsewhere into this
+        cache's stats.
 
         The parallel experiment runner gives every pool worker its own
         process-local cache; after the fan-out, each worker's deltas are
@@ -174,19 +214,28 @@ class PathSetCache:
         cost more than re-enumerating), so ``size`` keeps counting only this
         process's entries.
         """
-        if hits < 0 or misses < 0:
-            raise ValueError(f"counters must be >= 0, got {hits=} {misses=}")
+        if hits < 0 or misses < 0 or evictions < 0:
+            raise ValueError(
+                f"counters must be >= 0, got {hits=} {misses=} {evictions=}"
+            )
         self.hits += hits
         self.misses += misses
+        self.evictions += evictions
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def stats(self) -> CacheStats:
-        return CacheStats(hits=self.hits, misses=self.misses, size=len(self._entries))
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            size=len(self._entries),
+            evictions=self.evictions,
+        )
 
     def __len__(self) -> int:
         return len(self._entries)

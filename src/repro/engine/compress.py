@@ -51,6 +51,7 @@ from __future__ import annotations
 import contextlib
 import warnings
 from dataclasses import dataclass
+from dataclasses import field as dataclasses_field
 from functools import cached_property
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -137,6 +138,14 @@ class CompressionPlan:
 
     n_original: int
     members: Tuple[Tuple[int, ...], ...]
+    #: Per-class touch key — the ascending element positions every member
+    #: column touches — retained (compare-excluded) by
+    #: :func:`compress_universe` so :meth:`patch` can match delta-added
+    #: columns against existing classes without re-transposing the matrix.
+    #: ``None`` for hand-built plans, which then cannot be patched.
+    touch_keys: Optional[Tuple[Tuple[int, ...], ...]] = dataclasses_field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def n_compressed(self) -> int:
@@ -182,18 +191,19 @@ class CompressionPlan:
         Only class-closed masks (unions of node rows) round-trip exactly;
         those are the only masks the engine ever builds.
         """
-        compressed = 0
         class_of = self.class_of
-        for index in bits_of(mask):
-            if index >= self.n_original:
+        n_original = self.n_original
+        compressed_indices = set()
+        for index in bit_indices(mask):
+            if index >= n_original:
                 raise IdentifiabilityError(
                     f"path index {index} out of range for a universe of width "
-                    f"{self.n_original}"
+                    f"{n_original}"
                 )
             compressed_index = class_of.get(index)
             if compressed_index is not None:
-                compressed |= 1 << compressed_index
-        return compressed
+                compressed_indices.add(compressed_index)
+        return mask_from_indices(compressed_indices)
 
     def expand_mask(self, compressed_mask: int) -> int:
         """Map a compressed-space mask back to original path indices."""
@@ -223,6 +233,72 @@ class CompressionPlan:
             for original_index in self.members[index]:
                 vector[original_index] = 1
         return tuple(vector)
+
+    # -- incremental patching ------------------------------------------------
+    def patch(
+        self,
+        survivors: Mapping[int, int],
+        added: Sequence[Tuple[int, Tuple[int, ...]]],
+        n_original: int,
+        element_remap: Optional[Mapping[int, int]] = None,
+    ) -> "CompressionPlan":
+        """A plan for the post-delta universe, equal to a fresh transpose.
+
+        ``survivors`` maps surviving original columns to their post-delta
+        positions, ``added`` lists ``(new column, ascending touch key in the
+        new element order)`` for columns absent from this plan, and
+        ``element_remap`` translates this plan's element positions into the
+        new order when the element list itself changed (``None`` =
+        identical; the remap must be monotonic, which repr-sorted element
+        universes guarantee).  Only the affected columns are touched — no
+        re-transpose — yet the result is *equal* to
+        :func:`compress_universe` over the post-delta matrix: surviving
+        columns keep their touch keys (a surviving path's touch set cannot
+        change: it avoids removed elements and cannot traverse added ones),
+        added columns join the class with the same key or found their own,
+        all-zero columns drop, and classes are re-sorted by smallest member
+        — exactly the fresh first-appearance order.
+
+        Raises :class:`~repro.exceptions.IdentifiabilityError` when this
+        plan carries no touch keys, or when a surviving column references a
+        vanished element (which contradicts ``survivors`` and signals a
+        caller bug); callers fall back to a fresh build.
+        """
+        if self.touch_keys is None:
+            raise IdentifiabilityError(
+                "plan carries no touch keys; rebuild via compress_universe"
+            )
+        buckets: Dict[Tuple[int, ...], List[int]] = {}
+        for old_key, group in zip(self.touch_keys, self.members):
+            new_members = [
+                new_column
+                for column in group
+                if (new_column := survivors.get(column)) is not None
+            ]
+            if not new_members:
+                continue
+            if element_remap is None:
+                new_key = old_key
+            else:
+                try:
+                    new_key = tuple(element_remap[p] for p in old_key)
+                except KeyError as exc:
+                    raise IdentifiabilityError(
+                        "a surviving column touches a removed element"
+                    ) from exc
+            buckets.setdefault(new_key, []).extend(new_members)
+        for new_column, key in added:
+            if not key:
+                continue  # an all-zero column constrains nothing; drop it
+            buckets.setdefault(tuple(key), []).append(new_column)
+        entries = sorted(
+            (tuple(sorted(group)), key) for key, group in buckets.items()
+        )
+        return CompressionPlan(
+            n_original=n_original,
+            members=tuple(group for group, _ in entries),
+            touch_keys=tuple(key for _, key in entries),
+        )
 
     def describe(self) -> str:
         """One-line summary used by benchmarks and ``SignatureEngine.describe``."""
@@ -276,6 +352,10 @@ def compress_universe(
             members[compressed_index].append(path_index)
 
     plan = CompressionPlan(
-        n_original=n_paths, members=tuple(tuple(group) for group in members)
+        n_original=n_paths,
+        members=tuple(tuple(group) for group in members),
+        # Classes are created in ascending first-member order, so iterating
+        # the key dict recovers the per-class touch keys in class order.
+        touch_keys=tuple(classes),
     )
     return plan, {node: compressed_rows[i] for i, node in enumerate(nodes)}

@@ -29,10 +29,9 @@ from repro.api.spec import (
     RoutingSpec,
     ScenarioSpec,
     TopologySpec,
-    UniverseSpec,
 )
 from repro.exceptions import ExperimentError
-from repro.experiments.common import resolve_dimension
+from repro.experiments.common import coerce_universe_spec, resolve_dimension
 from repro.experiments.parallel import TrialSpec, run_trials
 from repro.routing.mechanisms import RoutingMechanism
 from repro.utils.seeds import RngLike, spawn_rng, spawn_seed
@@ -114,7 +113,7 @@ def _run_variant(
 ) -> AblationCell:
     mechanism = RoutingMechanism.parse(mechanism)
     engine = EngineConfig.from_policy()
-    failures = FailureModel(universe=UniverseSpec(kind=universe))
+    failures = FailureModel(universe=coerce_universe_spec(universe))
     base_topology = TopologySpec.from_graph(graph).to_dict()
     specs = [
         TrialSpec(

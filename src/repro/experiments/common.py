@@ -56,6 +56,19 @@ def _resolve_measure_universe(
     )
 
 
+def coerce_universe_spec(universe) -> UniverseSpec:
+    """A driver-level ``universe`` argument as a :class:`UniverseSpec`.
+
+    The table drivers historically took a kind *name* (``"node"`` /
+    ``"link"``); the CLI's ``srlg:<groups.json>`` form hands them a full
+    :class:`UniverseSpec` instead.  Both coerce here, so every driver
+    threads one spec object into its per-trial :class:`FailureModel`.
+    """
+    if isinstance(universe, UniverseSpec):
+        return universe
+    return UniverseSpec(kind=universe)
+
+
 def dimension_log(n_nodes: int, graph: Optional[AnyGraph] = None) -> int:
     """The ``d = log N`` rule of Section 8 (base-2 log, floored, minimum 2).
 

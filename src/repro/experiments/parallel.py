@@ -82,6 +82,7 @@ class TrialResult:
     value: Any
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_evictions: int = 0
     search_counters: Dict[str, int] = field(default_factory=dict)
 
 
@@ -125,6 +126,7 @@ def _run_spec(indexed_spec: Tuple[int, TrialSpec]) -> TrialResult:
     index, spec = indexed_spec
     cache = pathset_cache()
     hits_before, misses_before = cache.hits, cache.misses
+    evictions_before = cache.evictions
     searches_before = search_counters()
     value = spec.run()
     before = searches_before.as_dict()
@@ -137,6 +139,7 @@ def _run_spec(indexed_spec: Tuple[int, TrialSpec]) -> TrialResult:
         value=value,
         cache_hits=cache.hits - hits_before,
         cache_misses=cache.misses - misses_before,
+        cache_evictions=cache.evictions - evictions_before,
         search_counters=deltas,
     )
 
@@ -184,6 +187,7 @@ def run_trials(
     pathset_cache().record_external(
         hits=sum(result.cache_hits for result in results),
         misses=sum(result.cache_misses for result in results),
+        evictions=sum(result.cache_evictions for result in results),
     )
     record_external_search(
         searches=sum(r.search_counters.get("searches", 0) for r in results),

@@ -23,10 +23,9 @@ from repro.api.spec import (
     RoutingSpec,
     ScenarioSpec,
     TopologySpec,
-    UniverseSpec,
 )
 from repro.exceptions import ExperimentError
-from repro.experiments.common import DIMENSION_RULES, compare_with_agrid
+from repro.experiments.common import DIMENSION_RULES, coerce_universe_spec, compare_with_agrid
 from repro.experiments.parallel import TrialSpec, run_trials
 from repro.routing.mechanisms import RoutingMechanism
 from repro.topology.random_graphs import DEFAULT_EDGE_PROBABILITY
@@ -128,7 +127,7 @@ def run_random_graph_cell(
         )
     mechanism = RoutingMechanism.parse(mechanism)
     engine = EngineConfig.from_policy()
-    failures = FailureModel(universe=UniverseSpec(kind=universe))
+    failures = FailureModel(universe=coerce_universe_spec(universe))
     specs = [
         TrialSpec(
             random_graph_trial,

@@ -23,10 +23,9 @@ from repro.api.spec import (
     RoutingSpec,
     ScenarioSpec,
     TopologySpec,
-    UniverseSpec,
 )
 from repro.exceptions import ExperimentError
-from repro.experiments.common import resolve_dimension
+from repro.experiments.common import coerce_universe_spec, resolve_dimension
 from repro.experiments.parallel import TrialSpec, run_trials
 from repro.routing.mechanisms import RoutingMechanism
 from repro.topology import zoo
@@ -139,7 +138,7 @@ def run_random_monitor_experiment(
 
     engine = EngineConfig.from_policy()
     routing = RoutingSpec(mechanism=mechanism.value)
-    failures = FailureModel(universe=UniverseSpec(kind=universe))
+    failures = FailureModel(universe=coerce_universe_spec(universe))
     placement_spec = PlacementSpec("random", {"n_inputs": d, "n_outputs": d})
     topology_original = TopologySpec.from_graph(graph)
     topology_boosted = TopologySpec.from_graph(boost.boosted)

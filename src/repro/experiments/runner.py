@@ -12,6 +12,8 @@ Installed as the ``repro-experiments`` console script.  Examples::
     repro-experiments --tables real --universe link   # link-failure variant
     repro-experiments --spec examples/specs/claranet.json --jobs 2   # user batch
     repro-experiments --spec specs/ extra.json        # files and directories
+    repro-experiments --churn examples/specs/churn/claranet_flaps.json \
+        --churn-verify --format json                  # delta-sequence replay
 
 The default ``--format text`` prints one paper-style table per experiment,
 suitable for pasting into EXPERIMENTS.md; ``--format json`` emits one
@@ -47,7 +49,13 @@ from typing import Any, Callable, Dict, Iterable, List, Optional
 from repro.api.scenario import Scenario
 from repro.api.serialize import json_key as _json_key
 from repro.api.serialize import to_jsonable
-from repro.api.spec import EngineConfig, ScenarioSpec, load_spec_batch
+from repro.api.spec import (
+    DeltaSpec,
+    EngineConfig,
+    ScenarioSpec,
+    UniverseSpec,
+    load_spec_batch,
+)
 from repro.engine import (
     backend_policy,
     cache_stats,
@@ -281,6 +289,159 @@ def run_spec_sections(
     return sections
 
 
+def parse_universe_argument(value: str):
+    """Resolve the CLI ``--universe`` flag.
+
+    ``"node"`` and ``"link"`` pass through as kind names (the historical
+    contract of the table drivers); ``"srlg:<groups.json>"`` loads the named
+    JSON file — a ``{"group name": [[u, v], ...], ...}`` mapping — and
+    returns a full :class:`~repro.api.spec.UniverseSpec`.  A missing,
+    unreadable or malformed groups file raises :class:`SpecError` with the
+    offending path, so the CLI can report it cleanly.
+    """
+    if value in ("node", "link"):
+        return value
+    if value.startswith("srlg:"):
+        path = value[len("srlg:"):]
+        if not path:
+            raise SpecError(
+                "the srlg universe needs a groups file: --universe "
+                "srlg:groups.json"
+            )
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as exc:
+            raise SpecError(
+                f"cannot read srlg groups file {path!r}: {exc}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise SpecError(
+                f"srlg groups file {path!r} is not valid JSON: {exc}"
+            ) from exc
+        try:
+            return UniverseSpec(kind="srlg", groups=payload)
+        except SpecError as exc:
+            raise SpecError(f"srlg groups file {path!r}: {exc}") from exc
+    raise SpecError(
+        f"unknown universe {value!r}: expected 'node', 'link' or "
+        f"'srlg:<groups.json>'"
+    )
+
+
+# --------------------------------------------------------------------------
+# --churn delta-sequence replay
+# --------------------------------------------------------------------------
+
+def load_churn_file(path: str):
+    """Parse a ``--churn`` document: ``{"base": <ScenarioSpec>, "deltas":
+    [<DeltaSpec>, ...]}``.  Returns ``(base_spec, deltas)``."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise SpecError(f"cannot read churn file {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"churn file {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise SpecError(
+            f"churn file {path!r} must be a {{'base': ..., 'deltas': [...]}} "
+            f"object, got {type(payload).__name__}"
+        )
+    unknown = set(payload) - {"base", "deltas"}
+    if unknown:
+        raise SpecError(f"unknown churn file fields {sorted(unknown)}")
+    if "base" not in payload:
+        raise SpecError(f"churn file {path!r} is missing its 'base' scenario")
+    deltas_payload = payload.get("deltas", [])
+    if not isinstance(deltas_payload, list):
+        raise SpecError(f"churn file {path!r} 'deltas' must be a list")
+    base_spec = ScenarioSpec.from_dict(payload["base"])
+    deltas = [DeltaSpec.from_dict(entry) for entry in deltas_payload]
+    return base_spec, deltas
+
+
+def run_churn_sections(
+    base_spec: ScenarioSpec,
+    deltas: Iterable[DeltaSpec],
+    verify: bool = False,
+) -> List[Section]:
+    """Replay a delta sequence over a base scenario, reporting µ over time.
+
+    Each step evolves the previous scenario (:meth:`Scenario.evolve`, so
+    untouched paths, compression classes and signature rows are reused, and
+    repeated transitions hit the evolve-keyed cache).  With ``verify=True``
+    every evolved step is additionally rebuilt *from scratch* from its own
+    serialised spec and the two µ/measurement reports are required to be
+    bit-identical — an :class:`~repro.exceptions.ExperimentError` names the
+    first diverging step otherwise.
+    """
+    from repro.exceptions import ExperimentError
+
+    clear_pathset_cache()
+    scenario = Scenario(base_spec)
+    steps: List[Dict[str, Any]] = []
+    rows = []
+
+    def record(step: int, label: str, current: Scenario) -> None:
+        mu = current.mu()
+        verified: Optional[bool] = None
+        if verify:
+            rebuilt = Scenario(ScenarioSpec.from_dict(current.spec.to_dict()))
+            if (
+                mu.to_dict() != rebuilt.mu().to_dict()
+                or current.measurement().to_dict()
+                != rebuilt.measurement().to_dict()
+            ):
+                raise ExperimentError(
+                    f"churn step {step} ({label!r}): evolved scenario "
+                    f"diverges from a from-scratch rebuild of its spec"
+                )
+            verified = True
+        steps.append(
+            {
+                "step": step,
+                "label": label,
+                "mu": mu.value,
+                "searched_up_to": mu.searched_up_to,
+                "n_paths": mu.n_paths,
+                "spec": current.spec.to_dict(),
+                "verified": verified,
+            }
+        )
+        rows.append(
+            (
+                step,
+                label,
+                mu.value,
+                mu.n_paths,
+                "ok" if verified else ("-" if verified is None else "FAIL"),
+            )
+        )
+
+    record(0, "base", scenario)
+    for step, delta in enumerate(deltas, start=1):
+        scenario = scenario.evolve(delta)
+        record(step, delta.label or f"delta {step}", scenario)
+    title = f"Churn replay: {base_spec.display_name()} ({len(steps) - 1} deltas)"
+    body = format_table(
+        ("step", "delta", "mu", "paths", "verified"), rows, title=title
+    )
+    data = {
+        "base": base_spec.to_dict(),
+        "n_deltas": len(steps) - 1,
+        "verified": all(entry["verified"] for entry in steps) if verify else None,
+        "steps": steps,
+    }
+    return [Section(group="churn", title=title, body=body, data=data)]
+
+
+def run_churn_file(path: str, verify: bool = False) -> List[Section]:
+    """Load a ``--churn`` document and replay its delta sequence."""
+    base_spec, deltas = load_churn_file(path)
+    return run_churn_sections(base_spec, deltas, verify=verify)
+
+
 def expand_spec_paths(paths: Iterable[str]) -> List[str]:
     """Expand a ``--spec`` path list into concrete spec files.
 
@@ -406,6 +567,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed fills in specs without a pinned seed",
     )
     parser.add_argument(
+        "--churn",
+        default=None,
+        metavar="FILE",
+        help="replay a dynamic-topology delta sequence instead of the paper "
+        'tables: FILE is a JSON {"base": <ScenarioSpec>, "deltas": '
+        '[<DeltaSpec>, ...]} document; each step evolves the previous '
+        "scenario incrementally (Scenario.evolve) and the output reports µ "
+        "over time.  Mutually exclusive with --spec",
+    )
+    parser.add_argument(
+        "--churn-verify",
+        action="store_true",
+        help="with --churn: rebuild every evolved step from scratch from its "
+        "serialised spec and fail unless the µ and measurement reports are "
+        "bit-identical (the evolve-vs-rebuild parity check)",
+    )
+    parser.add_argument(
         "--seed", type=int, default=2018, help="master random seed (default: 2018)"
     )
     parser.add_argument(
@@ -448,12 +626,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--universe",
         default="node",
-        choices=["node", "link"],
+        metavar="KIND",
         help="failure universe for the paper-table groups: 'node' (the "
-        "paper's measure, the default) or 'link' (every µ/µ_λ computed over "
-        "link failures; same topologies, placements and seeds).  Spec "
-        "batches ignore this flag — their universe is declared per scenario "
-        "in failures.universe (schema v2, including SRLGs)",
+        "paper's measure, the default), 'link' (every µ/µ_λ computed over "
+        "link failures; same topologies, placements and seeds) or "
+        "'srlg:<groups.json>' (shared-risk link groups loaded from a JSON "
+        '{"group": [[u, v], ...]} file — only meaningful for tables whose '
+        "networks contain the grouped links).  Spec batches ignore this "
+        "flag — their universe is declared per scenario in failures.universe "
+        "(schema v2)",
     )
     parser.add_argument(
         "--no-compress",
@@ -465,8 +646,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cache-stats",
         action="store_true",
-        help="print the pathset-cache hit/miss counters (worker deltas "
-        "merged in) to stderr after the run",
+        help="print the pathset-cache hit/miss/eviction counters (worker "
+        "deltas merged in) to stderr after the run",
     )
     parser.add_argument(
         "--search-jobs",
@@ -493,7 +674,7 @@ def run(
     seed: int,
     jobs: int = 1,
     trials: Optional[int] = None,
-    universe: str = "node",
+    universe: "str | UniverseSpec" = "node",
 ) -> List[Section]:
     """Run one group (or 'all') and return the result sections.
 
@@ -549,10 +730,20 @@ def main(argv: List[str] | None = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.churn and args.spec:
+        parser.error("--churn and --spec are mutually exclusive")
+    if args.churn_verify and not args.churn:
+        parser.error("--churn-verify requires --churn")
+    try:
+        universe = parse_universe_argument(args.universe)
+    except SpecError as exc:
+        parser.error(str(exc))
     with backend_policy(args.backend), compression_policy(
         False if args.no_compress else None
     ), search_jobs_policy(args.search_jobs):
-        if args.spec:
+        if args.churn:
+            sections = run_churn_file(args.churn, verify=args.churn_verify)
+        elif args.spec:
             # An explicit engine flag overrides the batch's engine configs;
             # with no flag, each spec's own (or default) config stands.
             engine_override = None
@@ -572,7 +763,7 @@ def main(argv: List[str] | None = None) -> int:
         else:
             sections = run(
                 args.tables, args.seed, jobs=args.jobs, trials=args.trials,
-                universe=args.universe,
+                universe=universe,
             )
         if args.format == "json":
             payload = render_json(sections, args.seed, args.jobs)

@@ -23,11 +23,10 @@ from repro.api.spec import (
     RoutingSpec,
     ScenarioSpec,
     TopologySpec,
-    UniverseSpec,
 )
 from repro.core.truncated import default_truncation_level
 from repro.exceptions import ExperimentError
-from repro.experiments.common import measure_network, resolve_dimension
+from repro.experiments.common import coerce_universe_spec, measure_network, resolve_dimension
 from repro.experiments.parallel import TrialSpec, run_trials
 from repro.routing.mechanisms import RoutingMechanism
 from repro.topology import zoo
@@ -137,7 +136,7 @@ def run_truncated_experiment(
 
     engine = EngineConfig.from_policy()
     routing = RoutingSpec(mechanism=mechanism.value)
-    failures = FailureModel(universe=UniverseSpec(kind=universe))
+    failures = FailureModel(universe=coerce_universe_spec(universe))
     base_topology = TopologySpec.from_graph(graph)
     placement = PlacementSpec("mdmp", {"d": d})
 

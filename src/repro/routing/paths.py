@@ -37,9 +37,11 @@ Enumeration per mechanism
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
+    AbstractSet,
     Dict,
     FrozenSet,
     Iterable,
@@ -48,6 +50,7 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
 
@@ -79,6 +82,67 @@ DEFAULT_CUTOFF: Optional[int] = None
 
 #: Hard guard against path explosion; the paper itself stops at ~5e6 paths.
 DEFAULT_MAX_PATHS = 5_000_000
+
+
+@dataclass(frozen=True)
+class PathSetDelta:
+    """A routing-level topology/placement delta for :meth:`PathSet.apply_delta`.
+
+    All node values are the *decoded* graph nodes (the same objects the graph
+    holds); links are ``(u, v)`` endpoint pairs in either orientation for
+    undirected topologies.  The node universe itself is fixed — adding or
+    removing nodes requires a fresh enumeration.
+    """
+
+    add_links: Tuple[Tuple[Node, Node], ...] = ()
+    remove_links: Tuple[Tuple[Node, Node], ...] = ()
+    add_inputs: Tuple[Node, ...] = ()
+    remove_inputs: Tuple[Node, ...] = ()
+    add_outputs: Tuple[Node, ...] = ()
+    remove_outputs: Tuple[Node, ...] = ()
+
+    def is_noop(self) -> bool:
+        """True when the delta changes nothing."""
+        return not (
+            self.add_links
+            or self.remove_links
+            or self.add_inputs
+            or self.remove_inputs
+            or self.add_outputs
+            or self.remove_outputs
+        )
+
+
+@dataclass(frozen=True)
+class PathEvolution:
+    """How an evolved :class:`PathSet` relates to its parent.
+
+    Stashed (compare-excluded) on the path sets :meth:`PathSet.apply_delta`
+    returns, so downstream layers — :meth:`PathSet.engine`'s dirty-row
+    re-interning, the evolve-keyed :class:`~repro.engine.cache.PathSetCache`
+    entries — can tell *what changed* without re-deriving it.
+
+    Attributes
+    ----------
+    parent:
+        The pre-delta path set.
+    survivors:
+        ``old path index -> new path index`` for every path present in both
+        families (positions change because the evolved family is emitted in
+        canonical from-scratch order).
+    added:
+        New-family indices of paths absent from the parent, ascending.
+    removed:
+        Parent indices of paths absent from the new family, ascending.
+    links_changed:
+        Whether the link universe itself changed (links added or removed).
+    """
+
+    parent: "PathSet"
+    survivors: Mapping[int, int]
+    added: Tuple[int, ...]
+    removed: Tuple[int, ...]
+    links_changed: bool
 
 
 @dataclass(frozen=True)
@@ -384,9 +448,16 @@ class PathSet:
         key = (universe.fingerprint, name, bool(compress))
         cached = self._engines.get(key)
         if cached is None:
+            # An evolved path set first tries to patch its parent's engine
+            # for the same (universe, backend, compression) — re-interning
+            # only the rows the delta dirtied — and falls back to a full
+            # build when the parent has no matching engine to patch.
+            cached = self._engine_from_evolution(universe, name, bool(compress))
+        if cached is None:
             cached = SignatureEngine(
                 elements, masks, len(self.paths), name, compress
             )
+        if key not in self._engines:
             self._engines[key] = cached
             # Alias the concrete backend name so a later explicit request
             # (e.g. engine("python") after a policy-default engine()) shares
@@ -395,6 +466,132 @@ class PathSet:
                 (universe.fingerprint, cached.backend.name, bool(compress)), cached
             )
         return cached
+
+    # -- delta/evolution plumbing -------------------------------------------
+    @property
+    def evolution(self) -> Optional[PathEvolution]:
+        """The :class:`PathEvolution` linking this path set to the parent it
+        was evolved from by :meth:`apply_delta` (``None`` for fresh sets)."""
+        return getattr(self, "_evolution", None)
+
+    def _engine_from_evolution(
+        self, universe: FailureUniverse, name: object, compress: bool
+    ) -> Optional["SignatureEngine"]:
+        """Patch the parent's engine for ``universe`` instead of building one.
+
+        Returns ``None`` whenever the incremental route is unavailable — no
+        evolution record, compression off, no matching parent engine, or a
+        patched plan that degenerates — so :meth:`engine` can fall back to
+        the full construction.  When it succeeds, the result is structurally
+        identical to a fresh :class:`SignatureEngine` (same plan, same packed
+        rows, same keys): only rows whose elements the delta dirtied are
+        re-interned from their masks, every other row is translated from the
+        parent's packed signature by a class-index remap.
+        """
+        evolution = self.evolution
+        if evolution is None or not compress:
+            return None
+        parent = evolution.parent
+        parent_engine = parent._engines.get((universe.fingerprint, name, compress))
+        if parent_engine is None or parent_engine.compression is None:
+            return None
+        touch_inputs = self._delta_touch_inputs(evolution, universe, parent_engine)
+        if touch_inputs is None:
+            return None
+        added_touch, dirty, element_remap = touch_inputs
+        from repro.engine.signatures import SignatureEngine
+        from repro.exceptions import IdentifiabilityError
+
+        try:
+            return SignatureEngine.from_delta(
+                parent_engine,
+                universe.elements,
+                universe.masks,
+                len(self.paths),
+                name,
+                survivors=evolution.survivors,
+                added=added_touch,
+                dirty=dirty,
+                element_remap=element_remap,
+            )
+        except IdentifiabilityError:
+            return None
+
+    def _delta_touch_inputs(
+        self,
+        evolution: PathEvolution,
+        universe: FailureUniverse,
+        parent_engine: "SignatureEngine",
+    ) -> Optional[Tuple[List[Tuple[int, Tuple[int, ...]]], Set[Node], Optional[Dict[int, int]]]]:
+        """The universe-specific ingredients of an incremental re-intern.
+
+        Returns ``(added_touch, dirty, element_remap)``: for every added
+        path, its ascending element-position touch key in the *new* element
+        order; the set of (new-universe) elements touched by any removed or
+        added path, whose rows must be re-interned; and the old→new element
+        position remap when the element list itself changed (``None`` when
+        identical).  ``None`` as a whole means this universe kind has no
+        incremental route.
+        """
+        kind = universe.kind
+        position = {element: i for i, element in enumerate(universe.elements)}
+        directed = bool(self.directed)
+        if kind == "node":
+
+            def elements_of(path: Path) -> Set[Node]:
+                touched = path[:-1] if path[0] == path[-1] else path
+                return set(touched)
+
+        elif kind == "link":
+
+            def elements_of(path: Path) -> Set[Node]:
+                return {
+                    canonical_link(u, v, directed)
+                    for u, v in zip(path, path[1:])
+                    if u != v
+                }
+
+        elif kind == "srlg":
+            membership: Dict[Link, Tuple[str, ...]] = {}
+            for group_name, members in universe.groups or ():
+                for link in members:
+                    membership[link] = membership.get(link, ()) + (group_name,)
+
+            def elements_of(path: Path) -> Set[Node]:
+                groups: Set[Node] = set()
+                for u, v in zip(path, path[1:]):
+                    if u != v:
+                        groups.update(
+                            membership.get(canonical_link(u, v, directed), ())
+                        )
+                return groups
+
+        else:  # pragma: no cover - future universe kinds opt in explicitly
+            return None
+
+        added_touch: List[Tuple[int, Tuple[int, ...]]] = []
+        for new_index in evolution.added:
+            elements = elements_of(self.paths[new_index])
+            added_touch.append(
+                (new_index, tuple(sorted(position[e] for e in elements)))
+            )
+        dirty: Set[Node] = set()
+        parent_paths = evolution.parent.paths
+        for old_index in evolution.removed:
+            for element in elements_of(parent_paths[old_index]):
+                if element in position:  # removed links vanish with their paths
+                    dirty.add(element)
+        for new_index in evolution.added:
+            dirty.update(elements_of(self.paths[new_index]))
+        old_elements = parent_engine.elements
+        element_remap: Optional[Dict[int, int]] = None
+        if tuple(old_elements) != tuple(universe.elements):
+            element_remap = {}
+            for old_position, element in enumerate(old_elements):
+                new_position = position.get(element)
+                if new_position is not None:
+                    element_remap[old_position] = new_position
+        return added_touch, dirty, element_remap
 
     def restrict_to_paths(self, indices: Sequence[int]) -> "PathSet":
         """A new :class:`PathSet` over the same universe with a subset of paths.
@@ -449,6 +646,309 @@ class PathSet:
             _link_masks=link_masks,
         )
 
+    def fingerprint(self) -> str:
+        """A stable content digest of this path set (memoised).
+
+        Covers directedness, the node universe, the link universe and the
+        ordered path family — everything that determines every downstream
+        artefact (masks, universes, engines).  Used by
+        :class:`~repro.engine.cache.PathSetCache` to key evolved path sets
+        by (parent fingerprint, delta fingerprint) so chains of deltas hit
+        the cache.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
+        digest = hashlib.sha256(
+            repr((bool(self.directed), self.nodes, self.links, self.paths)).encode()
+        ).hexdigest()
+        object.__setattr__(self, "_fingerprint", digest)
+        return digest
+
+    def apply_delta(
+        self,
+        graph: AnyGraph,
+        placement: MonitorPlacement,
+        mechanism: RoutingMechanism | str,
+        delta: PathSetDelta,
+        cutoff: Optional[int] = DEFAULT_CUTOFF,
+        max_paths: int = DEFAULT_MAX_PATHS,
+    ) -> "PathSet":
+        """Evolve this path set under a topology/placement delta.
+
+        ``graph`` and ``placement`` are the **post-delta** topology and
+        monitor placement (the caller applies the delta to its own graph;
+        this method only needs to know *what* changed).  The result is
+        bit-identical — paths, order, masks, link universe — to
+        ``enumerate_paths(graph, placement, mechanism, cutoff, max_paths)``,
+        but only the paths the delta can affect are re-enumerated:
+
+        * paths traversing a removed link, starting at a removed input or
+          ending at a removed output are dropped;
+        * new paths are found by three scoped searches — from each added
+          input to every output, from the kept inputs to the added outputs,
+          and through each added link via a two-segment composition
+          (prefix to the link's tail avoiding its head, the link itself,
+          then a suffix DFS forbidden from re-entering the prefix);
+        * the cycle/loop families (CAP/CAP⁻ only) are re-emitted by the
+          canonical generator — they are cheap, and their dedup
+          representative depends on global emission order;
+        * every untouched path *survives* and its mask columns are remapped
+          instead of re-scanned.
+
+        Exactness of the ordering relies on the emission-order invariant of
+        :func:`_iter_simple_paths`: within one source, paths are emitted in
+        lexicographic order of their adjacency-index vectors (the DFS yields
+        before it descends and walks adjacency in insertion order), so
+        sorting the merged open family by (source rank, adjacency-index
+        vector over the post-delta graph) reproduces the from-scratch order
+        without re-running the full DFS.
+
+        The returned path set carries a :class:`PathEvolution` record
+        (``.evolution``) linking it to this parent, which
+        :meth:`engine` uses to patch the parent's signature engines instead
+        of re-interning every row.
+        """
+        mechanism = RoutingMechanism.parse(mechanism)
+        directed = bool(graph.is_directed())
+        if bool(self.directed) != directed:
+            raise RoutingError(
+                "apply_delta cannot change graph directedness; re-enumerate"
+            )
+        if tuple(sorted(graph.nodes, key=repr)) != self.nodes:
+            raise RoutingError(
+                "apply_delta keeps the node universe fixed; node additions or "
+                "removals need a fresh enumeration"
+            )
+        placement.validate(graph)
+
+        removed_links = {
+            canonical_link(u, v, directed) for u, v in delta.remove_links
+        }
+        added_links = {canonical_link(u, v, directed) for u, v in delta.add_links}
+        old_links = set(self._links) if self._links is not None else set(self.links)
+        missing = removed_links - old_links
+        if missing:
+            raise RoutingError(
+                f"cannot remove links absent from the universe: {sorted(missing, key=repr)}"
+            )
+        clashing = added_links & old_links
+        if clashing:
+            raise RoutingError(
+                f"cannot add links already in the universe: {sorted(clashing, key=repr)}"
+            )
+        new_link_set = {canonical_link(u, v, directed) for u, v in graph.edges()}
+        if new_link_set != (old_links - removed_links) | added_links:
+            raise RoutingError(
+                "the supplied graph does not match the delta applied to this "
+                "path set's link universe"
+            )
+        removed_inputs = set(delta.remove_inputs)
+        added_inputs = set(delta.add_inputs)
+        removed_outputs = set(delta.remove_outputs)
+        added_outputs = set(delta.add_outputs)
+        if added_inputs - placement.inputs or removed_inputs & placement.inputs:
+            raise RoutingError(
+                "the supplied placement does not reflect the delta's input edits"
+            )
+        if added_outputs - placement.outputs or removed_outputs & placement.outputs:
+            raise RoutingError(
+                "the supplied placement does not reflect the delta's output edits"
+            )
+
+        # 1. Open-family survivors: old simple input→output paths that avoid
+        #    every removed link and keep both endpoints monitored.
+        survivors: List[Tuple[int, Path]] = []
+        old_closed_index: Dict[Path, int] = {}
+        for index, path in enumerate(self.paths):
+            if path[0] == path[-1]:
+                # Closed families are re-emitted below; identical tuples are
+                # matched back to their old columns as survivors.
+                old_closed_index[path] = index
+                continue
+            if path[0] in removed_inputs or path[-1] in removed_outputs:
+                continue
+            if removed_links and any(
+                canonical_link(u, v, directed) in removed_links
+                for u, v in zip(path, path[1:])
+            ):
+                continue
+            survivors.append((index, path))
+
+        # 2. Open-family additions: every post-delta path missing from the
+        #    old family starts at an added input, ends at an added output, or
+        #    traverses an added link (the old enumeration was exhaustive over
+        #    everything else).  The three searches overlap; the set dedups.
+        additions: Set[Path] = set()
+        kept_inputs = placement.inputs - added_inputs
+        for source in added_inputs:
+            additions.update(
+                _iter_simple_paths(graph, source, placement.outputs, cutoff)
+            )
+        if added_outputs:
+            for source in kept_inputs:
+                additions.update(
+                    _iter_simple_paths(graph, source, added_outputs, cutoff)
+                )
+        for tail, head in added_links:
+            if tail == head:
+                continue  # a self-loop joins the universe but carries no path
+            orientations = ((tail, head),) if directed else ((tail, head), (head, tail))
+            for a, b in orientations:
+                for source in kept_inputs:
+                    additions.update(
+                        _paths_through_edge(
+                            graph, source, placement.outputs, a, b, cutoff
+                        )
+                    )
+
+        # 3. Order the merged open family exactly as a fresh enumeration
+        #    would: grouped by source in repr order, lexicographic in the
+        #    adjacency-index vector within one source.
+        adjacency = graph.adj
+        positions = {
+            u: {v: i for i, v in enumerate(adjacency[u])} for u in graph.nodes
+        }
+        source_rank = {
+            source: rank
+            for rank, source in enumerate(sorted(placement.inputs, key=repr))
+        }
+
+        def order_key(path: Path) -> List[int]:
+            u = path[0]
+            vector = [source_rank[u]]
+            for v in path[1:]:
+                vector.append(positions[u][v])
+                u = v
+            return vector
+
+        open_family: List[Tuple[List[int], Optional[int], Path]] = [
+            (order_key(path), index, path) for index, path in survivors
+        ]
+        open_family.extend((order_key(path), None, path) for path in additions)
+        open_family.sort(key=lambda item: item[0])
+
+        # 4. Closed families (CAP/CAP⁻): re-emitted by the canonical
+        #    generator — their dedup representative depends on emission order
+        #    over the post-delta adjacency, so surviving cycles are detected
+        #    by tuple identity rather than filtered.
+        closed: List[Path] = []
+        if mechanism.allows_cycles or mechanism.allows_dlp:
+            seen: Set[Path] = set()
+            if mechanism.allows_cycles:
+                for anchor in sorted(placement.dlp_candidates, key=repr):
+                    for cycle in _monitor_cycles(graph, anchor, cutoff):
+                        if cycle not in seen:
+                            seen.add(cycle)
+                            closed.append(cycle)
+            if mechanism.allows_dlp:
+                for anchor in sorted(placement.dlp_candidates, key=repr):
+                    loop = (anchor, anchor)
+                    if loop not in seen:
+                        seen.add(loop)
+                        closed.append(loop)
+
+        total = len(open_family) + len(closed)
+        if total > max_paths:
+            raise PathExplosionError(
+                f"more than max_paths={max_paths} measurement paths; "
+                "increase the cap or use a smaller topology"
+            )
+        if total == 0:
+            raise RoutingError(
+                "no measurement path exists for this placement under "
+                f"{mechanism.value}; identifiability would be undefined"
+            )
+
+        new_paths: List[Path] = [item[2] for item in open_family]
+        survivors_map: Dict[int, int] = {}
+        added_indices: List[int] = []
+        for new_index, (_, old_index, _path) in enumerate(open_family):
+            if old_index is None:
+                added_indices.append(new_index)
+            else:
+                survivors_map[old_index] = new_index
+        for offset, path in enumerate(closed):
+            new_index = len(new_paths)
+            new_paths.append(path)
+            old_index = old_closed_index.get(path)
+            if old_index is None:
+                added_indices.append(new_index)
+            else:
+                survivors_map[old_index] = new_index
+
+        # 5. Masks by column remap + scatter: surviving columns move to their
+        #    new positions, added paths scatter their touched elements.
+        node_extras: Dict[Node, List[int]] = {}
+        for new_index in added_indices:
+            path = new_paths[new_index]
+            touched = path[:-1] if path[0] == path[-1] else path
+            for node in touched:
+                node_extras.setdefault(node, []).append(new_index)
+        lookup = survivors_map.get
+
+        def _remap(mask: int, extra: Optional[List[int]]) -> int:
+            indices = [j for i in bit_indices(mask) if (j := lookup(i)) is not None]
+            if extra:
+                indices.extend(extra)
+            return mask_from_indices(indices)
+
+        node_masks = {
+            node: _remap(mask, node_extras.get(node))
+            for node, mask in self._node_masks.items()
+        }
+
+        # 6. The link universe changes only when links actually changed; the
+        #    memoised link masks are remapped (never re-derived) when the
+        #    parent had already paid for them.
+        links_changed = bool(removed_links or added_links)
+        if links_changed or self._links is None:
+            new_links: Tuple[Link, ...] = tuple(sorted(new_link_set, key=repr))
+        else:
+            new_links = self._links
+        link_masks: Optional[Dict[Link, int]] = None
+        if self._link_masks is not None:
+            link_extras: Dict[Link, List[int]] = {}
+            for new_index in added_indices:
+                path = new_paths[new_index]
+                for u, v in zip(path, path[1:]):
+                    if u != v:
+                        link_extras.setdefault(
+                            canonical_link(u, v, directed), []
+                        ).append(new_index)
+            old_link_masks = self._link_masks
+            link_masks = {}
+            for link in new_links:
+                old_mask = old_link_masks.get(link)
+                if old_mask is None:
+                    link_masks[link] = mask_from_indices(link_extras.get(link, []))
+                else:
+                    link_masks[link] = _remap(old_mask, link_extras.get(link))
+
+        removed_indices = tuple(
+            index for index in range(len(self.paths)) if index not in survivors_map
+        )
+        result = PathSet(
+            self.nodes,
+            tuple(new_paths),
+            node_masks,
+            directed=directed,
+            _links=new_links,
+            _link_masks=link_masks,
+        )
+        object.__setattr__(
+            result,
+            "_evolution",
+            PathEvolution(
+                parent=self,
+                survivors=survivors_map,
+                added=tuple(added_indices),
+                removed=removed_indices,
+                links_changed=links_changed,
+            ),
+        )
+        return result
+
     def describe(self) -> str:
         """One-line human-readable summary."""
         return (
@@ -462,6 +962,7 @@ def _iter_simple_paths(
     source: Node,
     targets: Iterable[Node],
     cutoff: Optional[int],
+    forbidden: Optional[AbstractSet[Node]] = None,
 ) -> Iterator[Path]:
     """Yield all simple paths from ``source`` to any of ``targets``.
 
@@ -475,9 +976,20 @@ def _iter_simple_paths(
     ``cutoff`` limits the path length in *edges* (``None`` = unlimited).
     The traversal descends into a child only while some target lies outside
     the current path, matching the classic pruning of the networkx
-    implementation; emission order is depth-first in adjacency order.
+    implementation; emission order is depth-first in adjacency order — i.e.
+    lexicographic in the path's adjacency-index vector, an invariant
+    :meth:`PathSet.apply_delta` relies on to merge incremental results into
+    from-scratch order.
+
+    ``forbidden`` excludes a node set from the traversal entirely (used by
+    the delta layer's two-segment composition); forbidden nodes are never
+    visited and never count as targets.
     """
     target_set = {t for t in targets if t != source}
+    if forbidden:
+        if source in forbidden:
+            return
+        target_set -= set(forbidden)
     if not target_set:
         return
     if source not in graph:
@@ -487,7 +999,10 @@ def _iter_simple_paths(
     if max_nodes < 2:
         return  # no room for even a 1-edge path (cutoff <= 0 / trivial graph)
     path: List[Node] = [source]
-    on_path = {source}
+    # Folding the forbidden set into the on-path set blocks both descent and
+    # emission; backtracking only ever pops appended path nodes, so the
+    # forbidden members stay put for the whole traversal.
+    on_path = {source} | set(forbidden) if forbidden else {source}
     stack: List[Iterator[Node]] = [iter(adjacency[source])]
     while stack:
         descended = False
@@ -505,6 +1020,48 @@ def _iter_simple_paths(
         if not descended:
             stack.pop()
             on_path.discard(path.pop())
+
+
+def _paths_through_edge(
+    graph: AnyGraph,
+    source: Node,
+    targets: AbstractSet[Node],
+    tail: Node,
+    head: Node,
+    cutoff: Optional[int],
+) -> Iterator[Path]:
+    """Yield simple ``source``→target paths traversing the edge ``tail→head``.
+
+    The delta layer's scoped search for paths through one *added* link: every
+    such path decomposes uniquely into a simple prefix from ``source`` to
+    ``tail`` that avoids ``head`` (the path visits ``head`` only after the
+    edge), the edge itself, and a simple suffix from ``head`` to a target
+    avoiding every prefix node — so enumerating (prefix, suffix) pairs with
+    the forbidden-set DFS finds each qualifying path exactly once.  For
+    undirected graphs the caller invokes this twice, once per orientation.
+    """
+    if source == head:
+        return  # the edge would re-enter the source: never simple
+    if cutoff is not None and cutoff < 1:
+        return
+    if source == tail:
+        prefixes: Iterable[Path] = ((tail,),)
+    else:
+        prefix_cutoff = None if cutoff is None else cutoff - 1
+        prefixes = _iter_simple_paths(
+            graph, source, {tail}, prefix_cutoff, forbidden={head}
+        )
+    for prefix in prefixes:
+        with_edge = prefix + (head,)
+        if head in targets:
+            yield with_edge
+        remaining = None if cutoff is None else cutoff - len(prefix)
+        if remaining is not None and remaining < 1:
+            continue
+        for suffix in _iter_simple_paths(
+            graph, head, targets, remaining, forbidden=frozenset(prefix)
+        ):
+            yield prefix + suffix
 
 
 def _monitor_cycles(

@@ -18,6 +18,7 @@ from repro.api.spec import SCHEMA_VERSION, PlacementSpec, ScenarioSpec, Topology
 
 EXPECTED_ALL = [
     "AnalysisSpec",
+    "DeltaSpec",
     "EngineConfig",
     "FailureModel",
     "FailureUniverse",
