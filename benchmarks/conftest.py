@@ -51,13 +51,23 @@ def run_once(benchmark, func, *args, **kwargs):
     them only burns wall-clock time; one round with one iteration is enough
     for a stable, meaningful measurement of the end-to-end experiment cost.
     """
+    from repro.resilience.pool import pool_counters
+
+    before = pool_counters().as_dict()
     start = time.perf_counter()
     result = benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    seconds = time.perf_counter() - start
+    after = pool_counters().as_dict()
     _RECORDS.append(
         {
             "benchmark": getattr(benchmark, "name", None) or func.__name__,
-            "seconds": time.perf_counter() - start,
+            "seconds": seconds,
             "extra_info": benchmark.extra_info,
+            # Fault-handling deltas for this benchmark: a clean host reports
+            # all-zero; nonzero retries/failures explain timing outliers.
+            "pool_events": {
+                name: after[name] - before[name] for name in after
+            },
         }
     )
     return result
@@ -68,9 +78,14 @@ def pytest_sessionfinish(session, exitstatus):
     path = os.environ.get("BENCH_JSON")
     if not path or not _RECORDS:
         return
+    totals: Dict[str, int] = {}
+    for record in _RECORDS:
+        for name, value in record.get("pool_events", {}).items():
+            totals[name] = totals.get(name, 0) + value
     document = {
         "seed": BENCH_SEED,
         "exit_status": int(exitstatus),
+        "pool_events": totals,
         "benchmarks": _RECORDS,
     }
     with open(path, "w", encoding="utf-8") as handle:

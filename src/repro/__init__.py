@@ -94,6 +94,8 @@ from repro.monitors import (
     mdmp_placement,
     random_placement,
 )
+from repro.exceptions import BudgetExceededError
+from repro.resilience import Budget, ChaosConfig, CheckpointJournal, TrialFailure
 from repro.routing import PathSet, RoutingMechanism, enumerate_paths
 from repro.tomography import TomographySession, localize_failures, measurement_vector
 from repro.topology import (
@@ -155,6 +157,12 @@ __all__ = [
     "TomographySession",
     "localize_failures",
     "measurement_vector",
+    # resilience
+    "Budget",
+    "BudgetExceededError",
+    "ChaosConfig",
+    "CheckpointJournal",
+    "TrialFailure",
     # applications
     "agrid",
     "design_network",

@@ -384,6 +384,7 @@ class Scenario:
             compress=config.compress,
             universe=None if node_mode else universe,
             search_jobs=config.search_jobs,
+            budget=config.budget(),
         )
         return result, bound_value
 
@@ -442,6 +443,7 @@ class Scenario:
             compress=config.compress,
             universe=None if universe.kind == "node" else universe,
             search_jobs=config.search_jobs,
+            budget=config.budget(),
         )
         return TruncatedMuReport(
             value=result.value,
@@ -462,7 +464,9 @@ class Scenario:
 
         universe = self.universe
         pairs = self.engine.inseparable_pairs(
-            size, search_jobs=self.spec.engine.search_jobs
+            size,
+            search_jobs=self.spec.engine.search_jobs,
+            budget=self.spec.engine.budget(),
         )
         n_subsets = math.comb(len(universe.elements), size)
         return SeparabilityReport(

@@ -42,12 +42,24 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.api.serialize import decode_node, encode_node, json_normalize
 from repro.exceptions import SpecError
 from repro.failures.universe import UNIVERSE_KINDS
 from repro.routing.mechanisms import RoutingMechanism
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.resilience.budget import Budget
 
 #: Version stamp embedded in every serialised spec.
 SCHEMA_VERSION = 2
@@ -90,12 +102,22 @@ class EngineConfig:
     (0 = all cores, 1 = serial); results are bit-identical for every value,
     so the field is an execution knob, not a semantic one.  Additive in
     schema v2: documents without the field parse with the serial default.
+
+    ``time_budget`` (wall-clock seconds) and ``subset_budget`` (max subsets
+    enumerated) bound each subset search cooperatively: on expiry
+    ``identifiability()`` truncates at the last fully completed size
+    (``stats.budget_exhausted=True``, a certified lower bound) and the census
+    queries raise :class:`~repro.exceptions.BudgetExceededError`.  Both are
+    additive too — v1/v2 documents without them parse unchanged and mean
+    "unbounded".
     """
 
     backend: str = "auto"
     compress: bool = True
     cache: bool = True
     search_jobs: int = 1
+    time_budget: Optional[float] = None
+    subset_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         from repro.engine.backends import normalize_backend_spec
@@ -109,6 +131,26 @@ class EngineConfig:
                 f"engine search_jobs must be an int >= 0 (0 = all cores), "
                 f"got {jobs!r}"
             )
+        if self.time_budget is not None:
+            if (
+                isinstance(self.time_budget, bool)
+                or not isinstance(self.time_budget, (int, float))
+                or self.time_budget <= 0
+            ):
+                raise SpecError(
+                    f"engine time_budget must be a positive number of "
+                    f"seconds or null, got {self.time_budget!r}"
+                )
+            object.__setattr__(self, "time_budget", float(self.time_budget))
+        if self.subset_budget is not None and (
+            isinstance(self.subset_budget, bool)
+            or not isinstance(self.subset_budget, int)
+            or self.subset_budget <= 0
+        ):
+            raise SpecError(
+                f"engine subset_budget must be a positive int or null, "
+                f"got {self.subset_budget!r}"
+            )
 
     @classmethod
     def from_policy(cls, cache: bool = True) -> "EngineConfig":
@@ -121,13 +163,26 @@ class EngineConfig:
         from repro.engine.backends import select_backend
         from repro.engine.compress import compression_enabled
         from repro.engine.signatures import select_search_jobs
+        from repro.resilience.budget import current_budget_limits
 
+        time_budget, subset_budget = current_budget_limits()
         return cls(
             backend=select_backend(),
             compress=compression_enabled(),
             cache=cache,
             search_jobs=select_search_jobs(),
+            time_budget=time_budget,
+            subset_budget=subset_budget,
         )
+
+    def budget(self) -> Optional[Budget]:
+        """A fresh per-search :class:`~repro.resilience.Budget` from this
+        config's limits, or ``None`` when both are unset."""
+        if self.time_budget is None and self.subset_budget is None:
+            return None
+        from repro.resilience.budget import Budget
+
+        return Budget(self.time_budget, self.subset_budget)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -135,12 +190,21 @@ class EngineConfig:
             "compress": self.compress,
             "cache": self.cache,
             "search_jobs": self.search_jobs,
+            "time_budget": self.time_budget,
+            "subset_budget": self.subset_budget,
         }
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "EngineConfig":
         data = _expect_mapping(payload, "engine config")
-        unknown = set(data) - {"backend", "compress", "cache", "search_jobs"}
+        unknown = set(data) - {
+            "backend",
+            "compress",
+            "cache",
+            "search_jobs",
+            "time_budget",
+            "subset_budget",
+        }
         if unknown:
             raise SpecError(f"unknown engine config fields {sorted(unknown)}")
         return cls(
@@ -148,6 +212,8 @@ class EngineConfig:
             compress=data.get("compress", True),
             cache=data.get("cache", True),
             search_jobs=data.get("search_jobs", 1),
+            time_budget=data.get("time_budget"),
+            subset_budget=data.get("subset_budget"),
         )
 
 

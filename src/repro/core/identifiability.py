@@ -39,6 +39,7 @@ from repro.engine.backends import BackendSpec
 from repro.engine.signatures import ConfusablePair, IdentifiabilityResult
 from repro.exceptions import IdentifiabilityError
 from repro.failures.universe import FailureUniverse
+from repro.resilience.budget import Budget
 from repro.monitors.placement import MonitorPlacement
 from repro.routing.mechanisms import RoutingMechanism
 from repro.routing.paths import PathSet, enumerate_paths
@@ -93,6 +94,7 @@ def maximal_identifiability_detailed(
     compress: Optional[bool] = None,
     universe: UniverseLike = None,
     search_jobs: Optional[int] = None,
+    budget: Optional["Budget"] = None,
 ) -> IdentifiabilityResult:
     """Compute µ with full diagnostics.
 
@@ -123,6 +125,12 @@ def maximal_identifiability_detailed(
         Shard the subset search across workers (``None`` = the global policy,
         0 = all cores, 1 = serial).  Bit-identical results for every value —
         see :func:`repro.engine.search_jobs_policy`.
+    budget:
+        A :class:`repro.resilience.Budget` bounding the search (``None`` =
+        the global :func:`repro.resilience.budget_policy` limits).  On expiry
+        the result truncates at the last fully completed subset size with
+        ``exhausted_search=False`` and ``stats.budget_exhausted=True`` — a
+        certified lower bound, same semantics as a ``max_size`` cap.
     """
     resolved = resolve_universe(pathset, universe)
     if nodes is None and (max_size is None or max_size >= 1) and resolved.elements:
@@ -139,7 +147,7 @@ def maximal_identifiability_detailed(
                 value=0, witness=witness, searched_up_to=1, exhausted_search=False
             )
     return pathset.engine(backend, compress, universe=resolved).identifiability(
-        max_size=max_size, nodes=nodes, search_jobs=search_jobs
+        max_size=max_size, nodes=nodes, search_jobs=search_jobs, budget=budget
     )
 
 
@@ -151,11 +159,13 @@ def maximal_identifiability(
     compress: Optional[bool] = None,
     universe: UniverseLike = None,
     search_jobs: Optional[int] = None,
+    budget: Optional["Budget"] = None,
 ) -> int:
     """µ of the failure universe with respect to ``pathset`` (Definition 2.2,
     generalised from nodes to arbitrary failure elements)."""
     return maximal_identifiability_detailed(
-        pathset, max_size, nodes, backend, compress, universe, search_jobs
+        pathset, max_size, nodes, backend, compress, universe, search_jobs,
+        budget,
     ).value
 
 
@@ -307,6 +317,7 @@ def separability_matrix(
     compress: Optional[bool] = None,
     universe: UniverseLike = None,
     search_jobs: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> Dict[Tuple[FrozenSet[Node], FrozenSet[Node]], bool]:
     """Explicit separation table for all pairs of element sets of a given size.
 
@@ -315,7 +326,10 @@ def separability_matrix(
     a measurement path separates them.  Grows combinatorially — callers are
     expected to use it on small universes only.  Signatures are computed once
     per subset by the engine, so each pair costs one key comparison.
+
+    A census has no sound partial result, so an expired ``budget`` raises
+    :class:`~repro.exceptions.BudgetExceededError` instead of truncating.
     """
     return pathset.engine(backend, compress, universe=universe).separability_matrix(
-        size, search_jobs=search_jobs
+        size, search_jobs=search_jobs, budget=budget
     )

@@ -27,6 +27,7 @@ from repro._typing import AnyGraph, Node, Path
 from repro.core.identifiability import UniverseLike, resolve_universe
 from repro.exceptions import IdentifiabilityError
 from repro.monitors.placement import MonitorPlacement
+from repro.resilience.budget import Budget
 from repro.routing.paths import PathSet
 
 
@@ -152,6 +153,7 @@ def inseparable_pairs_of_size(
     compress: Optional[bool] = None,
     universe: UniverseLike = None,
     search_jobs: Optional[int] = None,
+    budget: Optional["Budget"] = None,
 ) -> Tuple[Tuple[FrozenSet[Node], FrozenSet[Node]], ...]:
     """All unordered pairs of distinct element sets of exactly ``size``
     elements with identical path sets.  Exponential; meant for diagnostics on
@@ -160,7 +162,9 @@ def inseparable_pairs_of_size(
     Delegates the signature grouping to the engine, which computes each
     subset's signature incrementally instead of re-deriving ``P(U)`` per
     subset.  ``universe`` selects the failure universe (nodes by default).
+    An expired ``budget`` raises
+    :class:`~repro.exceptions.BudgetExceededError` (no partial census).
     """
     return pathset.engine(compress=compress, universe=universe).inseparable_pairs(
-        size, search_jobs=search_jobs
+        size, search_jobs=search_jobs, budget=budget
     )

@@ -27,6 +27,7 @@ from repro.core.identifiability import (
 from repro.engine.backends import BackendSpec
 from repro.exceptions import IdentifiabilityError
 from repro.monitors.placement import MonitorPlacement
+from repro.resilience.budget import Budget
 from repro.routing.mechanisms import RoutingMechanism
 from repro.routing.paths import PathSet, enumerate_paths
 from repro.topology.base import average_degree, min_degree
@@ -39,19 +40,22 @@ def truncated_identifiability_detailed(
     compress: Optional[bool] = None,
     universe: UniverseLike = None,
     search_jobs: Optional[int] = None,
+    budget: Optional["Budget"] = None,
 ) -> IdentifiabilityResult:
     """µ_α with diagnostics: the engine search capped at subset size α.
 
     ``universe`` follows :func:`repro.core.identifiability.resolve_universe`
     — node mode by default, ``"link"`` or a
     :class:`~repro.failures.FailureUniverse` for the element-generic
-    variants.
+    variants.  ``budget`` adds a run-time bound on top of the size cap with
+    the same truncation semantics (``stats.budget_exhausted`` distinguishes
+    a budget stop from cap exhaustion).
     """
     if alpha < 1:
         raise IdentifiabilityError(f"alpha must be >= 1, got {alpha}")
     return maximal_identifiability_detailed(
         pathset, max_size=alpha, backend=backend, compress=compress,
-        universe=universe, search_jobs=search_jobs,
+        universe=universe, search_jobs=search_jobs, budget=budget,
     )
 
 
@@ -62,6 +66,7 @@ def truncated_identifiability(
     compress: Optional[bool] = None,
     universe: UniverseLike = None,
     search_jobs: Optional[int] = None,
+    budget: Optional["Budget"] = None,
 ) -> int:
     """µ_α(G): the truncated maximal identifiability.
 
@@ -70,7 +75,7 @@ def truncated_identifiability(
     values).
     """
     return truncated_identifiability_detailed(
-        pathset, alpha, backend, compress, universe, search_jobs
+        pathset, alpha, backend, compress, universe, search_jobs, budget
     ).value
 
 

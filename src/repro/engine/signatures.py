@@ -123,7 +123,13 @@ from repro.engine.compress import (
     compress_universe,
     compression_enabled,
 )
-from repro.exceptions import IdentifiabilityError
+from repro.exceptions import BudgetExceededError, IdentifiabilityError
+from repro.resilience.budget import (
+    SHARD_POLL_STRIDE,
+    Budget,
+    SharedBudgetState,
+    resolve_budget,
+)
 from repro.utils.bitset import mask_from_indices
 
 # -- the search_jobs policy ---------------------------------------------------
@@ -227,6 +233,7 @@ class SearchStats:
     dominance_prunes: int
     table_entries: int
     shard_subsets: Tuple[int, ...] = ()
+    budget_exhausted: bool = False
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -235,6 +242,7 @@ class SearchStats:
             "dominance_prunes": self.dominance_prunes,
             "table_entries": self.table_entries,
             "shard_subsets": list(self.shard_subsets),
+            "budget_exhausted": self.budget_exhausted,
         }
 
 
@@ -389,9 +397,12 @@ MIN_SHARDED_FRONTIER = 1024
 #: Test hook: force the shard executor kind ("process" / "thread" / None).
 _FORCE_EXECUTOR: Optional[str] = None
 
-#: ``(token, signatures, backend)`` — installed by the parent before the
-#: shard executor is created, inherited by fork workers / shared by threads.
-_SHARD_CONTEXT: Optional[Tuple[int, List[Any], SignatureBackend]] = None
+#: ``(token, signatures, backend, shared_budget)`` — installed by the parent
+#: before the shard executor is created, inherited by fork workers / shared by
+#: threads.  The shared budget (when set) is the cancel token the shards poll.
+_SHARD_CONTEXT: Optional[
+    Tuple[int, List[Any], SignatureBackend, Optional[SharedBudgetState]]
+] = None
 _SHARD_TABLES: Dict[Tuple[int, int], Dict[int, List[Tuple[int, ...]]]] = {}
 _SHARD_LOCK = threading.Lock()
 #: Serialises sharded searches per process (one shard context at a time).
@@ -400,10 +411,13 @@ _SHARD_TOKENS = itertools.count(1)
 
 
 def _install_shard_context(
-    token: int, signatures: List[Any], backend: SignatureBackend
+    token: int,
+    signatures: List[Any],
+    backend: SignatureBackend,
+    shared_budget: Optional[SharedBudgetState] = None,
 ) -> None:
     global _SHARD_CONTEXT
-    _SHARD_CONTEXT = (token, signatures, backend)
+    _SHARD_CONTEXT = (token, signatures, backend, shared_budget)
 
 
 def _clear_shard_context() -> None:
@@ -413,13 +427,15 @@ def _clear_shard_context() -> None:
         _SHARD_TABLES.clear()
 
 
-def _shard_context(token: int) -> Tuple[List[Any], SignatureBackend]:
+def _shard_context(
+    token: int,
+) -> Tuple[List[Any], SignatureBackend, Optional[SharedBudgetState]]:
     context = _SHARD_CONTEXT
     if context is None or context[0] != token:
         raise IdentifiabilityError(
             "sharded-search context is not installed in this worker"
         )
-    return context[1], context[2]
+    return context[1], context[2], context[3]
 
 
 def _make_shard_executor(jobs: int) -> Executor:
@@ -465,7 +481,7 @@ def _shard_table(
         cached = _SHARD_TABLES.get((token, size))
         if cached is not None:
             return cached
-        signatures, backend = _shard_context(token)
+        signatures, backend, _ = _shard_context(token)
         key = backend.key
         table: Dict[int, List[Tuple[int, ...]]] = {}
         table.setdefault(hash(key(backend.empty())), []).append(())
@@ -489,14 +505,22 @@ def _scan_shard(
     are exact-verified by recomputing the candidate's union key; bucket order
     (seeds, history, then local entries) is serial order, so the first exact
     match is the earliest visible occurrence.
+
+    When the shard context carries a shared budget, the scan polls it every
+    :data:`~repro.resilience.budget.SHARD_POLL_STRIDE` subsets and stops
+    early (``budget_stopped``); the parent then discards the whole incomplete
+    size, so shard progress at the moment of expiry never leaks into the
+    result.
     """
     token, size, first_lo, first_hi, history = task
-    signatures, backend = _shard_context(token)
+    signatures, backend, shared_budget = _shard_context(token)
     table = _shard_table(token, size, history)
     union, key, is_subset = backend.union, backend.key, backend.is_subset
     local: Dict[int, List[Tuple[Tuple[int, ...], Any]]] = {}
     entries: List[Tuple[int, Tuple[int, ...]]] = []
     scanned = 0
+    pending = 0
+    stopped = False
     hit: Optional[Tuple[str, Tuple[int, ...], Optional[Tuple[int, ...]]]] = None
     for indices, rest, last_signature in _combination_frontier(
         signatures, backend, size, first_lo, first_hi
@@ -523,20 +547,61 @@ def _scan_shard(
         subset = tuple(indices)
         entries.append((digest, subset))
         local.setdefault(digest, []).append((subset, exact))
-    return {"scanned": scanned, "entries": entries, "hit": hit}
+        if shared_budget is not None:
+            pending += 1
+            if pending >= SHARD_POLL_STRIDE:
+                if shared_budget.poll(pending):
+                    stopped = True
+                    pending = 0
+                    break
+                pending = 0
+    if (
+        shared_budget is not None
+        and pending
+        and shared_budget.poll(pending)
+        and hit is None
+    ):
+        # The end-of-block flush observed expiry: report it, so a subset
+        # budget landing inside this size discards the size no matter how the
+        # frontier was partitioned (blocks smaller than the poll stride would
+        # otherwise never notice).  A shard that found a hit stopped at a
+        # genuine collision position instead and is not marked.
+        stopped = True
+    return {
+        "scanned": scanned,
+        "entries": entries,
+        "hit": hit,
+        "budget_stopped": stopped,
+    }
 
 
 def _census_shard(task: Tuple[int, int, int, int]) -> List[Tuple[int, Tuple[int, ...]]]:
     """Digest census of one first-index block (separability/local queries):
-    no dominance, no early stop — every subset's ``(digest, indices)``."""
+    no dominance, no early stop — every subset's ``(digest, indices)``.
+
+    A census has no sound partial result, so a shared budget makes the shard
+    raise :class:`BudgetExceededError` (picklable: it propagates through the
+    executor to the parent) instead of stopping quietly.
+    """
     token, size, first_lo, first_hi = task
-    signatures, backend = _shard_context(token)
+    signatures, backend, shared_budget = _shard_context(token)
     union, key = backend.union, backend.key
     out: List[Tuple[int, Tuple[int, ...]]] = []
+    pending = 0
     for indices, rest, last_signature in _combination_frontier(
         signatures, backend, size, first_lo, first_hi
     ):
         out.append((hash(key(union(rest, last_signature))), tuple(indices)))
+        if shared_budget is not None:
+            pending += 1
+            if pending >= SHARD_POLL_STRIDE:
+                if shared_budget.poll(pending):
+                    raise BudgetExceededError(
+                        f"size-{size} subset census exceeded its search budget"
+                    )
+                pending = 0
+    if shared_budget is not None and pending:
+        shared_budget.poll(pending)
     return out
 
 
@@ -1028,6 +1093,7 @@ class SignatureEngine:
         max_size: Optional[int] = None,
         nodes: Optional[Iterable[Node]] = None,
         search_jobs: Optional[int] = None,
+        budget: Optional[Budget] = None,
     ) -> IdentifiabilityResult:
         """Exact maximal identifiability of the (possibly restricted) universe.
 
@@ -1039,6 +1105,16 @@ class SignatureEngine:
         ``search_jobs`` shards the per-size frontier across workers (``None``
         = the global policy, 0 = all cores); the result is **bit-identical**
         for every value — only wall-clock time and :attr:`.stats` change.
+
+        ``budget`` (``None`` = the global :func:`budget_policy` limits)
+        bounds the search cooperatively: on expiry the sweep stops at the
+        last fully completed subset size and returns a *certified lower
+        bound* — ``exhausted_search=False``, ``searched_up_to`` at the
+        completed size, ``stats.budget_exhausted=True`` — exactly the
+        truncated-µ semantics of an explicit ``max_size``, just decided at
+        run time.  Sharded searches poll a shared cancel token and discard
+        the incomplete size wholesale, so the truncation point stays at a
+        size boundary for every ``search_jobs`` value.
         """
         universe = self._resolve_universe(nodes)
         if not universe:
@@ -1046,6 +1122,7 @@ class SignatureEngine:
         if max_size is not None and max_size < 0:
             raise IdentifiabilityError(f"max_size must be >= 0, got {max_size}")
         jobs = resolve_search_jobs(search_jobs)
+        budget = resolve_budget(budget)
         n = len(universe)
         cap = n if max_size is None else min(max_size, n)
         if cap == 0:
@@ -1083,14 +1160,42 @@ class SignatureEngine:
             return result
 
         if jobs > 1:
-            result = self._identifiability_sharded(universe, cap, jobs)
+            result = self._identifiability_sharded(universe, cap, jobs, budget)
         else:
-            result = self._identifiability_serial(universe, cap)
+            result = self._identifiability_serial(universe, cap, budget)
         _record_search(result.stats, sharded=jobs > 1)
         return result
 
+    @staticmethod
+    def _budget_truncated(
+        last_completed: int,
+        jobs: int,
+        enumerated: int,
+        dominance: int,
+        table_entries: int,
+        shard_subsets: Tuple[int, ...] = (),
+    ) -> IdentifiabilityResult:
+        """The well-formed truncation at the last fully completed size: a
+        certified lower bound (every smaller size enumerated collision-free),
+        flagged via ``stats.budget_exhausted`` rather than a size-cap
+        exhaustion."""
+        return IdentifiabilityResult(
+            value=last_completed,
+            witness=None,
+            searched_up_to=last_completed,
+            exhausted_search=False,
+            stats=SearchStats(
+                jobs,
+                enumerated,
+                dominance,
+                table_entries,
+                shard_subsets,
+                budget_exhausted=True,
+            ),
+        )
+
     def _identifiability_serial(
-        self, universe: Tuple[Node, ...], cap: int
+        self, universe: Tuple[Node, ...], cap: int, budget: Optional[Budget] = None
     ) -> IdentifiabilityResult:
         """The serial sweep over sizes 2..cap (sizes 0/1 already excluded)."""
         backend = self.backend
@@ -1103,7 +1208,14 @@ class SignatureEngine:
         for index, node in enumerate(universe):
             seen[key(signatures[index])] = (node,)
         enumerated = n + 1  # the ∅ + singleton subsets the fast path covered
+        if budget is not None:
+            budget.start()
+            budget.spend(enumerated)
         for size in range(2, cap + 1):
+            if budget is not None and budget.expired():
+                return self._budget_truncated(
+                    size - 1, 1, budget.consumed, 0, len(seen)
+                )
             for indices, rest, last_signature in _combination_frontier(
                 signatures, backend, size
             ):
@@ -1143,6 +1255,12 @@ class SignatureEngine:
                         ),
                     )
                 seen[signature_key] = tuple(universe[i] for i in indices)
+                if budget is not None and budget.spend():
+                    # Mid-size expiry: discard the partial size and stop at
+                    # the previous (fully enumerated) size boundary.
+                    return self._budget_truncated(
+                        size - 1, 1, budget.consumed, 0, len(seen)
+                    )
             enumerated += math.comb(n, size)
         return IdentifiabilityResult(
             value=cap,
@@ -1153,10 +1271,22 @@ class SignatureEngine:
         )
 
     def _identifiability_sharded(
-        self, universe: Tuple[Node, ...], cap: int, jobs: int
+        self,
+        universe: Tuple[Node, ...],
+        cap: int,
+        jobs: int,
+        budget: Optional[Budget] = None,
     ) -> IdentifiabilityResult:
         """The sharded sweep: bit-identical to :meth:`_identifiability_serial`
-        (see the module docstring for the merge argument)."""
+        (see the module docstring for the merge argument).
+
+        Under a budget the shards poll a shared cancel token (a
+        :class:`SharedBudgetState` installed in the shard context before the
+        executor exists, so ``fork`` workers inherit it and threads share
+        it).  Any shard stopping early marks the size incomplete and the
+        parent discards it wholesale — the merge stays deterministic at
+        completed-size granularity regardless of how far each shard got.
+        """
         backend = self.backend
         signatures = [self._signatures[node] for node in universe]
         n = len(universe)
@@ -1166,10 +1296,26 @@ class SignatureEngine:
         dominance = 0
         shard_subsets: Tuple[int, ...] = ()
         executor: Optional[Executor] = None
+        shared_budget: Optional[SharedBudgetState] = None
+        if budget is not None:
+            budget.start()
+            budget.spend(enumerated)
+            shared_budget = budget.share()
         with _SHARD_SEARCH_LOCK:
-            _install_shard_context(token, signatures, backend)
+            _install_shard_context(token, signatures, backend, shared_budget)
             try:
                 for size in range(2, cap + 1):
+                    if budget is not None:
+                        budget.sync_from(shared_budget)
+                        if budget.expired():
+                            return self._budget_truncated(
+                                size - 1,
+                                jobs,
+                                budget.consumed,
+                                dominance,
+                                1 + n + len(history),
+                                shard_subsets,
+                            )
                     if math.comb(n, size) >= MIN_SHARDED_FRONTIER:
                         blocks = _first_index_blocks(n, size, jobs)
                     else:
@@ -1187,6 +1333,21 @@ class SignatureEngine:
                     scanned = tuple(result["scanned"] for result in results)
                     enumerated += sum(scanned)
                     shard_subsets = scanned
+                    if any(result.get("budget_stopped") for result in results):
+                        # A shard hit the shared budget: the size is
+                        # incomplete, so discard it wholesale (even a found
+                        # hit — using partial-size information would make the
+                        # result depend on shard scheduling).
+                        if budget is not None:
+                            budget.sync_from(shared_budget)
+                        return self._budget_truncated(
+                            size - 1,
+                            jobs,
+                            enumerated,
+                            dominance,
+                            1 + n + len(history),
+                            scanned,
+                        )
                     dominance += sum(
                         1
                         for result in results
@@ -1245,14 +1406,24 @@ class SignatureEngine:
         return self.union_key(first) != self.union_key(second)
 
     def _subset_census(
-        self, universe: Tuple[Node, ...], size: int, jobs: int
+        self,
+        universe: Tuple[Node, ...],
+        size: int,
+        jobs: int,
+        budget: Optional[Budget] = None,
     ) -> List[List[Tuple[int, ...]]]:
         """Signature-equality groups of all size-``size`` subsets, ordered by
         first appearance (groups and members in lexicographic order) —
-        computed serially or via the digest census shards, identically."""
+        computed serially or via the digest census shards, identically.
+
+        A census is all-or-nothing: an expired ``budget`` raises
+        :class:`BudgetExceededError` (a partially enumerated census would be
+        silently wrong, not a certified lower bound)."""
         signatures = [self._signatures[node] for node in universe]
         backend = self.backend
         n = len(universe)
+        if budget is not None:
+            budget.start()
         if jobs <= 1 or size > n or math.comb(n, size) < MIN_SHARDED_FRONTIER:
             union, key = backend.union, backend.key
             exact_groups: Dict[Any, List[Tuple[int, ...]]] = {}
@@ -1262,10 +1433,15 @@ class SignatureEngine:
                 exact_groups.setdefault(
                     key(union(rest, last_signature)), []
                 ).append(tuple(indices))
+                if budget is not None and budget.spend():
+                    raise BudgetExceededError(
+                        f"size-{size} subset census exceeded its search budget"
+                    )
             return list(exact_groups.values())
         token = next(_SHARD_TOKENS)
+        shared_budget = budget.share() if budget is not None else None
         with _SHARD_SEARCH_LOCK:
-            _install_shard_context(token, signatures, backend)
+            _install_shard_context(token, signatures, backend, shared_budget)
             executor = _make_shard_executor(jobs)
             try:
                 tasks = [
@@ -1280,6 +1456,8 @@ class SignatureEngine:
             finally:
                 _clear_shard_context()
                 executor.shutdown()
+        if budget is not None:
+            budget.sync_from(shared_budget)
         buckets: Dict[int, List[Tuple[int, ...]]] = {}
         for digest, indices in entries:
             buckets.setdefault(digest, []).append(indices)
@@ -1303,13 +1481,18 @@ class SignatureEngine:
         size: int,
         nodes: Optional[Iterable[Node]] = None,
         search_jobs: Optional[int] = None,
+        budget: Optional[Budget] = None,
     ) -> Dict[Tuple[FrozenSet[Node], FrozenSet[Node]], bool]:
-        """Pairwise separation table for all subsets of a given size."""
+        """Pairwise separation table for all subsets of a given size.
+
+        An expired ``budget`` raises :class:`BudgetExceededError` — see
+        :meth:`_subset_census` for why there is no partial table."""
         if size < 1:
             raise IdentifiabilityError(f"size must be >= 1, got {size}")
         jobs = resolve_search_jobs(search_jobs)
+        budget = resolve_budget(budget)
         universe = self._resolve_universe(nodes)
-        groups = self._subset_census(universe, size, jobs)
+        groups = self._subset_census(universe, size, jobs, budget)
         group_of: Dict[Tuple[int, ...], int] = {}
         for group_id, members in enumerate(groups):
             for indices in members:
@@ -1329,14 +1512,19 @@ class SignatureEngine:
         size: int,
         nodes: Optional[Iterable[Node]] = None,
         search_jobs: Optional[int] = None,
+        budget: Optional[Budget] = None,
     ) -> Tuple[Tuple[FrozenSet[Node], FrozenSet[Node]], ...]:
-        """All unordered pairs of same-size subsets with identical path sets."""
+        """All unordered pairs of same-size subsets with identical path sets.
+
+        An expired ``budget`` raises :class:`BudgetExceededError` — see
+        :meth:`_subset_census` for why there is no partial census."""
         if size < 1:
             raise IdentifiabilityError(f"size must be >= 1, got {size}")
         jobs = resolve_search_jobs(search_jobs)
+        budget = resolve_budget(budget)
         universe = self._resolve_universe(nodes)
         pairs: List[Tuple[FrozenSet[Node], FrozenSet[Node]]] = []
-        for members in self._subset_census(universe, size, jobs):
+        for members in self._subset_census(universe, size, jobs, budget):
             subsets = [
                 frozenset(universe[i] for i in indices) for indices in members
             ]

@@ -52,6 +52,18 @@ class IdentifiabilityError(ReproError):
     inconsistent."""
 
 
+class BudgetExceededError(IdentifiabilityError):
+    """Raised when a search :class:`repro.resilience.Budget` expires inside a
+    query that cannot degrade gracefully.
+
+    ``identifiability()`` never raises this — it truncates at the last fully
+    completed subset size and flags ``stats.budget_exhausted`` instead.  The
+    census queries (``separability_matrix``, ``inseparable_pairs``) raise it,
+    because a partially enumerated census would be silently wrong rather than
+    a certified lower bound.
+    """
+
+
 class EmbeddingError(ReproError):
     """Raised by the embedding subpackage for invalid embeddings or when an
     exact dimension computation is requested on a graph that is too large for

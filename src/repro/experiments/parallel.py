@@ -31,7 +31,10 @@ only — the spec-driven path needs no process-global mutation at all.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -46,6 +49,19 @@ from repro.engine.signatures import (
     select_search_jobs,
 )
 from repro.exceptions import ExperimentError
+from repro.resilience.budget import _install_budget_limits, current_budget_limits
+from repro.resilience.chaos import ChaosConfig, chaos_hook, install_chaos
+from repro.resilience.checkpoint import (
+    CheckpointJournal,
+    active_checkpoint,
+    fingerprint_call,
+)
+from repro.resilience.pool import (
+    ExecutionPolicy,
+    TrialFailure,
+    _record_pool_event,
+    current_execution_policy,
+)
 
 
 @dataclass(frozen=True)
@@ -97,12 +113,20 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-def _init_worker(backend: str, compress: bool, search_jobs: int = 1) -> None:
+def _init_worker(
+    backend: str,
+    compress: bool,
+    search_jobs: int = 1,
+    time_budget: Optional[float] = None,
+    subset_budget: Optional[int] = None,
+    chaos: Optional[ChaosConfig] = None,
+) -> None:
     """Pool initializer: propagate the engine policies, start a clean cache.
 
     The signature-backend policy (``--backend``), the signature-universe
-    compression policy (``--no-compress``) and the search-sharding policy
-    (``--search-jobs``) are installed so workers compute exactly as the
+    compression policy (``--no-compress``), the search-sharding policy
+    (``--search-jobs``) and the search-budget limits (``--time-budget``)
+    are installed so workers compute exactly as the
     parent would.  Clearing makes worker
     caches behave identically under ``fork`` (which inherits a copy of the
     parent's entries) and ``spawn`` (which starts empty), and makes the
@@ -112,11 +136,14 @@ def _init_worker(backend: str, compress: bool, search_jobs: int = 1) -> None:
     process-global policies; trials that carry a
     :class:`repro.api.spec.ScenarioSpec` (every table driver since the
     declarative API landed) take their engine config from the spec itself
-    and never consult the globals.
+    and never consult the globals.  ``chaos`` arms the fault-injection hook
+    (``None`` — the default — means workers never inject faults).
     """
     _install_policy(backend)
     _install_compression(compress)
     _install_search_jobs(search_jobs)
+    _install_budget_limits(time_budget, subset_budget)
+    install_chaos(chaos)
     pathset_cache().clear()
     reset_search_counters()
 
@@ -144,46 +171,34 @@ def _run_spec(indexed_spec: Tuple[int, TrialSpec]) -> TrialResult:
     )
 
 
-def run_trials(
-    specs: Iterable[TrialSpec],
-    jobs: Optional[int] = 1,
-    backend: Optional[str] = None,
-) -> List[Any]:
-    """Execute the specs and return their values **in spec order**.
+def _run_spec_attempt(task: Tuple[int, TrialSpec, int]) -> TrialResult:
+    """Worker-side execution of one (possibly retried) spec attempt.
 
-    ``jobs`` follows :func:`resolve_jobs` (1 = serial in-process, 0 = all
-    cores, N = a pool of N workers).  ``backend`` overrides the signature
-    backend policy for the trials — installed in the workers, or scoped
-    around the serial loop; by default the parent's current policy
-    (:func:`select_backend`) applies, so a scoped ``backend_policy(...)``
-    block in the parent covers the whole fan-out.
-
-    Serial and parallel execution of the same specs produce identical values;
-    only wall-clock time and cache-statistics attribution differ (a path set
-    enumerated once by a shared serial cache may be enumerated independently
-    by several workers).
+    The chaos hook fires *before* the trial runs, so injected faults never
+    leave a half-computed result behind; the attempt number rides along so
+    the injection decision is a pure function of ``(seed, index, attempt)``.
     """
-    spec_list = list(specs)
-    n_jobs = resolve_jobs(jobs)
-    if not spec_list:
-        return []
-    if n_jobs == 1 or len(spec_list) == 1:
-        with backend_policy(backend):  # honor the override on the serial path too
-            return [spec.run() for spec in spec_list]
+    index, spec, attempt = task
+    chaos_hook(index, attempt)
+    return _run_spec((index, spec))
 
-    policy = backend if backend is not None else select_backend()
-    n_workers = min(n_jobs, len(spec_list))
-    # Chunking amortises IPC for large batches of cheap trials while still
-    # keeping every worker busy until the tail of the batch.
-    chunksize = max(1, len(spec_list) // (n_workers * 4))
-    with ProcessPoolExecutor(
-        max_workers=n_workers,
-        initializer=_init_worker,
-        initargs=(policy, compression_enabled(), select_search_jobs()),
-    ) as pool:
-        results = list(
-            pool.map(_run_spec, enumerate(spec_list), chunksize=chunksize)
-        )
+
+def _checkpoint_keys(spec_list: List[TrialSpec]) -> List[str]:
+    """Journal keys for a batch: call fingerprints, disambiguated by
+    occurrence so intentionally duplicated specs each get their own slot."""
+    counts: Dict[str, int] = {}
+    keys: List[str] = []
+    for spec in spec_list:
+        digest = fingerprint_call(spec.func, spec.args, spec.kwargs)
+        occurrence = counts.get(digest, 0)
+        counts[digest] = occurrence + 1
+        keys.append(f"{digest}:{occurrence}" if occurrence else digest)
+    return keys
+
+
+def _merge_worker_counters(results: Iterable[TrialResult]) -> None:
+    """Fold worker-side cache/search deltas into the parent's counters."""
+    results = list(results)
     pathset_cache().record_external(
         hits=sum(result.cache_hits for result in results),
         misses=sum(result.cache_misses for result in results),
@@ -201,4 +216,306 @@ def run_trials(
             r.search_counters.get("dominance_prunes", 0) for r in results
         ),
     )
+
+
+def _run_serial(
+    spec_list: List[TrialSpec],
+    backend: Optional[str],
+    policy: ExecutionPolicy,
+    checkpoint: Optional[CheckpointJournal],
+) -> List[Any]:
+    """In-process execution with checkpoint skip/record and bounded retry.
+
+    Timeouts and chaos need a process boundary, so neither engages here —
+    a serial run is always the *clean* reference the chaos parity tests
+    compare against.  ``KeyboardInterrupt`` is deliberately not caught:
+    completed trials are already durable in the journal when it propagates.
+    """
+    keys = _checkpoint_keys(spec_list) if checkpoint is not None else []
+    values: List[Any] = []
+    with backend_policy(backend):
+        for index, spec in enumerate(spec_list):
+            if checkpoint is not None and keys[index] in checkpoint:
+                values.append(checkpoint.restore(keys[index]))
+                continue
+            failures = 0
+            while True:
+                try:
+                    value = spec.run()
+                except Exception as error:  # noqa: BLE001 - retry boundary
+                    failures += 1
+                    if failures > policy.max_retries:
+                        _record_pool_event("trial_failures")
+                        if policy.failure_mode == "raise":
+                            raise
+                        value = TrialFailure(
+                            index=index,
+                            label=spec.label,
+                            kind="error",
+                            error=str(error) or type(error).__name__,
+                            attempts=failures,
+                        )
+                        break
+                    _record_pool_event("retries")
+                    time.sleep(policy.backoff_seconds(index, failures))
+                else:
+                    if checkpoint is not None:
+                        checkpoint.record(keys[index], value, label=spec.label)
+                    break
+            values.append(value)
+    return values
+
+
+def _run_resilient(
+    spec_list: List[TrialSpec],
+    n_workers: int,
+    initargs: Tuple,
+    policy: ExecutionPolicy,
+    checkpoint: Optional[CheckpointJournal],
+) -> List[Any]:
+    """The fault-tolerant submit loop: windowed submission, per-trial
+    deadlines, pool rebuild on crash, bounded retry with backoff.
+
+    Retried attempts resubmit the *original* pickled spec (seed included),
+    so a successful retry is bit-identical to a first-attempt success.  When
+    a worker dies the pool cannot say which in-flight trial it was running,
+    so every in-flight trial is charged one failure — convergence under
+    chaos holds because injected faults stop at ``max_failures`` attempts.
+    Trials that merely shared the pool with a *timed-out* trial are
+    resubmitted at the same attempt number, uncharged.
+    """
+    keys = _checkpoint_keys(spec_list) if checkpoint is not None else []
+    results: Dict[int, TrialResult] = {}
+    failures: Dict[int, TrialFailure] = {}
+    failure_counts: Dict[int, int] = {}
+    #: (index, attempt, not-before monotonic time)
+    pending: deque = deque()
+    for index in range(len(spec_list)):
+        if checkpoint is not None and keys[index] in checkpoint:
+            results[index] = TrialResult(
+                index=index, value=checkpoint.restore(keys[index])
+            )
+        else:
+            pending.append((index, 0, 0.0))
+
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_init_worker,
+            initargs=initargs,
+        )
+
+    def charge(index: int, attempt: int, kind: str, error: object) -> None:
+        count = failure_counts.get(index, 0) + 1
+        failure_counts[index] = count
+        if count > policy.max_retries:
+            _record_pool_event("trial_failures")
+            message = str(error) or kind
+            if policy.failure_mode == "raise":
+                raise ExperimentError(
+                    f"trial {index} ({spec_list[index].label or 'unlabeled'}) "
+                    f"failed ({kind}) after {count} attempts: {message}"
+                )
+            failures[index] = TrialFailure(
+                index=index,
+                label=spec_list[index].label,
+                kind=kind,
+                error=message,
+                attempts=count,
+            )
+            return
+        _record_pool_event("retries")
+        delay = policy.backoff_seconds(index, attempt + 1)
+        pending.append((index, attempt + 1, time.monotonic() + delay))
+
+    pool = make_pool()
+    #: future -> (index, attempt, absolute deadline or None)
+    futures: Dict[Future, Tuple[int, int, Optional[float]]] = {}
+    try:
+        while pending or futures:
+            now = time.monotonic()
+            while pending and len(futures) < n_workers:
+                index, attempt, not_before = pending[0]
+                if not_before > now:
+                    break
+                pending.popleft()
+                deadline = (
+                    now + policy.trial_timeout
+                    if policy.trial_timeout is not None
+                    else None
+                )
+                try:
+                    future = pool.submit(
+                        _run_spec_attempt, (index, spec_list[index], attempt)
+                    )
+                except BrokenProcessPool:
+                    # The break surfaces through the in-flight futures below;
+                    # this submission just waits for the rebuilt pool.
+                    pending.appendleft((index, attempt, not_before))
+                    break
+                futures[future] = (index, attempt, deadline)
+
+            if not futures:
+                # Everything runnable is backing off; sleep to the nearest
+                # retry time instead of spinning.
+                wake = min(entry[2] for entry in pending)
+                delay = wake - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+
+            deadlines = [
+                meta[2] for meta in futures.values() if meta[2] is not None
+            ]
+            deadlines.extend(
+                entry[2] for entry in pending if entry[2] > now
+            )
+            timeout = (
+                max(0.0, min(deadlines) - time.monotonic()) + 0.005
+                if deadlines
+                else None
+            )
+            done, _ = wait(set(futures), timeout=timeout, return_when=FIRST_COMPLETED)
+
+            crashed: List[Tuple[int, int, Optional[float]]] = []
+            for future in done:
+                index, attempt, _ = meta = futures.pop(future)
+                error = future.exception()
+                if error is None:
+                    result = future.result()
+                    results[index] = result
+                    if checkpoint is not None:
+                        checkpoint.record(
+                            keys[index], result.value, label=spec_list[index].label
+                        )
+                elif isinstance(error, BrokenProcessPool):
+                    crashed.append(meta)
+                else:
+                    charge(index, attempt, "error", error)
+
+            if crashed:
+                _record_pool_event("worker_crashes")
+                _record_pool_event("pool_rebuilds")
+                survivors = list(futures.values())
+                futures.clear()
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = make_pool()
+                for index, attempt, _ in crashed + survivors:
+                    charge(index, attempt, "crash", "worker process died")
+                continue
+
+            now = time.monotonic()
+            timed_out = {
+                future
+                for future, meta in futures.items()
+                if meta[2] is not None and now >= meta[2]
+            }
+            if timed_out:
+                # A running task cannot be cancelled; tear the pool down and
+                # resubmit the innocent bystanders at their current attempt.
+                _record_pool_event("timeouts", len(timed_out))
+                _record_pool_event("pool_rebuilds")
+                for process in getattr(pool, "_processes", {}).values():
+                    process.terminate()
+                victims = [futures[future] for future in timed_out]
+                survivors = [
+                    meta
+                    for future, meta in futures.items()
+                    if future not in timed_out
+                ]
+                futures.clear()
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = make_pool()
+                for index, attempt, _ in survivors:
+                    pending.appendleft((index, attempt, 0.0))
+                for index, attempt, _ in victims:
+                    charge(
+                        index,
+                        attempt,
+                        "timeout",
+                        f"exceeded trial_timeout={policy.trial_timeout}s",
+                    )
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    _merge_worker_counters(results.values())
+    return [
+        results[index].value if index in results else failures[index]
+        for index in range(len(spec_list))
+    ]
+
+
+def run_trials(
+    specs: Iterable[TrialSpec],
+    jobs: Optional[int] = 1,
+    backend: Optional[str] = None,
+    *,
+    policy: Optional[ExecutionPolicy] = None,
+    checkpoint: Optional[CheckpointJournal] = None,
+) -> List[Any]:
+    """Execute the specs and return their values **in spec order**.
+
+    ``jobs`` follows :func:`resolve_jobs` (1 = serial in-process, 0 = all
+    cores, N = a pool of N workers).  ``backend`` overrides the signature
+    backend policy for the trials — installed in the workers, or scoped
+    around the serial loop; by default the parent's current policy
+    (:func:`select_backend`) applies, so a scoped ``backend_policy(...)``
+    block in the parent covers the whole fan-out.
+
+    ``policy`` (default: the ambient :func:`execution_policy
+    <repro.resilience.pool.execution_policy>` scope) selects the
+    fault-tolerant submit loop when any resilience knob is set: per-trial
+    timeouts, bounded retry with exponential backoff, pool rebuild after a
+    worker crash, and poison-trial quarantine.  ``checkpoint`` (default: the
+    ambient :func:`checkpoint_scope
+    <repro.resilience.checkpoint.checkpoint_scope>` journal) skips journaled
+    trials and records fresh completions.  With neither set this is exactly
+    the original fast path.
+
+    Serial and parallel execution of the same specs produce identical values
+    — including parallel runs that crashed and retried — only wall-clock
+    time and cache-statistics attribution differ (a path set enumerated once
+    by a shared serial cache may be enumerated independently by several
+    workers).
+    """
+    spec_list = list(specs)
+    if policy is None:
+        policy = current_execution_policy()
+    if checkpoint is None:
+        checkpoint = active_checkpoint()
+    n_jobs = resolve_jobs(jobs)
+    if not spec_list:
+        return []
+    if n_jobs == 1 or len(spec_list) == 1:
+        if policy.resilient or checkpoint is not None:
+            return _run_serial(spec_list, backend, policy, checkpoint)
+        with backend_policy(backend):  # honor the override on the serial path too
+            return [spec.run() for spec in spec_list]
+
+    policy_backend = backend if backend is not None else select_backend()
+    n_workers = min(n_jobs, len(spec_list))
+    time_budget, subset_budget = current_budget_limits()
+    initargs = (
+        policy_backend,
+        compression_enabled(),
+        select_search_jobs(),
+        time_budget,
+        subset_budget,
+        policy.chaos,
+    )
+    if policy.resilient or checkpoint is not None:
+        return _run_resilient(spec_list, n_workers, initargs, policy, checkpoint)
+
+    # Chunking amortises IPC for large batches of cheap trials while still
+    # keeping every worker busy until the tail of the batch.
+    chunksize = max(1, len(spec_list) // (n_workers * 4))
+    with ProcessPoolExecutor(
+        max_workers=n_workers,
+        initializer=_init_worker,
+        initargs=initargs,
+    ) as pool:
+        results = list(
+            pool.map(_run_spec, enumerate(spec_list), chunksize=chunksize)
+        )
+    _merge_worker_counters(results)
     return [result.value for result in results]

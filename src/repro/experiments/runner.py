@@ -73,6 +73,15 @@ from repro.experiments import (
     truncated,
 )
 from repro.experiments.parallel import TrialSpec, run_trials
+from repro.resilience.budget import budget_policy
+from repro.resilience.chaos import ChaosConfig
+from repro.resilience.checkpoint import (
+    CheckpointJournal,
+    active_checkpoint,
+    checkpoint_scope,
+    fingerprint_payload,
+)
+from repro.resilience.pool import TrialFailure, execution_policy
 from repro.topology import zoo
 from repro.utils.tables import format_table
 
@@ -272,6 +281,29 @@ def run_spec_sections(
     results = run_trials(trial_specs, jobs=jobs)
     sections = []
     for spec, analyses in zip(prepared, results):
+        if isinstance(analyses, TrialFailure):
+            # A quarantined scenario (failure_mode="record"): report it as a
+            # section of its own so the batch document stays complete, and
+            # let main() turn the presence of failures into a non-zero exit.
+            failure = analyses
+            body = format_table(
+                ("field", "value"),
+                [
+                    ("kind", failure.kind),
+                    ("attempts", failure.attempts),
+                    ("error", failure.error),
+                ],
+                title=f"FAILED: {spec.display_name()}",
+            )
+            sections.append(
+                Section(
+                    group="spec",
+                    title=f"FAILED: {spec.display_name()}",
+                    body=body,
+                    data={"spec": spec.to_dict(), "failure": failure.to_dict()},
+                )
+            )
+            continue
         rows = [
             (name, _summarise_report(payload)) for name, payload in analyses.items()
         ]
@@ -382,8 +414,37 @@ def run_churn_sections(
     scenario = Scenario(base_spec)
     steps: List[Dict[str, Any]] = []
     rows = []
+    journal = active_checkpoint()
 
     def record(step: int, label: str, current: Scenario) -> None:
+        # A churn step's unit of work is (step, post-delta spec), not a trial
+        # call, so the journal key is a payload fingerprint.  Evolving the
+        # chain is cheap; the journal skips the µ (re)computation.
+        key = ""
+        if journal is not None:
+            key = fingerprint_payload(
+                {
+                    "kind": "churn-step",
+                    "step": step,
+                    "label": label,
+                    "spec": current.spec.to_dict(),
+                    "verify": bool(verify),
+                }
+            )
+            if key in journal:
+                entry = journal.restore(key)
+                steps.append(entry)
+                verified = entry["verified"]
+                rows.append(
+                    (
+                        step,
+                        label,
+                        entry["mu"],
+                        entry["n_paths"],
+                        "ok" if verified else ("-" if verified is None else "FAIL"),
+                    )
+                )
+                return
         mu = current.mu()
         verified: Optional[bool] = None
         if verify:
@@ -398,17 +459,18 @@ def run_churn_sections(
                     f"diverges from a from-scratch rebuild of its spec"
                 )
             verified = True
-        steps.append(
-            {
-                "step": step,
-                "label": label,
-                "mu": mu.value,
-                "searched_up_to": mu.searched_up_to,
-                "n_paths": mu.n_paths,
-                "spec": current.spec.to_dict(),
-                "verified": verified,
-            }
-        )
+        entry = {
+            "step": step,
+            "label": label,
+            "mu": mu.value,
+            "searched_up_to": mu.searched_up_to,
+            "n_paths": mu.n_paths,
+            "spec": current.spec.to_dict(),
+            "verified": verified,
+        }
+        steps.append(entry)
+        if journal is not None:
+            journal.record(key, entry, label=f"churn step {step}: {label}")
         rows.append(
             (
                 step,
@@ -666,6 +728,45 @@ def build_parser() -> argparse.ArgumentParser:
         "searches, subsets enumerated, dominance prunes; worker deltas "
         "merged in) to stderr after the run",
     )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for every exact-µ subset search: on expiry "
+        "the search truncates at the last fully completed subset size "
+        "(exhausted_search=false, stats.budget_exhausted=true — a certified "
+        "lower bound), propagated to pool workers",
+    )
+    parser.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-trial deadline for the --jobs worker pool: a trial running "
+        "longer is killed, retried up to --max-retries times and then "
+        "quarantined (parallel runs only — the serial path has no process "
+        "boundary to enforce it)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry a failed/crashed/timed-out trial up to N times "
+        "(exponential backoff; the retried trial reuses its original seed, "
+        "so a recovered run stays bit-identical to a clean one; default: 0)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="journal every completed trial to DIR/journal.jsonl (append-only "
+        "JSONL, durable per record); rerunning the same invocation skips "
+        "journaled trials and restores their values, so interrupted batches "
+        "resume where they stopped.  Applies to --spec batches, the "
+        "Monte-Carlo table groups and --churn replays",
+    )
     return parser
 
 
@@ -720,13 +821,36 @@ def render_json(
     return json.dumps(document, indent=2, sort_keys=False) + "\n"
 
 
+def _validate_arguments(parser: argparse.ArgumentParser, args) -> None:
+    """Reject out-of-range execution knobs with a clean argparse error
+    (exit 2 + usage) instead of a pool traceback deep inside a batch."""
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0 (0 = all cores), got {args.jobs}")
+    if args.trials is not None and args.trials < 1:
+        parser.error(f"--trials must be >= 1, got {args.trials}")
+    if args.search_jobs is not None and args.search_jobs < 0:
+        parser.error(
+            f"--search-jobs must be >= 0 (0 = all cores), got {args.search_jobs}"
+        )
+    if args.time_budget is not None and args.time_budget <= 0:
+        parser.error(f"--time-budget must be > 0 seconds, got {args.time_budget}")
+    if args.trial_timeout is not None and args.trial_timeout <= 0:
+        parser.error(
+            f"--trial-timeout must be > 0 seconds, got {args.trial_timeout}"
+        )
+    if args.max_retries is not None and args.max_retries < 0:
+        parser.error(f"--max-retries must be >= 0, got {args.max_retries}")
+
+
 def main(argv: List[str] | None = None) -> int:
     """Console-script entry point.
 
-    The ``--backend``, ``--no-compress`` and ``--search-jobs`` selections are
-    scoped to this call (and propagated into any pool workers), so invoking
-    ``main`` as a library function never leaks an engine-policy change into
-    the host process.
+    The ``--backend``, ``--no-compress``, ``--search-jobs``, ``--time-budget``
+    and resilience selections are scoped to this call (and propagated into any
+    pool workers), so invoking ``main`` as a library function never leaks an
+    engine-policy change into the host process.  ``Ctrl-C`` cancels the
+    outstanding pool futures, leaves every already-journaled trial durable on
+    disk, and exits with the conventional status 130.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -734,49 +858,97 @@ def main(argv: List[str] | None = None) -> int:
         parser.error("--churn and --spec are mutually exclusive")
     if args.churn_verify and not args.churn:
         parser.error("--churn-verify requires --churn")
+    _validate_arguments(parser, args)
     try:
         universe = parse_universe_argument(args.universe)
     except SpecError as exc:
         parser.error(str(exc))
-    with backend_policy(args.backend), compression_policy(
-        False if args.no_compress else None
-    ), search_jobs_policy(args.search_jobs):
-        if args.churn:
-            sections = run_churn_file(args.churn, verify=args.churn_verify)
-        elif args.spec:
-            # An explicit engine flag overrides the batch's engine configs;
-            # with no flag, each spec's own (or default) config stands.
-            engine_override = None
-            if (
-                args.backend is not None
-                or args.no_compress
-                or args.search_jobs is not None
-            ):
-                engine_override = EngineConfig.from_policy()
-            sections = run_spec_files(
-                args.spec,
-                jobs=args.jobs,
-                trials=args.trials,
-                seed=args.seed,
-                engine=engine_override,
+    try:
+        chaos = ChaosConfig.from_string(os.environ.get("REPRO_CHAOS"))
+    except Exception as exc:  # noqa: BLE001 - env parse errors exit cleanly
+        parser.error(f"invalid REPRO_CHAOS value: {exc}")
+    journal = CheckpointJournal(args.checkpoint) if args.checkpoint else None
+    failed = False
+    try:
+        with backend_policy(args.backend), compression_policy(
+            False if args.no_compress else None
+        ), search_jobs_policy(args.search_jobs), budget_policy(
+            time_budget=args.time_budget
+        ), execution_policy(
+            trial_timeout=args.trial_timeout,
+            max_retries=args.max_retries,
+            failure_mode="record" if args.spec else None,
+            chaos=chaos,
+        ), checkpoint_scope(journal):
+            if args.churn:
+                sections = run_churn_file(args.churn, verify=args.churn_verify)
+            elif args.spec:
+                # An explicit engine flag overrides the batch's engine
+                # configs; with no flag, each spec's own (or default) config
+                # stands.
+                engine_override = None
+                if (
+                    args.backend is not None
+                    or args.no_compress
+                    or args.search_jobs is not None
+                    or args.time_budget is not None
+                ):
+                    engine_override = EngineConfig.from_policy()
+                sections = run_spec_files(
+                    args.spec,
+                    jobs=args.jobs,
+                    trials=args.trials,
+                    seed=args.seed,
+                    engine=engine_override,
+                )
+                failed = any(
+                    isinstance(section.data, dict) and "failure" in section.data
+                    for section in sections
+                )
+            else:
+                sections = run(
+                    args.tables, args.seed, jobs=args.jobs, trials=args.trials,
+                    universe=universe,
+                )
+            if args.format == "json":
+                payload = render_json(sections, args.seed, args.jobs)
+            else:
+                payload = render_text(sections)
+            if args.output:
+                write_output_atomic(args.output, payload)
+            else:
+                sys.stdout.write(payload)
+            if args.cache_stats:
+                print(cache_stats(), file=sys.stderr)
+            if args.search_stats:
+                print(search_counters(), file=sys.stderr)
+    except KeyboardInterrupt:
+        # The pool shut down (futures cancelled) on the way out; every
+        # journaled trial is already durable, so a --checkpoint rerun
+        # resumes right here.
+        sys.stdout.flush()
+        if journal is not None:
+            print(
+                f"interrupted: checkpoint has {len(journal)} completed "
+                f"trial(s) in {journal.path}; rerun to resume",
+                file=sys.stderr,
             )
         else:
-            sections = run(
-                args.tables, args.seed, jobs=args.jobs, trials=args.trials,
-                universe=universe,
-            )
-        if args.format == "json":
-            payload = render_json(sections, args.seed, args.jobs)
-        else:
-            payload = render_text(sections)
-        if args.output:
-            write_output_atomic(args.output, payload)
-        else:
-            sys.stdout.write(payload)
-        if args.cache_stats:
-            print(cache_stats(), file=sys.stderr)
-        if args.search_stats:
-            print(search_counters(), file=sys.stderr)
+            print("interrupted", file=sys.stderr)
+        return 130
+    if journal is not None:
+        print(
+            f"checkpoint: reused {journal.reused}, recorded "
+            f"{journal.recorded} ({len(journal)} journaled in {journal.path})",
+            file=sys.stderr,
+        )
+    if failed:
+        print(
+            "one or more scenarios failed after retries (see FAILED "
+            "sections)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

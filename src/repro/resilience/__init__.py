@@ -1,0 +1,82 @@
+"""The resilience layer: deadlines, fault-tolerant pools, checkpoint/resume,
+and the deterministic fault-injection harness.
+
+Four orthogonal pieces, threaded through every execution layer:
+
+* :mod:`~repro.resilience.budget` — cooperative :class:`Budget` deadlines for
+  the subset search (wall-clock and/or subset count), with graceful
+  completed-size truncation in ``identifiability()`` and a shared cancel
+  token for sharded workers.
+* :mod:`~repro.resilience.pool` — the :class:`ExecutionPolicy` knobs of the
+  fault-tolerant trial pool (timeouts, bounded retries with backoff + jitter,
+  :class:`TrialFailure` quarantine) plus its observability counters.
+* :mod:`~repro.resilience.checkpoint` — the append-only
+  :class:`CheckpointJournal` behind ``--checkpoint dir/``.
+* :mod:`~repro.resilience.chaos` — seeded failure injection
+  (:class:`ChaosConfig`) for the resilience test-suite and CI smoke jobs.
+
+Every guarantee is bit-identity-preserving: a budget truncation is a
+certified lower bound with the exact semantics of the existing truncated-µ
+machinery, and a retried or resumed trial reuses its original seed, so
+successful output never depends on how much fault handling happened.
+"""
+
+from repro.exceptions import BudgetExceededError
+from repro.resilience.budget import (
+    Budget,
+    SharedBudgetState,
+    budget_policy,
+    current_budget_limits,
+    resolve_budget,
+)
+from repro.resilience.chaos import (
+    ChaosConfig,
+    ChaosInjectedError,
+    chaos_hook,
+    current_chaos,
+    install_chaos,
+    nth_subset_budget,
+)
+from repro.resilience.checkpoint import (
+    CheckpointJournal,
+    active_checkpoint,
+    checkpoint_scope,
+    fingerprint_call,
+    fingerprint_payload,
+)
+from repro.resilience.pool import (
+    ExecutionPolicy,
+    PoolCounters,
+    TrialFailure,
+    current_execution_policy,
+    execution_policy,
+    pool_counters,
+    reset_pool_counters,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExceededError",
+    "SharedBudgetState",
+    "budget_policy",
+    "current_budget_limits",
+    "resolve_budget",
+    "ChaosConfig",
+    "ChaosInjectedError",
+    "chaos_hook",
+    "current_chaos",
+    "install_chaos",
+    "nth_subset_budget",
+    "CheckpointJournal",
+    "active_checkpoint",
+    "checkpoint_scope",
+    "fingerprint_call",
+    "fingerprint_payload",
+    "ExecutionPolicy",
+    "PoolCounters",
+    "TrialFailure",
+    "current_execution_policy",
+    "execution_policy",
+    "pool_counters",
+    "reset_pool_counters",
+]

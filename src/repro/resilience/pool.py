@@ -1,0 +1,203 @@
+"""Fault-tolerance policy and bookkeeping for the trial pool.
+
+:class:`ExecutionPolicy` bundles the resilience knobs of
+:func:`repro.experiments.parallel.run_trials` — per-trial timeout, bounded
+retries with exponential backoff + jitter, quarantine mode, and an optional
+:class:`~repro.resilience.chaos.ChaosConfig` — and the ambient
+:func:`execution_policy` context manager scopes them to a whole runner
+invocation (``--trial-timeout`` / ``--max-retries``) the same way the
+backend/compression/sharding policies scope their flags.
+
+Backoff jitter exists to decorrelate retry storms, not to perturb results:
+every trial's randomness travels in its pickled spec (the original
+``spawn_seed`` is reused on retry), so jitter affects *when* a retry runs,
+never *what* it computes — successful output stays bit-identical to serial.
+The jitter itself is seeded per ``(trial, attempt)`` so a resilient run's
+schedule is reproducible too.
+
+The process-global retry counters mirror ``search_counters``: drivers and the
+benchmark harness snapshot them around a run to report how much fault
+handling actually happened (``BENCH_JSON`` records them so clean hosts can
+assert zero retries).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterator, Optional
+
+from repro.exceptions import ExperimentError
+from repro.resilience.chaos import ChaosConfig
+
+#: Upper bound on one backoff sleep, seconds (keeps a long retry ladder from
+#: stalling the batch).
+BACKOFF_CAP = 2.0
+
+
+@dataclass(frozen=True)
+class TrialFailure:
+    """A quarantined poison trial: it exhausted ``max_retries`` and was
+    recorded instead of killing the batch (``failure_mode="record"``).
+
+    ``kind`` is ``"timeout"`` (exceeded ``trial_timeout``), ``"crash"``
+    (worker died — ``BrokenProcessPool``), or ``"error"`` (the trial raised).
+    ``attempts`` counts executions, so ``attempts == max_retries + 1``.
+    """
+
+    index: int
+    label: str
+    kind: str
+    error: str
+    attempts: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "label": self.label,
+            "kind": self.kind,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Resilience knobs for one ``run_trials`` fan-out.
+
+    The default policy (no timeout, no retries, no chaos, ``"raise"``)
+    selects the original fast path — a plain ``pool.map`` with no
+    fault-handling overhead — so existing drivers are untouched unless a
+    knob is set.
+    """
+
+    trial_timeout: Optional[float] = None
+    max_retries: int = 0
+    retry_backoff: float = 0.05
+    failure_mode: str = "raise"
+    chaos: Optional[ChaosConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.trial_timeout is not None and self.trial_timeout <= 0:
+            raise ExperimentError(
+                f"trial_timeout must be > 0 seconds, got {self.trial_timeout!r}"
+            )
+        if self.max_retries < 0:
+            raise ExperimentError(
+                f"max_retries must be >= 0, got {self.max_retries!r}"
+            )
+        if self.retry_backoff < 0:
+            raise ExperimentError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff!r}"
+            )
+        if self.failure_mode not in ("raise", "record"):
+            raise ExperimentError(
+                f"failure_mode must be 'raise' or 'record', "
+                f"got {self.failure_mode!r}"
+            )
+
+    @property
+    def resilient(self) -> bool:
+        """Whether any knob forces the fault-tolerant submit path."""
+        return (
+            self.trial_timeout is not None
+            or self.max_retries > 0
+            or self.chaos is not None
+            or self.failure_mode != "raise"
+        )
+
+    def backoff_seconds(self, index: int, attempt: int) -> float:
+        """Exponential backoff with deterministic per-(trial, attempt)
+        jitter, capped at :data:`BACKOFF_CAP`."""
+        if self.retry_backoff == 0:
+            return 0.0
+        base = self.retry_backoff * (2 ** max(0, attempt - 1))
+        jitter = random.Random(f"backoff:{index}:{attempt}").uniform(0.0, 1.0)
+        return min(BACKOFF_CAP, base * (1.0 + jitter))
+
+
+_POLICY = ExecutionPolicy()
+
+
+def current_execution_policy() -> ExecutionPolicy:
+    """The ambient policy ``run_trials`` starts from."""
+    return _POLICY
+
+
+@contextlib.contextmanager
+def execution_policy(
+    trial_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    retry_backoff: Optional[float] = None,
+    failure_mode: Optional[str] = None,
+    chaos: Optional[ChaosConfig] = None,
+) -> Iterator[ExecutionPolicy]:
+    """Scope resilience knobs to a ``with`` block (``None`` fields keep the
+    current value; the previous policy is restored on exit)."""
+    global _POLICY
+    previous = _POLICY
+    overrides = {
+        name: value
+        for name, value in (
+            ("trial_timeout", trial_timeout),
+            ("max_retries", max_retries),
+            ("retry_backoff", retry_backoff),
+            ("failure_mode", failure_mode),
+            ("chaos", chaos),
+        )
+        if value is not None
+    }
+    try:
+        if overrides:
+            _POLICY = replace(previous, **overrides)
+        yield _POLICY
+    finally:
+        _POLICY = previous
+
+
+# -- retry observability ------------------------------------------------------
+
+_POOL_COUNTERS: Dict[str, int] = {
+    "retries": 0,
+    "timeouts": 0,
+    "worker_crashes": 0,
+    "pool_rebuilds": 0,
+    "trial_failures": 0,
+}
+
+
+@dataclass(frozen=True)
+class PoolCounters:
+    """Process-global fault-handling counters (parent-side: retries are
+    scheduled by the parent, so no worker merge is needed)."""
+
+    retries: int
+    timeouts: int
+    worker_crashes: int
+    pool_rebuilds: int
+    trial_failures: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_crashes": self.worker_crashes,
+            "pool_rebuilds": self.pool_rebuilds,
+            "trial_failures": self.trial_failures,
+        }
+
+
+def pool_counters() -> PoolCounters:
+    """Snapshot of the accumulated fault-handling counters."""
+    return PoolCounters(**_POOL_COUNTERS)
+
+
+def reset_pool_counters() -> None:
+    """Zero the fault-handling counters."""
+    for name in _POOL_COUNTERS:
+        _POOL_COUNTERS[name] = 0
+
+
+def _record_pool_event(name: str, count: int = 1) -> None:
+    _POOL_COUNTERS[name] += count

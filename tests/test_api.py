@@ -479,6 +479,8 @@ class TestSpecRunner:
             "compress": False,
             "cache": True,
             "search_jobs": 1,
+            "time_budget": None,
+            "subset_budget": None,
         }
 
     def test_write_output_atomic_replaces_existing_content(self, tmp_path):

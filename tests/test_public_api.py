@@ -18,6 +18,10 @@ from repro.api.spec import SCHEMA_VERSION, PlacementSpec, ScenarioSpec, Topology
 
 EXPECTED_ALL = [
     "AnalysisSpec",
+    "Budget",
+    "BudgetExceededError",
+    "ChaosConfig",
+    "CheckpointJournal",
     "DeltaSpec",
     "EngineConfig",
     "FailureModel",
@@ -32,6 +36,7 @@ EXPECTED_ALL = [
     "SignatureEngine",
     "TomographySession",
     "TopologySpec",
+    "TrialFailure",
     "UniverseSpec",
     "__version__",
     "agrid",
@@ -83,6 +88,8 @@ EXPECTED_SPEC_SCHEMA = {
         "compress": True,
         "cache": True,
         "search_jobs": 1,
+        "time_budget": None,
+        "subset_budget": None,
     },
     "seed": None,
     "analyses": [{"analysis": "mu", "params": {}}],
@@ -129,6 +136,8 @@ class TestPublicSurface:
             "compress": True,
             "cache": True,
             "search_jobs": 1,
+            "time_budget": None,
+            "subset_budget": None,
         }
 
     def test_available_analyses_snapshot(self):

@@ -417,6 +417,8 @@ V1_UPGRADED_SNAPSHOT = {
         "compress": True,
         "cache": True,
         "search_jobs": 1,
+        "time_budget": None,
+        "subset_budget": None,
     },
     "seed": 7,
     "analyses": [{"analysis": "mu", "params": {}}],
