@@ -1,0 +1,90 @@
+"""PR 9 perf trajectory: tomography-as-a-service, cold vs warm cache.
+
+One cell over the committed example corpus (``examples/specs`` — the
+Claranet node- and link-mode batches): a real :class:`BackgroundServer` is
+started on an ephemeral port and the loadgen harness replays the corpus
+twice over HTTP.
+
+* **cold pass** — an empty compiled-scenario cache: every request pays
+  graph build + placement + path enumeration before its analyses.
+* **warm pass** — every request hits the spec-fingerprint cache and adopts
+  the shared compiled artifacts; only the analyses themselves run.
+
+Assertions:
+
+* every response is 200 and the two passes are bit-identical (modulo the
+  per-request ``cache`` stanza),
+* the served sections equal ``repro-experiments --spec`` batch output for
+  the same files — the service is a transport, not a different engine,
+* the warm pass measures a server-side hit rate >= 0.9,
+* warm throughput >= ``BENCH_SERVICE_MIN_SPEEDUP`` (default 1.1) x cold —
+  the compile amortisation is real, though bounded because the analyses
+  (the µ search above all) legitimately re-run per request.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import run_once
+
+from repro.api.spec import load_spec_batch
+from repro.engine.cache import clear_pathset_cache
+from repro.experiments.runner import expand_spec_paths, run_spec_sections
+from repro.service.app import BackgroundServer
+from repro.service.loadgen import replay
+
+SPEC_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples", "specs")
+
+MIN_SPEEDUP = float(os.environ.get("BENCH_SERVICE_MIN_SPEEDUP", "1.1"))
+MIN_WARM_HIT_RATE = 0.9
+
+
+def _serve_and_replay():
+    clear_pathset_cache()
+    with BackgroundServer(cache_size=32, workers=2, max_inflight=8) as server:
+        return replay(server.url, [SPEC_DIR], repeat=2)
+
+
+def test_service_cold_vs_warm(benchmark):
+    report = run_once(benchmark, _serve_and_replay)
+
+    assert report["ok"] is True
+    assert report["verified_identical_passes"] is True
+    cold, warm = report["passes"]
+    assert not cold["failures"] and not warm["failures"]
+    assert warm["hit_rate"] >= MIN_WARM_HIT_RATE, (
+        f"warm hit rate {warm['hit_rate']:.2f} below {MIN_WARM_HIT_RATE}"
+    )
+
+    # The service must be a transport, not a different engine: served
+    # sections == the batch runner's section data for the same corpus.
+    specs = []
+    for path in expand_spec_paths([SPEC_DIR]):
+        with open(path, "r", encoding="utf-8") as handle:
+            specs.extend(load_spec_batch(handle.read()))
+    expected = [section.data for section in run_spec_sections(specs)]
+    assert report["sections"] == expected
+
+    speedup = warm["scenarios_per_second"] / cold["scenarios_per_second"]
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm/cold speedup {speedup:.2f} below the {MIN_SPEEDUP} floor "
+        f"(cold {cold['scenarios_per_second']:.2f}/s, "
+        f"warm {warm['scenarios_per_second']:.2f}/s)"
+    )
+
+    benchmark.extra_info["experiment"] = "Service: cold vs warm scenario cache"
+    benchmark.extra_info["n_scenarios"] = report["n_scenarios"]
+    benchmark.extra_info["cold"] = {
+        "seconds": round(cold["seconds"], 3),
+        "scenarios_per_second": round(cold["scenarios_per_second"], 3),
+        "hit_rate": round(cold["hit_rate"], 3),
+    }
+    benchmark.extra_info["warm"] = {
+        "seconds": round(warm["seconds"], 3),
+        "scenarios_per_second": round(warm["scenarios_per_second"], 3),
+        "hit_rate": round(warm["hit_rate"], 3),
+    }
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+    benchmark.extra_info["min_speedup_floor"] = MIN_SPEEDUP
+    benchmark.extra_info["verified_identical_passes"] = True

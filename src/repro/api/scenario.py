@@ -173,6 +173,7 @@ class Scenario:
 
             routing = self.spec.routing
             if self.spec.engine.cache:
+                self._apply_cache_maxsize()
                 self._pathset = cached_enumerate_paths(
                     self.graph,
                     self.placement,
@@ -190,6 +191,16 @@ class Scenario:
                     self.graph, self.placement, self.mechanism, **kwargs
                 )
         return self._pathset
+
+    def _apply_cache_maxsize(self) -> None:
+        """Push the spec's ``engine.cache_maxsize`` (if any) into the
+        process-wide pathset cache before using it.  The bound is global by
+        design — it tunes the shared cache, not a per-scenario one."""
+        maxsize = self.spec.engine.cache_maxsize
+        if maxsize is not None:
+            from repro.engine.cache import pathset_cache
+
+            pathset_cache().resize(maxsize)
 
     @property
     def universe(self):
@@ -351,6 +362,7 @@ class Scenario:
             )
 
         if self.spec.engine.cache:
+            self._apply_cache_maxsize()
             limits = normalize_limits(routing.cutoff, routing.max_paths)
             evolved._pathset = pathset_cache().get_or_evolve(
                 self.pathset, (delta.fingerprint(), limits), build

@@ -110,6 +110,15 @@ class EngineConfig:
     queries raise :class:`~repro.exceptions.BudgetExceededError`.  Both are
     additive too — v1/v2 documents without them parse unchanged and mean
     "unbounded".
+
+    ``cache_maxsize`` tunes the LRU bound of the process-wide
+    :class:`~repro.engine.cache.PathSetCache` a cached scenario enumerates
+    through (``None`` — the default and the meaning of documents without the
+    field — keeps the current bound).  Like the cache itself the bound is
+    process-global: a scenario carrying the knob *resizes* the shared cache
+    on first use, which is how a service working set (``repro-serve
+    --cache-size``) escapes the historical hard-coded 128 entries.  Additive
+    in schema v2, execution-only (never changes any reported value).
     """
 
     backend: str = "auto"
@@ -118,6 +127,7 @@ class EngineConfig:
     search_jobs: int = 1
     time_budget: Optional[float] = None
     subset_budget: Optional[int] = None
+    cache_maxsize: Optional[int] = None
 
     def __post_init__(self) -> None:
         from repro.engine.backends import normalize_backend_spec
@@ -150,6 +160,15 @@ class EngineConfig:
             raise SpecError(
                 f"engine subset_budget must be a positive int or null, "
                 f"got {self.subset_budget!r}"
+            )
+        if self.cache_maxsize is not None and (
+            isinstance(self.cache_maxsize, bool)
+            or not isinstance(self.cache_maxsize, int)
+            or self.cache_maxsize < 1
+        ):
+            raise SpecError(
+                f"engine cache_maxsize must be an int >= 1 or null, "
+                f"got {self.cache_maxsize!r}"
             )
 
     @classmethod
@@ -192,6 +211,7 @@ class EngineConfig:
             "search_jobs": self.search_jobs,
             "time_budget": self.time_budget,
             "subset_budget": self.subset_budget,
+            "cache_maxsize": self.cache_maxsize,
         }
 
     @classmethod
@@ -204,6 +224,7 @@ class EngineConfig:
             "search_jobs",
             "time_budget",
             "subset_budget",
+            "cache_maxsize",
         }
         if unknown:
             raise SpecError(f"unknown engine config fields {sorted(unknown)}")
@@ -214,6 +235,7 @@ class EngineConfig:
             search_jobs=data.get("search_jobs", 1),
             time_budget=data.get("time_budget"),
             subset_budget=data.get("subset_budget"),
+            cache_maxsize=data.get("cache_maxsize"),
         )
 
 
@@ -312,6 +334,17 @@ class RoutingSpec:
         except ValueError as exc:
             raise SpecError(str(exc)) from exc
         object.__setattr__(self, "mechanism", parsed.value)
+        # Out-of-range limits used to surface only deep inside enumeration
+        # (a ValueError mid-analysis); reject them at parse time so a bad
+        # document is a SpecError at the boundary, not a 500 in a worker.
+        for name in ("cutoff", "max_paths"):
+            value = getattr(self, name)
+            if value is not None and (
+                isinstance(value, bool) or not isinstance(value, int) or value < 1
+            ):
+                raise SpecError(
+                    f"routing {name} must be an int >= 1 or null, got {value!r}"
+                )
 
     @property
     def mechanism_enum(self) -> RoutingMechanism:

@@ -28,6 +28,7 @@ cache to the CLI and to tests.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Hashable, Optional, Tuple
@@ -103,14 +104,31 @@ def normalize_limits(
     return cutoff, max_paths
 
 
-class PathSetCache:
-    """LRU cache of enumerated path sets keyed by enumeration inputs."""
+#: Default LRU bound of a :class:`PathSetCache` (the historical hard-coded
+#: value; tune per process via :meth:`PathSetCache.resize`, per spec via
+#: ``EngineConfig.cache_maxsize``, or per service via ``repro-serve
+#: --cache-size``).
+DEFAULT_CACHE_MAXSIZE = 128
 
-    def __init__(self, maxsize: int = 128) -> None:
+
+class PathSetCache:
+    """LRU cache of enumerated path sets keyed by enumeration inputs.
+
+    Thread-safe: an internal lock protects the entry table and the counters,
+    so concurrent lookups from a service's async handlers and worker threads
+    keep ``hits + misses == lookups`` exact.  The enumeration (or evolve
+    build) itself runs *outside* the lock — two threads racing on the same
+    cold key may both enumerate, but only the first insert wins and both
+    callers receive the same cached instance, so the engines memoised on it
+    stay shared.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_MAXSIZE) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
         self._entries: "OrderedDict[Hashable, PathSet]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -158,16 +176,15 @@ class PathSetCache:
         mechanism = RoutingMechanism.parse(mechanism)
         cutoff, max_paths = normalize_limits(cutoff, max_paths)
         key = self._key(graph, placement, mechanism, cutoff, max_paths)
-        cached = self._entries.get(key)
-        if cached is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return cached
-        self.misses += 1
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached
+            self.misses += 1
         pathset = enumerate_paths(graph, placement, mechanism, cutoff, max_paths)
-        self._entries[key] = pathset
-        self._evict()
-        return pathset
+        return self._insert(key, pathset)
 
     def get_or_evolve(
         self,
@@ -187,21 +204,46 @@ class PathSetCache:
         engines memoised on it are reused too.
         """
         key = ("evolve", parent.fingerprint(), delta_fingerprint)
-        cached = self._entries.get(key)
-        if cached is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return cached
-        self.misses += 1
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached
+            self.misses += 1
         pathset = build()
-        self._entries[key] = pathset
-        self._evict()
-        return pathset
+        return self._insert(key, pathset)
+
+    def _insert(self, key: Hashable, pathset: PathSet) -> PathSet:
+        """Publish a freshly built entry, resolving build races in favour of
+        the first insert (so every caller shares one instance)."""
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                self._entries.move_to_end(key)
+                return existing
+            self._entries[key] = pathset
+            self._evict()
+            return pathset
 
     def _evict(self) -> None:
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
             self.evictions += 1
+
+    def resize(self, maxsize: int) -> None:
+        """Change the LRU bound, evicting oldest entries down to it.
+
+        How ``EngineConfig.cache_maxsize`` and the service ``--cache-size``
+        knob reach the process cache: the bound was hard-coded at
+        :data:`DEFAULT_CACHE_MAXSIZE` before, which a long-lived server's
+        working set cannot live with.
+        """
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        with self._lock:
+            self.maxsize = maxsize
+            self._evict()
 
     def record_external(self, hits: int, misses: int, evictions: int = 0) -> None:
         """Fold hit/miss/eviction counters observed elsewhere into this
@@ -218,27 +260,31 @@ class PathSetCache:
             raise ValueError(
                 f"counters must be >= 0, got {hits=} {misses=} {evictions=}"
             )
-        self.hits += hits
-        self.misses += misses
-        self.evictions += evictions
+        with self._lock:
+            self.hits += hits
+            self.misses += misses
+            self.evictions += evictions
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self.hits,
-            misses=self.misses,
-            size=len(self._entries),
-            evictions=self.evictions,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                size=len(self._entries),
+                evictions=self.evictions,
+            )
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 #: The process-wide cache used by the experiment drivers.

@@ -229,6 +229,24 @@ class PathSet:
         """The node set ``V`` as a frozenset."""
         return frozenset(self.nodes)
 
+    def approximate_nbytes(self) -> int:
+        """A cheap estimate of this path set's resident size in bytes.
+
+        Counts the dominant stores — the per-node path masks (big-int bytes)
+        and the path tuples (one pointer per hop plus tuple overhead) — and,
+        when already derived, the link-mask table.  Used by cache byte
+        accounting; deliberately an estimate, not ``sys.getsizeof`` truth.
+        """
+        total = 0
+        for mask in self._node_masks.values():
+            total += 32 + (mask.bit_length() + 7) // 8
+        for path in self.paths:
+            total += 56 + 8 * len(path)
+        if self._link_masks:
+            for mask in self._link_masks.values():
+                total += 32 + (mask.bit_length() + 7) // 8
+        return total
+
     def paths_through(self, node: Node) -> int:
         """Bitmask of ``P(v)``, the indices of paths crossing ``node``."""
         try:

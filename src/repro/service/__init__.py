@@ -1,0 +1,26 @@
+"""Tomography-as-a-service: the long-lived scenario server.
+
+This subsystem turns the one-shot analyses of the paper into a service: an
+asyncio HTTP layer (:mod:`repro.service.app`, installed as the
+``repro-serve`` console script) accepts :class:`~repro.api.spec.ScenarioSpec`
+payloads, memoises compiled scenarios by spec fingerprint
+(:mod:`repro.service.cache`), runs analyses on a bounded worker pool with
+per-request budgets and 429 backpressure (:mod:`repro.service.executor`),
+and streams churn replays over chunked responses.  The replay harness
+(:mod:`repro.service.loadgen`) fires a spec corpus at a running server and
+reports sustained scenarios/sec plus the measured cache hit rate.
+
+Everything here is stdlib-only (``asyncio`` + hand-rolled HTTP/1.1 framing)
+— no new runtime dependencies.
+"""
+
+from repro.service.cache import ScenarioCache, ScenarioCacheStats, spec_fingerprint
+from repro.service.executor import AnalysisExecutor, ServiceOverloadedError
+
+__all__ = [
+    "AnalysisExecutor",
+    "ScenarioCache",
+    "ScenarioCacheStats",
+    "ServiceOverloadedError",
+    "spec_fingerprint",
+]

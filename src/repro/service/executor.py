@@ -1,0 +1,163 @@
+"""Bounded analysis execution for the service's async handlers.
+
+The HTTP layer is a single asyncio event loop; analyses are CPU-bound and
+can run for seconds, so they must never execute on the loop.  The
+:class:`AnalysisExecutor` bridges the two: handlers submit a plain callable,
+it runs on a thread pool (threads, not processes — the workers must share
+the in-process scenario and path-set caches, which is exactly why
+:class:`~repro.engine.cache.PathSetCache` grew its lock), and the handler
+awaits the result without blocking other connections.
+
+Admission is bounded: at most ``max_inflight`` requests may hold a slot
+(queued *or* running).  When the bound is hit, submission fails fast with
+:class:`ServiceOverloadedError` — the app maps it to HTTP 429 — instead of
+building an unbounded queue of doomed work.  Combined with per-request
+time budgets (``?budget=`` rides the spec's ``engine.time_budget``, whose
+cooperative truncation certifies a lower bound instead of hanging) this
+keeps the contract: a connection always gets *an answer*, never a hang.
+
+Failures that are not the client's fault are quarantined the same way the
+PR-8 resilient pool quarantines trial crashes: recorded as a
+:class:`~repro.resilience.pool.TrialFailure`, counted in the pool-wide
+``trial_failures`` counter, and surfaced as a structured 500 — the worker
+thread and the server survive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Optional
+
+from repro.exceptions import ReproError
+from repro.resilience.pool import TrialFailure, _record_pool_event
+
+#: Exception types that mean "the request was wrong", not "the server broke".
+#: ``ReproError`` covers the whole library hierarchy (SpecError, budget
+#: exhaustion on census queries, identifiability errors); the builtins leak
+#: out of registry builders handed bad parameters before the spec layer can
+#: wrap them.
+CLIENT_ERROR_TYPES = (ReproError, TypeError, ValueError, KeyError)
+
+
+class ServiceOverloadedError(RuntimeError):
+    """All in-flight slots are taken; the request was not admitted."""
+
+    def __init__(self, max_inflight: int) -> None:
+        super().__init__(
+            f"server is at capacity ({max_inflight} requests in flight); "
+            f"retry later"
+        )
+        self.max_inflight = max_inflight
+
+
+class QuarantinedError(RuntimeError):
+    """A server-side failure, wrapped with its quarantine record."""
+
+    def __init__(self, failure: TrialFailure) -> None:
+        super().__init__(failure.error)
+        self.failure = failure
+
+
+class AnalysisExecutor:
+    """Thread-pool executor with a hard in-flight bound.
+
+    ``workers`` caps concurrent execution; ``max_inflight`` caps admission
+    (running + waiting for a thread).  ``max_inflight >= workers`` gives a
+    small queue that absorbs bursts; ``max_inflight == workers`` rejects
+    anything that cannot start immediately.
+    """
+
+    def __init__(self, workers: int = 4, max_inflight: int = 16) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.workers = workers
+        self.max_inflight = max_inflight
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._request_ids = itertools.count()
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    # Public acquire/release so tests can saturate the executor
+    # deterministically (hold every slot, assert the next request 429s).
+    def try_acquire(self) -> bool:
+        """Take one in-flight slot if available."""
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                return False
+            self._inflight += 1
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            if self._inflight <= 0:
+                raise RuntimeError("release() without a matching try_acquire()")
+            self._inflight -= 1
+
+    async def run(self, func: Callable[[], Any], label: str = "") -> Any:
+        """Run ``func`` on the pool and await its result.
+
+        Raises :class:`ServiceOverloadedError` when no slot is free,
+        re-raises client errors (:data:`CLIENT_ERROR_TYPES`) as-is for the
+        app to map to 400, and wraps anything else in
+        :class:`QuarantinedError` carrying the :class:`TrialFailure` record.
+        """
+        if not self.try_acquire():
+            raise ServiceOverloadedError(self.max_inflight)
+        index = next(self._request_ids)
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(self._pool, func)
+        except CLIENT_ERROR_TYPES:
+            raise
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            failure = TrialFailure(
+                index=index,
+                label=label or f"request-{index}",
+                kind="error",
+                error=f"{type(exc).__name__}: {exc}",
+                attempts=1,
+            )
+            _record_pool_event("trial_failures")
+            raise QuarantinedError(failure) from exc
+        finally:
+            self.release()
+
+    def run_sync(self, func: Callable[[], Any], label: str = "") -> Any:
+        """Synchronous twin of :meth:`run` (same admission and quarantine
+        semantics), for callers outside the event loop."""
+        if not self.try_acquire():
+            raise ServiceOverloadedError(self.max_inflight)
+        index = next(self._request_ids)
+        try:
+            return self._pool.submit(func).result()
+        except CLIENT_ERROR_TYPES:
+            raise
+        except BaseException as exc:
+            failure = TrialFailure(
+                index=index,
+                label=label or f"request-{index}",
+                kind="error",
+                error=f"{type(exc).__name__}: {exc}",
+                attempts=1,
+            )
+            _record_pool_event("trial_failures")
+            raise QuarantinedError(failure) from exc
+        finally:
+            self.release()
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait, cancel_futures=True)

@@ -1,0 +1,295 @@
+"""Replay harness: fire a spec corpus at a running server, measure it.
+
+``python -m repro.service.loadgen --server URL --specs PATH...`` expands the
+paths exactly like ``repro-experiments --spec`` (directories → their
+``*.json`` in sorted order), POSTs every scenario to ``/v1/analyze`` for
+``--repeat`` passes, and reports per pass:
+
+* sustained **scenarios/sec** (wall clock over the whole pass),
+* the **cache hit rate** measured server-side (scraped from ``/metrics``
+  before and after the pass, so concurrent clients don't pollute it beyond
+  their own traffic),
+* any non-2xx responses (the run fails on them).
+
+Across passes the responses must be bit-identical (modulo the ``cache``
+stanza, which legitimately flips from miss to hit) — the harness verifies
+this and additionally emits the pass-1 ``sections`` in the runner's
+section-data shape, so CI can diff a served corpus against
+``repro-experiments --spec`` output for the same files.
+
+Stdlib only: ``http.client`` connections (one per worker thread when
+``--concurrency > 1``), no external load-testing dependency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import sys
+import threading
+import time
+from http.client import HTTPConnection
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import urlsplit
+
+from repro.api.spec import load_spec_batch
+from repro.experiments.runner import expand_spec_paths
+
+#: /metrics counters the harness tracks across a pass.
+_TRACKED = (
+    "repro_scenario_cache_hits_total",
+    "repro_scenario_cache_misses_total",
+)
+
+
+def _split_server(server: str) -> Tuple[str, int]:
+    parts = urlsplit(server if "//" in server else f"//{server}")
+    if not parts.hostname or not parts.port:
+        raise ValueError(
+            f"server must be host:port or http://host:port, got {server!r}"
+        )
+    return parts.hostname, parts.port
+
+
+def load_corpus(spec_paths: Sequence[str]) -> List[Dict[str, Any]]:
+    """The corpus as serialised spec documents, in runner order."""
+    documents: List[Dict[str, Any]] = []
+    for path in expand_spec_paths(spec_paths):
+        with open(path, "r", encoding="utf-8") as handle:
+            for spec in load_spec_batch(handle.read()):
+                documents.append(spec.to_dict())
+    return documents
+
+
+def scrape_counters(host: str, port: int, timeout: float = 10.0) -> Dict[str, float]:
+    """Unlabelled numeric samples from ``/metrics``, as ``{name: value}``."""
+    connection = HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request("GET", "/metrics")
+        response = connection.getresponse()
+        text = response.read().decode("utf-8")
+        if response.status != 200:
+            raise RuntimeError(f"/metrics answered {response.status}")
+    finally:
+        connection.close()
+    counters: Dict[str, float] = {}
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        name, _, value = line.rpartition(" ")
+        if "{" in name:
+            continue
+        try:
+            counters[name] = float(value)
+        except ValueError:
+            continue
+    return counters
+
+
+def _post_batch(
+    host: str,
+    port: int,
+    documents: Sequence[Dict[str, Any]],
+    indices: Sequence[int],
+    results: List[Optional[Dict[str, Any]]],
+    timeout: float,
+) -> None:
+    """POST the given corpus indices over one keep-alive connection."""
+    connection = HTTPConnection(host, port, timeout=timeout)
+    try:
+        for index in indices:
+            body = json.dumps(documents[index]).encode("utf-8")
+            connection.request(
+                "POST",
+                "/v1/analyze",
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            payload = response.read()
+            try:
+                decoded = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                decoded = {"error": f"undecodable body ({len(payload)} bytes)"}
+            results[index] = {"status": response.status, "body": decoded}
+    finally:
+        connection.close()
+
+
+def run_pass(
+    host: str,
+    port: int,
+    documents: Sequence[Dict[str, Any]],
+    concurrency: int = 1,
+    timeout: float = 120.0,
+) -> Tuple[Dict[str, Any], List[Optional[Dict[str, Any]]]]:
+    """One full pass over the corpus; returns (summary, responses)."""
+    before = scrape_counters(host, port)
+    results: List[Optional[Dict[str, Any]]] = [None] * len(documents)
+    started = time.perf_counter()
+    if concurrency <= 1:
+        _post_batch(host, port, documents, range(len(documents)), results, timeout)
+    else:
+        # Round-robin sharding keeps per-thread corpus order deterministic.
+        shards = [
+            list(range(worker, len(documents), concurrency))
+            for worker in range(concurrency)
+        ]
+        threads = [
+            threading.Thread(
+                target=_post_batch,
+                args=(host, port, documents, shard, results, timeout),
+            )
+            for shard in shards
+            if shard
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    seconds = time.perf_counter() - started
+    after = scrape_counters(host, port)
+    hits = after.get(_TRACKED[0], 0) - before.get(_TRACKED[0], 0)
+    misses = after.get(_TRACKED[1], 0) - before.get(_TRACKED[1], 0)
+    lookups = hits + misses
+    failures = [
+        {"index": i, "status": r["status"], "body": r["body"]}
+        for i, r in enumerate(results)
+        if r is None or r["status"] != 200
+    ]
+    summary = {
+        "seconds": seconds,
+        "scenarios_per_second": len(documents) / seconds if seconds else 0.0,
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "hit_rate": hits / lookups if lookups else 0.0,
+        "failures": failures,
+    }
+    return summary, results
+
+
+def _comparable(response: Optional[Dict[str, Any]]) -> Any:
+    """A response body with the per-request cache stanza stripped."""
+    if response is None:
+        return None
+    body = copy.deepcopy(response["body"])
+    if isinstance(body, dict):
+        body.pop("cache", None)
+    return body
+
+
+def replay(
+    server: str,
+    spec_paths: Sequence[str],
+    repeat: int = 2,
+    concurrency: int = 1,
+    timeout: float = 120.0,
+) -> Dict[str, Any]:
+    """Replay the corpus ``repeat`` times; the full report document."""
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    host, port = _split_server(server)
+    documents = load_corpus(spec_paths)
+    if not documents:
+        raise ValueError(f"no scenarios found under {list(spec_paths)!r}")
+    passes: List[Dict[str, Any]] = []
+    reference: Optional[List[Any]] = None
+    identical = True
+    all_ok = True
+    sections: List[Dict[str, Any]] = []
+    for number in range(1, repeat + 1):
+        summary, results = run_pass(
+            host, port, documents, concurrency=concurrency, timeout=timeout
+        )
+        summary["pass"] = number
+        passes.append(summary)
+        all_ok = all_ok and not summary["failures"]
+        comparable = [_comparable(result) for result in results]
+        if reference is None:
+            reference = comparable
+            sections = [
+                body
+                for body in comparable
+                if isinstance(body, dict) and "analyses" in body
+            ]
+        elif comparable != reference:
+            identical = False
+    return {
+        "server": server,
+        "n_scenarios": len(documents),
+        "repeat": repeat,
+        "concurrency": concurrency,
+        "passes": passes,
+        "verified_identical_passes": identical,
+        "ok": all_ok and identical,
+        # Pass-1 responses in the runner's section-data shape ({"spec": ...,
+        # "analyses": ...}), corpus order — diffable against the sections of
+        # `repro-experiments --spec <same paths> --format json`.
+        "sections": sections,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-loadgen",
+        description="Replay a spec corpus against a repro-serve instance.",
+    )
+    parser.add_argument(
+        "--server", required=True, help="host:port or http://host:port"
+    )
+    parser.add_argument(
+        "--specs",
+        nargs="+",
+        required=True,
+        help="spec files or directories (expanded like repro-experiments --spec)",
+    )
+    parser.add_argument("--repeat", type=int, default=2)
+    parser.add_argument("--concurrency", type=int, default=1)
+    parser.add_argument("--timeout", type=float, default=120.0)
+    parser.add_argument(
+        "--output", default=None, help="write the report JSON here (default stdout)"
+    )
+    args = parser.parse_args(argv)
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
+    if args.concurrency < 1:
+        parser.error("--concurrency must be >= 1")
+
+    try:
+        report = replay(
+            args.server,
+            args.specs,
+            repeat=args.repeat,
+            concurrency=args.concurrency,
+            timeout=args.timeout,
+        )
+    except (OSError, ValueError, RuntimeError) as exc:
+        print(f"loadgen: {exc}", file=sys.stderr)
+        return 1
+
+    for entry in report["passes"]:
+        print(
+            f"pass {entry['pass']}: {report['n_scenarios']} scenarios in "
+            f"{entry['seconds']:.2f}s "
+            f"({entry['scenarios_per_second']:.2f}/s), "
+            f"hit rate {entry['hit_rate']:.0%}, "
+            f"{len(entry['failures'])} failures",
+            file=sys.stderr,
+        )
+    print(
+        f"responses identical across passes: "
+        f"{report['verified_identical_passes']}",
+        file=sys.stderr,
+    )
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -481,6 +481,7 @@ class TestSpecRunner:
             "search_jobs": 1,
             "time_budget": None,
             "subset_budget": None,
+            "cache_maxsize": None,
         }
 
     def test_write_output_atomic_replaces_existing_content(self, tmp_path):

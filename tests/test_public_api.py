@@ -90,6 +90,7 @@ EXPECTED_SPEC_SCHEMA = {
         "search_jobs": 1,
         "time_budget": None,
         "subset_budget": None,
+        "cache_maxsize": None,
     },
     "seed": None,
     "analyses": [{"analysis": "mu", "params": {}}],
@@ -138,6 +139,7 @@ class TestPublicSurface:
             "search_jobs": 1,
             "time_budget": None,
             "subset_budget": None,
+            "cache_maxsize": None,
         }
 
     def test_available_analyses_snapshot(self):

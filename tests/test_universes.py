@@ -419,6 +419,7 @@ V1_UPGRADED_SNAPSHOT = {
         "search_jobs": 1,
         "time_budget": None,
         "subset_budget": None,
+        "cache_maxsize": None,
     },
     "seed": 7,
     "analyses": [{"analysis": "mu", "params": {}}],
