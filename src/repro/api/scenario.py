@@ -397,6 +397,8 @@ class Scenario:
             universe=None if node_mode else universe,
             search_jobs=config.search_jobs,
             budget=config.budget(),
+            kernel=config.kernel,
+            block_size=config.block_size,
         )
         return result, bound_value
 
@@ -456,6 +458,8 @@ class Scenario:
             universe=None if universe.kind == "node" else universe,
             search_jobs=config.search_jobs,
             budget=config.budget(),
+            kernel=config.kernel,
+            block_size=config.block_size,
         )
         return TruncatedMuReport(
             value=result.value,
@@ -479,6 +483,8 @@ class Scenario:
             size,
             search_jobs=self.spec.engine.search_jobs,
             budget=self.spec.engine.budget(),
+            kernel=self.spec.engine.kernel,
+            block_size=self.spec.engine.block_size,
         )
         n_subsets = math.comb(len(universe.elements), size)
         return SeparabilityReport(

@@ -119,6 +119,13 @@ class EngineConfig:
     on first use, which is how a service working set (``repro-serve
     --cache-size``) escapes the historical hard-coded 128 entries.  Additive
     in schema v2, execution-only (never changes any reported value).
+
+    ``kernel`` picks the subset-sweep execution strategy (``"auto"`` /
+    ``"scalar"`` / ``"block"``) and ``block_size`` the rows per block-kernel
+    chunk (``None`` = library default).  Like ``search_jobs`` these are
+    execution knobs — results are bit-identical for every combination — and
+    additive in schema v2: documents without them parse with the ``auto``
+    default.
     """
 
     backend: str = "auto"
@@ -128,9 +135,12 @@ class EngineConfig:
     time_budget: Optional[float] = None
     subset_budget: Optional[int] = None
     cache_maxsize: Optional[int] = None
+    kernel: str = "auto"
+    block_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         from repro.engine.backends import normalize_backend_spec
+        from repro.engine.signatures import KERNELS
 
         object.__setattr__(self, "backend", normalize_backend_spec(self.backend))
         object.__setattr__(self, "compress", bool(self.compress))
@@ -140,6 +150,21 @@ class EngineConfig:
             raise SpecError(
                 f"engine search_jobs must be an int >= 0 (0 = all cores), "
                 f"got {jobs!r}"
+            )
+        kernel = self.kernel
+        if not isinstance(kernel, str) or kernel.strip().lower() not in KERNELS:
+            raise SpecError(
+                f"engine kernel must be one of {list(KERNELS)}, got {kernel!r}"
+            )
+        object.__setattr__(self, "kernel", kernel.strip().lower())
+        if self.block_size is not None and (
+            isinstance(self.block_size, bool)
+            or not isinstance(self.block_size, int)
+            or self.block_size < 1
+        ):
+            raise SpecError(
+                f"engine block_size must be an int >= 1 or null, "
+                f"got {self.block_size!r}"
             )
         if self.time_budget is not None:
             if (
@@ -181,7 +206,11 @@ class EngineConfig:
         """
         from repro.engine.backends import select_backend
         from repro.engine.compress import compression_enabled
-        from repro.engine.signatures import select_search_jobs
+        from repro.engine.signatures import (
+            select_block_size,
+            select_kernel,
+            select_search_jobs,
+        )
         from repro.resilience.budget import current_budget_limits
 
         time_budget, subset_budget = current_budget_limits()
@@ -192,6 +221,8 @@ class EngineConfig:
             search_jobs=select_search_jobs(),
             time_budget=time_budget,
             subset_budget=subset_budget,
+            kernel=select_kernel(),
+            block_size=select_block_size(),
         )
 
     def budget(self) -> Optional[Budget]:
@@ -212,6 +243,8 @@ class EngineConfig:
             "time_budget": self.time_budget,
             "subset_budget": self.subset_budget,
             "cache_maxsize": self.cache_maxsize,
+            "kernel": self.kernel,
+            "block_size": self.block_size,
         }
 
     @classmethod
@@ -225,6 +258,8 @@ class EngineConfig:
             "time_budget",
             "subset_budget",
             "cache_maxsize",
+            "kernel",
+            "block_size",
         }
         if unknown:
             raise SpecError(f"unknown engine config fields {sorted(unknown)}")
@@ -236,6 +271,8 @@ class EngineConfig:
             time_budget=data.get("time_budget"),
             subset_budget=data.get("subset_budget"),
             cache_maxsize=data.get("cache_maxsize"),
+            kernel=data.get("kernel", "auto"),
+            block_size=data.get("block_size"),
         )
 
 

@@ -95,6 +95,8 @@ def maximal_identifiability_detailed(
     universe: UniverseLike = None,
     search_jobs: Optional[int] = None,
     budget: Optional["Budget"] = None,
+    kernel: Optional[str] = None,
+    block_size: Optional[int] = None,
 ) -> IdentifiabilityResult:
     """Compute µ with full diagnostics.
 
@@ -131,6 +133,11 @@ def maximal_identifiability_detailed(
         the result truncates at the last fully completed subset size with
         ``exhausted_search=False`` and ``stats.budget_exhausted=True`` — a
         certified lower bound, same semantics as a ``max_size`` cap.
+    kernel:
+        The sweep execution strategy — ``"scalar"``, ``"block"`` (batched
+        block kernel) or ``"auto"`` (``None`` = the global
+        :func:`repro.engine.kernel_policy`).  Bit-identical results for every
+        value; ``block_size`` tunes the rows per block-kernel chunk.
     """
     resolved = resolve_universe(pathset, universe)
     if nodes is None and (max_size is None or max_size >= 1) and resolved.elements:
@@ -147,7 +154,8 @@ def maximal_identifiability_detailed(
                 value=0, witness=witness, searched_up_to=1, exhausted_search=False
             )
     return pathset.engine(backend, compress, universe=resolved).identifiability(
-        max_size=max_size, nodes=nodes, search_jobs=search_jobs, budget=budget
+        max_size=max_size, nodes=nodes, search_jobs=search_jobs, budget=budget,
+        kernel=kernel, block_size=block_size,
     )
 
 
@@ -160,12 +168,14 @@ def maximal_identifiability(
     universe: UniverseLike = None,
     search_jobs: Optional[int] = None,
     budget: Optional["Budget"] = None,
+    kernel: Optional[str] = None,
+    block_size: Optional[int] = None,
 ) -> int:
     """µ of the failure universe with respect to ``pathset`` (Definition 2.2,
     generalised from nodes to arbitrary failure elements)."""
     return maximal_identifiability_detailed(
         pathset, max_size, nodes, backend, compress, universe, search_jobs,
-        budget,
+        budget, kernel, block_size,
     ).value
 
 
@@ -318,6 +328,8 @@ def separability_matrix(
     universe: UniverseLike = None,
     search_jobs: Optional[int] = None,
     budget: Optional[Budget] = None,
+    kernel: Optional[str] = None,
+    block_size: Optional[int] = None,
 ) -> Dict[Tuple[FrozenSet[Node], FrozenSet[Node]], bool]:
     """Explicit separation table for all pairs of element sets of a given size.
 
@@ -331,5 +343,6 @@ def separability_matrix(
     :class:`~repro.exceptions.BudgetExceededError` instead of truncating.
     """
     return pathset.engine(backend, compress, universe=universe).separability_matrix(
-        size, search_jobs=search_jobs, budget=budget
+        size, search_jobs=search_jobs, budget=budget, kernel=kernel,
+        block_size=block_size,
     )

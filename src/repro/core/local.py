@@ -24,7 +24,7 @@ from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set
 from repro._typing import Node
 from repro.core.identifiability import UniverseLike, resolve_universe
 from repro.engine.backends import BackendSpec
-from repro.engine.signatures import resolve_search_jobs
+from repro.engine.signatures import resolve_kernel, resolve_search_jobs
 from repro.exceptions import IdentifiabilityError
 from repro.routing.paths import PathSet
 
@@ -37,18 +37,23 @@ def _local_search(
     compress: Optional[bool] = None,
     universe: UniverseLike = None,
     search_jobs: Optional[int] = None,
+    kernel: Optional[str] = None,
+    block_size: Optional[int] = None,
 ) -> int:
     """Largest k ≤ cap with local k-identifiability (cap when none fails).
 
     Walks subsets in increasing size; a failure at size s is two subsets with
     the same signature but different S-projections, giving ``s − 1``.  With
-    ``search_jobs > 1`` the per-size enumeration is sharded
+    ``search_jobs > 1`` — or an explicit ``kernel="block"`` — the per-size
+    enumeration goes through the digest stream
     (:meth:`SignatureEngine.iter_subset_digests`): subsets still arrive in
     serial order, digest matches are exact-verified through
     :meth:`SignatureEngine.union_key`, and the result is bit-identical.
+    Under ``kernel="auto"`` the serial sweep keeps the exact-key path (no
+    digests to verify).
     """
     engine = pathset.engine(backend, compress, universe=universe)
-    if resolve_search_jobs(search_jobs) <= 1:
+    if resolve_search_jobs(search_jobs) <= 1 and resolve_kernel(kernel) != "block":
         # signature key -> set of distinct S-projections observed so far.
         projections: Dict[object, Set[FrozenSet[Node]]] = {}
         for subset, signature_key in engine.iter_subset_signatures(
@@ -63,7 +68,8 @@ def _local_search(
     # digest -> [subset, projection, exact key or None (computed lazily)].
     buckets: Dict[int, List[List[Any]]] = {}
     for subset, digest in engine.iter_subset_digests(
-        range(0, cap + 1), search_jobs=search_jobs
+        range(0, cap + 1), search_jobs=search_jobs, kernel=kernel,
+        block_size=block_size,
     ):
         projection = frozenset(subset) & scope_set
         bucket = buckets.get(digest)
@@ -88,6 +94,8 @@ def is_locally_k_identifiable(
     compress: Optional[bool] = None,
     universe: UniverseLike = None,
     search_jobs: Optional[int] = None,
+    kernel: Optional[str] = None,
+    block_size: Optional[int] = None,
 ) -> bool:
     """Local k-identifiability w.r.t. the scope ``S``.
 
@@ -108,7 +116,7 @@ def is_locally_k_identifiable(
         return True
     return (
         _local_search(pathset, scope_set, k, backend, compress, resolved,
-                      search_jobs)
+                      search_jobs, kernel, block_size)
         >= k
     )
 
@@ -121,6 +129,8 @@ def local_maximal_identifiability(
     compress: Optional[bool] = None,
     universe: UniverseLike = None,
     search_jobs: Optional[int] = None,
+    kernel: Optional[str] = None,
+    block_size: Optional[int] = None,
 ) -> int:
     """The largest k such that the universe is locally k-identifiable w.r.t. S.
 
@@ -133,7 +143,8 @@ def local_maximal_identifiability(
     n = len(resolved.elements)
     cap = n if max_size is None else max(0, min(max_size, n))
     return _local_search(
-        pathset, scope_set, cap, backend, compress, resolved, search_jobs
+        pathset, scope_set, cap, backend, compress, resolved, search_jobs,
+        kernel, block_size,
     )
 
 

@@ -41,6 +41,8 @@ def truncated_identifiability_detailed(
     universe: UniverseLike = None,
     search_jobs: Optional[int] = None,
     budget: Optional["Budget"] = None,
+    kernel: Optional[str] = None,
+    block_size: Optional[int] = None,
 ) -> IdentifiabilityResult:
     """µ_α with diagnostics: the engine search capped at subset size α.
 
@@ -56,6 +58,7 @@ def truncated_identifiability_detailed(
     return maximal_identifiability_detailed(
         pathset, max_size=alpha, backend=backend, compress=compress,
         universe=universe, search_jobs=search_jobs, budget=budget,
+        kernel=kernel, block_size=block_size,
     )
 
 
@@ -67,6 +70,8 @@ def truncated_identifiability(
     universe: UniverseLike = None,
     search_jobs: Optional[int] = None,
     budget: Optional["Budget"] = None,
+    kernel: Optional[str] = None,
+    block_size: Optional[int] = None,
 ) -> int:
     """µ_α(G): the truncated maximal identifiability.
 
@@ -75,7 +80,8 @@ def truncated_identifiability(
     values).
     """
     return truncated_identifiability_detailed(
-        pathset, alpha, backend, compress, universe, search_jobs, budget
+        pathset, alpha, backend, compress, universe, search_jobs, budget,
+        kernel, block_size,
     ).value
 
 

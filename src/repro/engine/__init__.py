@@ -76,16 +76,24 @@ from repro.engine.cache import (
     pathset_cache,
 )
 from repro.engine.signatures import (
+    DEFAULT_BLOCK_SIZE,
+    KERNELS,
+    MIN_BLOCK_FRONTIER,
     ConfusablePair,
     IdentifiabilityResult,
     SearchCounters,
     SearchStats,
     SignatureEngine,
+    kernel_policy,
     record_external_search,
     reset_search_counters,
+    resolve_block_size,
+    resolve_kernel,
     resolve_search_jobs,
     search_counters,
     search_jobs_policy,
+    select_block_size,
+    select_kernel,
     select_search_jobs,
 )
 
@@ -102,6 +110,15 @@ __all__ = [
     "resolve_search_jobs",
     "search_jobs_policy",
     "select_search_jobs",
+    # block kernel
+    "KERNELS",
+    "DEFAULT_BLOCK_SIZE",
+    "MIN_BLOCK_FRONTIER",
+    "kernel_policy",
+    "resolve_kernel",
+    "resolve_block_size",
+    "select_kernel",
+    "select_block_size",
     # backends
     "SignatureBackend",
     "PythonBackend",

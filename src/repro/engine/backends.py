@@ -44,6 +44,14 @@ except ImportError:  # pragma: no cover - exercised only on numpy-less installs
     _np = None
 
 #: "auto" switches to the numpy backend at this many measurement paths.
+#:
+#: The crossover is where numpy's fixed per-op call overhead is repaid by
+#: word-parallel unions: below it CPython big-int ops win outright
+#: (``benchmarks/bench_backend_crossover.py`` records the sweep this value
+#: was calibrated against).  It is read at resolution time, so tests (and
+#: unusual deployments) can override it by assigning
+#: ``repro.engine.backends.NUMPY_MIN_PATHS`` — note that the re-export in
+#: :mod:`repro.engine` is a copied value; patch *this* module's attribute.
 NUMPY_MIN_PATHS = 256
 
 _POLICIES = ("auto", "python", "numpy")
@@ -178,6 +186,60 @@ class SignatureBackend(abc.ABC):
     def indicator_vector(self, signature) -> Tuple[int, ...]:
         """The 0/1 vector of length ``n_paths`` (the Boolean measurement)."""
 
+    # -- batched block ops ---------------------------------------------------
+    #
+    # The block kernel (PR 10) evaluates the combination frontier in chunks:
+    # ``stack`` packs signatures into a single block operand once, then each
+    # chunk is one ``block_scan`` (row-wise union + dominance against a shared
+    # prefix) followed by one ``block_digests`` (row digests, exact-verified by
+    # the engine on collision).  The defaults below are a pure-python
+    # fallback built on the scalar ops, so ``kernel="block"`` is legal on any
+    # backend; vectorized backends override them.
+
+    #: Whether the batched ops are truly vectorized (``kernel="auto"`` only
+    #: engages the block kernel when they are).
+    vectorized_blocks: bool = False
+
+    def stack(self, signatures):
+        """Pack signatures into a block operand, one row per signature.
+
+        Rows must be addressable as ``stacked[i]`` yielding a signature
+        interchangeable with the scalar ops.
+        """
+        return list(signatures)
+
+    def block_scan(self, matrix, prefixes, spans):
+        """Evaluate one chunk of candidate rows spanning many prefix runs.
+
+        ``matrix`` is :meth:`stack` of the element signatures, ``prefixes``
+        is :meth:`stack` of one prefix union per run touched by the chunk,
+        and ``spans`` is a list of ``(prefix_row, lo, hi)`` triples: rows
+        ``matrix[lo:hi]`` are each evaluated against ``prefixes[prefix_row]``,
+        spans concatenated in order.  Returns ``(unions, dominated)`` over
+        the concatenated rows, where ``unions[j]`` is a signature
+        interchangeable with the scalar ops and ``dominated[j]`` is true iff
+        the row is a subset of its prefix.
+        """
+        union, is_subset = self.union, self.is_subset
+        unions = []
+        dominated = []
+        for prefix_row, lo, hi in spans:
+            prefix = prefixes[prefix_row]
+            for row in matrix[lo:hi]:
+                unions.append(union(prefix, row))
+                dominated.append(is_subset(row, prefix))
+        return unions, dominated
+
+    def block_digests(self, unions):
+        """64-bit digests of a block of union rows, as a list of ints.
+
+        Digests follow the PR-6 contract: collisions are allowed (the engine
+        exact-verifies via :meth:`key` on every match) but equal signatures
+        must digest equally *within one backend instance*.
+        """
+        key = self.key
+        return [hash(key(row)) for row in unions]
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(n_paths={self.n_paths})"
 
@@ -220,6 +282,8 @@ class NumpyBackend(SignatureBackend):
 
     name = "numpy"
 
+    vectorized_blocks = True
+
     def __init__(self, n_paths: int) -> None:
         if _np is None:
             raise IdentifiabilityError(
@@ -227,6 +291,15 @@ class NumpyBackend(SignatureBackend):
             )
         super().__init__(n_paths)
         self.n_words = max(1, -(-n_paths // 64))
+        # Per-word fold weights for block_digests: distinct odd constants so
+        # the XOR fold is word-position dependent (permuted words collide no
+        # more often than unrelated rows).
+        weights = (
+            _np.uint64(0x9E3779B97F4A7C15)
+            * (_np.uint64(2) * _np.arange(self.n_words, dtype=_np.uint64) + _np.uint64(1))
+        )
+        weights.setflags(write=False)
+        self._digest_weights = weights
 
     def pack(self, mask: int):
         # frombuffer over the little-endian byte encoding yields a read-only
@@ -253,13 +326,60 @@ class NumpyBackend(SignatureBackend):
         return not bool(signature.any())
 
     def bits(self, signature) -> Iterator[int]:
-        return bits_of(int.from_bytes(signature.tobytes(), "little"))
+        # Unpack + nonzero stays inside numpy; the old implementation
+        # round-tripped every query through a Python big int.
+        unpacked = _np.unpackbits(signature.view(_np.uint8), bitorder="little")
+        return iter(_np.nonzero(unpacked)[0].tolist())
 
     def indicator_vector(self, signature) -> Tuple[int, ...]:
         unpacked = _np.unpackbits(
             signature.view(_np.uint8), bitorder="little", count=self.n_paths
         )
         return tuple(int(bit) for bit in unpacked)
+
+    def stack(self, signatures):
+        if not signatures:
+            return _np.zeros((0, self.n_words), dtype="<u8")
+        stacked = _np.vstack(signatures)
+        stacked.setflags(write=False)
+        return stacked
+
+    def block_scan(self, matrix, prefixes, spans):
+        # Each span is a *contiguous* matrix slice, so the chunk's unions are
+        # written span-by-span into one preallocated buffer with a broadcast
+        # OR over a view — no gathered row copy, no prefix broadcast copy.
+        # Dominance reuses the freshly written unions: ``row ⊆ prefix`` iff
+        # ``row | prefix == prefix``, one compare+reduce instead of the
+        # three-op ``row & ~prefix`` form.
+        total = sum(hi - lo for _, lo, hi in spans)
+        unions = _np.empty((total, self.n_words), dtype="<u8")
+        dominated = _np.empty(total, dtype=bool)
+        base = 0
+        for prefix_row, lo, hi in spans:
+            count = hi - lo
+            prefix = prefixes[prefix_row]
+            out = unions[base:base + count]
+            _np.bitwise_or(matrix[lo:hi], prefix, out=out)
+            _np.all(out == prefix, axis=1, out=dominated[base:base + count])
+            base += count
+        unions.setflags(write=False)
+        return unions, dominated.tolist()
+
+    def block_digests(self, unions):
+        # Weighted fold first — one multiply and one XOR reduction over the
+        # (B, W) block — then a splitmix64-style finalizer on the folded
+        # (B,) column only.  Folding before finalising keeps the pass count
+        # (and memory traffic) flat in W; uint64 arithmetic wraps mod 2**64
+        # (C semantics), which is exactly what the mix wants.  Collisions
+        # are exact-verified by the engine, so the per-word odd multipliers
+        # only have to keep accidental cancellation rare.
+        folded = _np.bitwise_xor.reduce(unions * self._digest_weights, axis=1)
+        folded = _np.bitwise_xor(folded, folded >> _np.uint64(30))
+        folded = folded * _np.uint64(0xBF58476D1CE4E5B9)
+        folded ^= folded >> _np.uint64(27)
+        folded = folded * _np.uint64(0x94D049BB133111EB)
+        folded ^= folded >> _np.uint64(31)
+        return folded.tolist()
 
 
 BackendSpec = Union[None, str, SignatureBackend]

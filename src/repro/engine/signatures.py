@@ -86,6 +86,30 @@ There is no cross-shard early stop within a size: shards past the first
 collision finish their block (or stop at a later local hit), so the
 :class:`SearchStats` counters — but never the result — may differ from the
 serial sweep's at the terminal size.
+
+The block kernel
+----------------
+
+The scalar sweep pays one ``union``/``key``/``is_subset``/dict-probe Python
+round-trip per subset, which squanders the numpy backend's vectorization on
+call overhead.  The third execution strategy (``kernel="block"``) regroups
+the frontier by shared prefix: the size-``s`` subsets sharing their first
+``s - 1`` indices form a contiguous *run* whose last elements are the rows
+``prefix[-1]+1 .. n-1`` of the stacked signature matrix.  Each run is
+evaluated in chunks of ``block_size`` rows with three batched backend ops —
+row-wise union via prefix broadcast (one ``(B, n_words)`` uint64 OR),
+row-wise dominance (``last & ~prefix`` reduced per row), and vectorized
+64-bit row digests — and only then does a Python loop walk the digest list
+doing pure dict work, exact-verifying digest matches by recomputing the
+candidate's union key exactly like the PR-6 shard tables.  Enumeration
+order, witness choice, ``subsets_enumerated`` accounting and budget
+spend/poll cadence are preserved row for row, so the kernel is bit-identical
+to the scalar path serial and sharded (each shard runs the kernel over its
+own first-index block).  ``kernel="auto"`` engages the block kernel when the
+backend advertises :attr:`~repro.engine.backends.SignatureBackend.
+vectorized_blocks` and the frontier is at least :data:`MIN_BLOCK_FRONTIER`
+subsets; a pure-python fallback keeps ``kernel="block"`` legal (and still
+bit-identical) on any backend.
 """
 
 from __future__ import annotations
@@ -215,6 +239,162 @@ def resolve_search_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
+# -- the kernel policy --------------------------------------------------------
+
+#: Valid execution-strategy names for the subset sweep.
+KERNELS = ("auto", "scalar", "block")
+
+#: Frontier rows a block-kernel chunk materialises when no ``block_size`` is
+#: given (large enough to amortise the per-chunk numpy call overhead, small
+#: enough that a chunk of uint64 union rows stays cache-resident).
+DEFAULT_BLOCK_SIZE = 1024
+
+#: Frontier size (subsets in the largest swept size) below which
+#: ``kernel="auto"`` keeps the scalar path even on a vectorized backend —
+#: under this the batched ops never repay the stacking/bookkeeping setup.
+MIN_BLOCK_FRONTIER = 2048
+
+#: Raw process-global kernel policy ("auto" resolves per search).
+_kernel = "auto"
+
+#: Raw process-global block size (``None`` = :data:`DEFAULT_BLOCK_SIZE`).
+_block_size: Optional[int] = None
+
+
+def _validate_kernel(kernel: Any) -> str:
+    name = str(kernel).strip().lower()
+    if name not in KERNELS:
+        raise IdentifiabilityError(
+            f"unknown kernel {kernel!r}; expected one of {KERNELS}"
+        )
+    return name
+
+
+def _validate_block_size(block_size: Any) -> Optional[int]:
+    if block_size is None:
+        return None
+    if (
+        isinstance(block_size, bool)
+        or not isinstance(block_size, int)
+        or block_size < 1
+    ):
+        raise IdentifiabilityError(
+            f"block_size must be an int >= 1 or None, got {block_size!r}"
+        )
+    return block_size
+
+
+def _install_kernel(kernel: str) -> str:
+    """Install the kernel policy without a deprecation warning (internal
+    setter for :func:`kernel_policy` and the pool workers)."""
+    global _kernel
+    _kernel = _validate_kernel(kernel)
+    return _kernel
+
+
+def _install_block_size(block_size: Optional[int]) -> Optional[int]:
+    """Install the block-size policy without a deprecation warning."""
+    global _block_size
+    _block_size = _validate_block_size(block_size)
+    return _block_size
+
+
+def select_kernel(kernel: Optional[str] = None) -> str:
+    """Get or set the global subset-sweep kernel policy.
+
+    With no argument, returns the current policy (no warning); with
+    ``"auto"``, ``"scalar"`` or ``"block"``, installs it for every search run
+    without an explicit ``kernel=`` argument and returns the new value.
+
+    .. deprecated::
+        Setting the global policy is deprecated in favour of the spec-scoped
+        engine configuration — pass ``EngineConfig(kernel=...)`` into a
+        :class:`repro.Scenario` (or the ``kernel=`` parameter of the
+        pathset-level functions).  Behaviour is unchanged while it lives.
+    """
+    if kernel is None:
+        return _kernel
+    warnings.warn(
+        "select_kernel(kernel) mutates process-global state; prefer the "
+        "spec-scoped repro.EngineConfig(kernel=...) on a repro.Scenario, "
+        "or the scoped kernel_policy() context manager",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _install_kernel(kernel)
+
+
+def select_block_size(block_size: Optional[int] = None) -> Optional[int]:
+    """Get the global block-size policy (``None`` = library default).
+
+    Setting it here is deprecated like :func:`select_kernel`; note that
+    unlike the other selectors the getter cannot be distinguished from
+    "set to default", so only non-``None`` values install.
+    """
+    if block_size is None:
+        return _block_size
+    warnings.warn(
+        "select_block_size(n) mutates process-global state; prefer the "
+        "spec-scoped repro.EngineConfig(block_size=...) on a repro.Scenario, "
+        "or the scoped kernel_policy() context manager",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _install_block_size(block_size)
+
+
+@contextlib.contextmanager
+def kernel_policy(
+    kernel: Optional[str] = None, block_size: Optional[int] = None
+) -> Iterator[Tuple[str, Optional[int]]]:
+    """Scope a kernel-policy change to a ``with`` block.
+
+    ``None`` leaves the corresponding knob untouched (the block still
+    restores both on exit, so nesting is safe)::
+
+        with kernel_policy("block", block_size=4096):
+            ...  # every sweep here without explicit knobs runs the kernel
+    """
+    previous = (_kernel, _block_size)
+    try:
+        if kernel is not None:
+            _install_kernel(kernel)
+        if block_size is not None:
+            _install_block_size(block_size)
+        yield (_kernel, _block_size)
+    finally:
+        _install_kernel(previous[0])
+        _install_block_size(previous[1])
+
+
+def resolve_kernel(kernel: Optional[str] = None) -> str:
+    """Normalise a ``kernel`` value (``None`` = global policy), keeping
+    ``"auto"`` symbolic — it resolves per search against the backend and
+    frontier via :func:`_resolved_kernel`."""
+    return _validate_kernel(_kernel if kernel is None else kernel)
+
+
+def resolve_block_size(block_size: Optional[int] = None) -> int:
+    """Concrete block size: explicit value, else the global policy, else
+    :data:`DEFAULT_BLOCK_SIZE`."""
+    if block_size is None:
+        block_size = _block_size
+    if block_size is None:
+        return DEFAULT_BLOCK_SIZE
+    validated = _validate_block_size(block_size)
+    assert validated is not None
+    return validated
+
+
+def _resolved_kernel(kernel: str, backend: SignatureBackend, frontier: int) -> str:
+    """Resolve ``"auto"`` against the backend and the largest frontier."""
+    if kernel != "auto":
+        return kernel
+    if not backend.vectorized_blocks:
+        return "scalar"
+    return "block" if frontier >= MIN_BLOCK_FRONTIER else "scalar"
+
+
 # -- search observability -----------------------------------------------------
 
 
@@ -234,6 +414,13 @@ class SearchStats:
     table_entries: int
     shard_subsets: Tuple[int, ...] = ()
     budget_exhausted: bool = False
+    #: The execution strategy that ran ("scalar" or "block", post-"auto").
+    kernel: str = "scalar"
+    #: Frontier chunks the block kernel evaluated (0 under the scalar path).
+    blocks_evaluated: int = 0
+    #: Rows whose vectorized digest missed every table — dedup'd without a
+    #: single exact key computation (the kernel's batching win).
+    block_rows_pruned: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -243,6 +430,9 @@ class SearchStats:
             "table_entries": self.table_entries,
             "shard_subsets": list(self.shard_subsets),
             "budget_exhausted": self.budget_exhausted,
+            "kernel": self.kernel,
+            "blocks_evaluated": self.blocks_evaluated,
+            "block_rows_pruned": self.block_rows_pruned,
         }
 
 
@@ -254,6 +444,9 @@ class SearchCounters:
     sharded_searches: int
     subsets_enumerated: int
     dominance_prunes: int
+    block_searches: int = 0
+    blocks_evaluated: int = 0
+    block_rows_pruned: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -261,6 +454,9 @@ class SearchCounters:
             "sharded_searches": self.sharded_searches,
             "subsets_enumerated": self.subsets_enumerated,
             "dominance_prunes": self.dominance_prunes,
+            "block_searches": self.block_searches,
+            "blocks_evaluated": self.blocks_evaluated,
+            "block_rows_pruned": self.block_rows_pruned,
         }
 
 
@@ -269,6 +465,9 @@ _COUNTERS: Dict[str, int] = {
     "sharded_searches": 0,
     "subsets_enumerated": 0,
     "dominance_prunes": 0,
+    "block_searches": 0,
+    "blocks_evaluated": 0,
+    "block_rows_pruned": 0,
 }
 
 
@@ -288,6 +487,9 @@ def record_external_search(
     sharded_searches: int = 0,
     subsets_enumerated: int = 0,
     dominance_prunes: int = 0,
+    block_searches: int = 0,
+    blocks_evaluated: int = 0,
+    block_rows_pruned: int = 0,
 ) -> None:
     """Fold counters reported by worker processes into this process's totals
     (the search-counter analogue of ``PathSetCache.record_external``)."""
@@ -295,14 +497,21 @@ def record_external_search(
     _COUNTERS["sharded_searches"] += sharded_searches
     _COUNTERS["subsets_enumerated"] += subsets_enumerated
     _COUNTERS["dominance_prunes"] += dominance_prunes
+    _COUNTERS["block_searches"] += block_searches
+    _COUNTERS["blocks_evaluated"] += blocks_evaluated
+    _COUNTERS["block_rows_pruned"] += block_rows_pruned
 
 
 def _record_search(stats: SearchStats, sharded: bool) -> None:
     _COUNTERS["searches"] += 1
     if sharded:
         _COUNTERS["sharded_searches"] += 1
+    if stats.kernel == "block":
+        _COUNTERS["block_searches"] += 1
     _COUNTERS["subsets_enumerated"] += stats.subsets_enumerated
     _COUNTERS["dominance_prunes"] += stats.dominance_prunes
+    _COUNTERS["blocks_evaluated"] += stats.blocks_evaluated
+    _COUNTERS["block_rows_pruned"] += stats.block_rows_pruned
 
 
 # -- the shared combination frontier ------------------------------------------
@@ -389,6 +598,98 @@ def _lex_rank(indices: Sequence[int], n: int, size: int) -> int:
     return rank
 
 
+def _prefix_runs(
+    signatures: Sequence[Any],
+    backend: SignatureBackend,
+    size: int,
+    first_lo: int = 0,
+    first_hi: Optional[int] = None,
+) -> Iterator[Tuple[Tuple[int, ...], Any, int, int]]:
+    """The block kernel's view of the frontier: maximal runs of size-``size``
+    subsets sharing their first ``size - 1`` indices.
+
+    Yields ``(prefix_indices, prefix_union, last_lo, last_hi)`` — the run's
+    subsets are ``prefix_indices + (j,)`` for ``j`` in ``[last_lo, last_hi)``,
+    i.e. contiguous *rows* of the stacked signature matrix, which is what
+    lets one broadcast union/dominance/digest op evaluate the whole run.
+    Runs appear in lexicographic prefix order, so concatenating them (and the
+    rows within each) reproduces :func:`_combination_frontier`'s enumeration
+    exactly, including the ``[first_lo, first_hi)`` first-index sharding.
+    One backend union per *run* replaces one per subset.
+    """
+    n = len(signatures)
+    if size == 1:
+        hi = n if first_hi is None else min(first_hi, n)
+        if first_lo < hi:
+            yield (), backend.empty(), first_lo, hi
+        return
+    union = backend.union
+    for indices, rest, last_signature in _combination_frontier(
+        signatures, backend, size - 1, first_lo, first_hi
+    ):
+        last_lo = indices[size - 2] + 1
+        if last_lo >= n:
+            continue  # prefix ends at n-1: no room for a last element
+        yield tuple(indices), union(rest, last_signature), last_lo, n
+
+
+def _block_chunks(
+    signatures: Sequence[Any],
+    backend: SignatureBackend,
+    matrix: Any,
+    size: int,
+    block_size: int,
+    first_lo: int = 0,
+    first_hi: Optional[int] = None,
+) -> Iterator[Tuple[List[Tuple[int, ...]], Any, List[bool], List[int]]]:
+    """Materialise the size-``size`` frontier in chunks of up to
+    ``block_size`` candidate subsets, one batched backend evaluation each.
+
+    Chunks *span* prefix runs: boosted cells split the frontier into many
+    short runs (a handful of rows each), so batching within a single run
+    leaves the backend ops nothing to amortise.  Each chunk gathers rows
+    across consecutive runs — splitting a run when it straddles the chunk
+    boundary — stacks one prefix union per run piece, and makes a single
+    ``block_scan`` + ``block_digests`` call.  Yields ``(subsets, unions,
+    dominated, digests)`` with rows in exact serial lexicographic order, so
+    consumers replaying the per-row branch logic stay bit-identical to the
+    scalar sweep.
+    """
+    prefixes: List[Any] = []
+    spans: List[Tuple[int, int, int]] = []
+    metas: List[Tuple[Tuple[int, ...], int, int]] = []
+    filled = 0
+
+    def _evaluate() -> Tuple[List[Tuple[int, ...]], Any, List[bool], List[int]]:
+        unions, dominated = backend.block_scan(
+            matrix, backend.stack(prefixes), spans
+        )
+        digests = backend.block_digests(unions)
+        subsets = [
+            prefix_indices + (last,)
+            for prefix_indices, lo, hi in metas
+            for last in range(lo, hi)
+        ]
+        return subsets, unions, dominated, digests
+
+    for prefix_indices, prefix, last_lo, last_hi in _prefix_runs(
+        signatures, backend, size, first_lo, first_hi
+    ):
+        lo = last_lo
+        while lo < last_hi:
+            hi = min(lo + (block_size - filled), last_hi)
+            prefixes.append(prefix)
+            spans.append((len(prefixes) - 1, lo, hi))
+            metas.append((prefix_indices, lo, hi))
+            filled += hi - lo
+            lo = hi
+            if filled >= block_size:
+                yield _evaluate()
+                prefixes, spans, metas, filled = [], [], [], 0
+    if spans:
+        yield _evaluate()
+
+
 # -- shard-worker plumbing ----------------------------------------------------
 
 #: Frontier size below which a sharded search scans inline in the parent.
@@ -397,11 +698,22 @@ MIN_SHARDED_FRONTIER = 1024
 #: Test hook: force the shard executor kind ("process" / "thread" / None).
 _FORCE_EXECUTOR: Optional[str] = None
 
-#: ``(token, signatures, backend, shared_budget)`` — installed by the parent
-#: before the shard executor is created, inherited by fork workers / shared by
-#: threads.  The shared budget (when set) is the cancel token the shards poll.
+#: ``(token, signatures, backend, shared_budget, kernel, block_size,
+#: matrix)`` — installed by the parent before the shard executor is created,
+#: inherited by fork workers / shared by threads.  The shared budget (when
+#: set) is the cancel token the shards poll; ``kernel``/``block_size`` pick
+#: the shard execution strategy and ``matrix`` is the pre-stacked block
+#: operand (``None`` under the scalar kernel).
 _SHARD_CONTEXT: Optional[
-    Tuple[int, List[Any], SignatureBackend, Optional[SharedBudgetState]]
+    Tuple[
+        int,
+        List[Any],
+        SignatureBackend,
+        Optional[SharedBudgetState],
+        str,
+        int,
+        Any,
+    ]
 ] = None
 _SHARD_TABLES: Dict[Tuple[int, int], Dict[int, List[Tuple[int, ...]]]] = {}
 _SHARD_LOCK = threading.Lock()
@@ -415,9 +727,14 @@ def _install_shard_context(
     signatures: List[Any],
     backend: SignatureBackend,
     shared_budget: Optional[SharedBudgetState] = None,
+    kernel: str = "scalar",
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    matrix: Any = None,
 ) -> None:
     global _SHARD_CONTEXT
-    _SHARD_CONTEXT = (token, signatures, backend, shared_budget)
+    _SHARD_CONTEXT = (
+        token, signatures, backend, shared_budget, kernel, block_size, matrix
+    )
 
 
 def _clear_shard_context() -> None:
@@ -429,13 +746,20 @@ def _clear_shard_context() -> None:
 
 def _shard_context(
     token: int,
-) -> Tuple[List[Any], SignatureBackend, Optional[SharedBudgetState]]:
+) -> Tuple[
+    List[Any],
+    SignatureBackend,
+    Optional[SharedBudgetState],
+    str,
+    int,
+    Any,
+]:
     context = _SHARD_CONTEXT
     if context is None or context[0] != token:
         raise IdentifiabilityError(
             "sharded-search context is not installed in this worker"
         )
-    return context[1], context[2], context[3]
+    return context[1], context[2], context[3], context[4], context[5], context[6]
 
 
 def _make_shard_executor(jobs: int) -> Executor:
@@ -476,17 +800,32 @@ def _shard_table(
     """The digest → [subset, ...] table a shard probes: locally derived
     size-0/1 seeds first, then the shipped smaller-size history, in serial
     order.  Cached per ``(token, size)`` so threads (and a process worker
-    handling several blocks) build it once."""
+    handling several blocks) build it once.
+
+    Seeds are digested by the active kernel's own digest function (scalar
+    ``hash(key)`` vs the vectorized block fold) so one search only ever
+    mixes one digest family — the history entries were produced by the same
+    kernel at the smaller sizes."""
     with _SHARD_LOCK:
         cached = _SHARD_TABLES.get((token, size))
         if cached is not None:
             return cached
-        signatures, backend, _ = _shard_context(token)
-        key = backend.key
+        signatures, backend, _, kernel, _, matrix = _shard_context(token)
         table: Dict[int, List[Tuple[int, ...]]] = {}
-        table.setdefault(hash(key(backend.empty())), []).append(())
-        for index in range(len(signatures)):
-            table.setdefault(hash(key(signatures[index])), []).append((index,))
+        if kernel == "block":
+            empty_digest = backend.block_digests(
+                backend.stack([backend.empty()])
+            )[0]
+            table.setdefault(empty_digest, []).append(())
+            for index, digest in enumerate(backend.block_digests(matrix)):
+                table.setdefault(digest, []).append((index,))
+        else:
+            key = backend.key
+            table.setdefault(hash(key(backend.empty())), []).append(())
+            for index in range(len(signatures)):
+                table.setdefault(hash(key(signatures[index])), []).append(
+                    (index,)
+                )
         for digest, indices in history:
             table.setdefault(digest, []).append(indices)
         _SHARD_TABLES.clear()  # at most one (token, size) table is ever live
@@ -513,8 +852,22 @@ def _scan_shard(
     result.
     """
     token, size, first_lo, first_hi, history = task
-    signatures, backend, shared_budget = _shard_context(token)
+    signatures, backend, shared_budget, kernel, block_size, matrix = (
+        _shard_context(token)
+    )
     table = _shard_table(token, size, history)
+    if kernel == "block":
+        return _scan_shard_block(
+            size,
+            first_lo,
+            first_hi,
+            signatures,
+            backend,
+            shared_budget,
+            block_size,
+            matrix,
+            table,
+        )
     union, key, is_subset = backend.union, backend.key, backend.is_subset
     local: Dict[int, List[Tuple[Tuple[int, ...], Any]]] = {}
     entries: List[Tuple[int, Tuple[int, ...]]] = []
@@ -572,6 +925,96 @@ def _scan_shard(
         "entries": entries,
         "hit": hit,
         "budget_stopped": stopped,
+        "blocks": 0,
+        "pruned": 0,
+    }
+
+
+def _scan_shard_block(
+    size: int,
+    first_lo: int,
+    first_hi: int,
+    signatures: Sequence[Any],
+    backend: SignatureBackend,
+    shared_budget: Optional[SharedBudgetState],
+    block_size: int,
+    matrix: Any,
+    table: Dict[int, List[Tuple[int, ...]]],
+) -> Dict[str, Any]:
+    """The block-kernel body of :func:`_scan_shard`.
+
+    Walks the same rows in the same order with the same branch priority
+    (dominance, then table seeds/history, then local entries) and the same
+    budget-poll cadence — ``scanned``/``entries``/``hit``/``budget_stopped``
+    are bit-identical to the scalar shard's; only the per-row signature work
+    is batched.  Digest matches are exact-verified by recomputing the
+    candidate's union key, so the vectorized digest family needs no relation
+    to the scalar one.
+    """
+    key = backend.key
+    local: Dict[int, List[Tuple[int, ...]]] = {}
+    entries: List[Tuple[int, Tuple[int, ...]]] = []
+    scanned = 0
+    pending = 0
+    blocks = 0
+    pruned = 0
+    stopped = False
+    hit: Optional[Tuple[str, Tuple[int, ...], Optional[Tuple[int, ...]]]] = None
+    for subsets, unions, dominated, digests in _block_chunks(
+        signatures, backend, matrix, size, block_size, first_lo, first_hi
+    ):
+        blocks += 1
+        for j, digest in enumerate(digests):
+            scanned += 1
+            subset = subsets[j]
+            if dominated[j]:
+                hit = ("dominance", subset, None)
+                break
+            bucket = table.get(digest)
+            local_bucket = local.get(digest)
+            if bucket is None and local_bucket is None:
+                # Clean digest miss: dedup'd without one exact key.
+                pruned += 1
+            else:
+                exact = key(unions[j])
+                partner: Optional[Tuple[int, ...]] = None
+                for candidate in itertools.chain(
+                    bucket or (), local_bucket or ()
+                ):
+                    if _subset_key(signatures, backend, candidate) == exact:
+                        partner = candidate
+                        break
+                if partner is not None:
+                    hit = ("table", subset, partner)
+                    break
+            entries.append((digest, subset))
+            local.setdefault(digest, []).append(subset)
+            if shared_budget is not None:
+                pending += 1
+                if pending >= SHARD_POLL_STRIDE:
+                    if shared_budget.poll(pending):
+                        stopped = True
+                        pending = 0
+                        break
+                    pending = 0
+        if hit is not None or stopped:
+            break
+    if (
+        shared_budget is not None
+        and pending
+        and shared_budget.poll(pending)
+        and hit is None
+    ):
+        # End-of-block flush observed expiry — same contract as the scalar
+        # shard: report it so the parent discards the incomplete size.
+        stopped = True
+    return {
+        "scanned": scanned,
+        "entries": entries,
+        "hit": hit,
+        "budget_stopped": stopped,
+        "blocks": blocks,
+        "pruned": pruned,
     }
 
 
@@ -584,10 +1027,30 @@ def _census_shard(task: Tuple[int, int, int, int]) -> List[Tuple[int, Tuple[int,
     executor to the parent) instead of stopping quietly.
     """
     token, size, first_lo, first_hi = task
-    signatures, backend, shared_budget = _shard_context(token)
-    union, key = backend.union, backend.key
+    signatures, backend, shared_budget, kernel, block_size, matrix = (
+        _shard_context(token)
+    )
     out: List[Tuple[int, Tuple[int, ...]]] = []
     pending = 0
+    if kernel == "block":
+        for subsets, _unions, _dominated, digests in _block_chunks(
+            signatures, backend, matrix, size, block_size, first_lo, first_hi
+        ):
+            for j, digest in enumerate(digests):
+                out.append((digest, subsets[j]))
+                if shared_budget is not None:
+                    pending += 1
+                    if pending >= SHARD_POLL_STRIDE:
+                        if shared_budget.poll(pending):
+                            raise BudgetExceededError(
+                                f"size-{size} subset census exceeded "
+                                "its search budget"
+                            )
+                        pending = 0
+        if shared_budget is not None and pending:
+            shared_budget.poll(pending)
+        return out
+    union, key = backend.union, backend.key
     for indices, rest, last_signature in _combination_frontier(
         signatures, backend, size, first_lo, first_hi
     ):
@@ -1037,34 +1500,62 @@ class SignatureEngine:
         sizes: Iterable[int],
         nodes: Optional[Iterable[Node]] = None,
         search_jobs: Optional[int] = None,
+        kernel: Optional[str] = None,
+        block_size: Optional[int] = None,
     ) -> Iterator[Tuple[Tuple[Node, ...], int]]:
-        """Like :meth:`iter_subset_signatures` but yielding ``hash(key)``
-        digests, sharding each large size across ``search_jobs`` workers.
+        """Like :meth:`iter_subset_signatures` but yielding digests, sharding
+        each large size across ``search_jobs`` workers and batching via the
+        block kernel when ``kernel`` says so.
 
         Subsets still appear in exact serial (lexicographic) order.  Equal
         keys always share a digest; distinct keys may rarely collide, so
         digest-equal subsets must be exact-verified (e.g. via
         :meth:`union_key`) before being treated as confusable.  This is the
         substrate of the sharded local-identifiability sweep.
+
+        One call uses one digest family throughout — callers bucket digests
+        *across* sizes, so ``"auto"`` resolves per call against the backend
+        alone (any vectorized backend engages the kernel) rather than per
+        size.
         """
         jobs = resolve_search_jobs(search_jobs)
         universe = self._resolve_universe(nodes)
         signatures = [self._signatures[node] for node in universe]
         backend = self.backend
+        requested = resolve_kernel(kernel)
+        if requested == "auto":
+            used_kernel = "block" if backend.vectorized_blocks else "scalar"
+        else:
+            used_kernel = requested
+        block_rows = resolve_block_size(block_size)
+        matrix = backend.stack(signatures) if used_kernel == "block" else None
         union, key = backend.union, backend.key
         n = len(universe)
         for size in sizes:
             if size < 0:
                 raise IdentifiabilityError(f"subset size must be >= 0, got {size}")
             if size == 0:
-                yield (), hash(key(backend.empty()))
+                if used_kernel == "block":
+                    yield (), backend.block_digests(
+                        backend.stack([backend.empty()])
+                    )[0]
+                else:
+                    yield (), hash(key(backend.empty()))
                 continue
             if size > n:
                 continue
             if jobs > 1 and math.comb(n, size) >= MIN_SHARDED_FRONTIER:
                 token = next(_SHARD_TOKENS)
                 with _SHARD_SEARCH_LOCK:
-                    _install_shard_context(token, signatures, backend)
+                    _install_shard_context(
+                        token,
+                        signatures,
+                        backend,
+                        None,
+                        used_kernel,
+                        block_rows,
+                        matrix,
+                    )
                     executor = _make_shard_executor(jobs)
                     try:
                         tasks = [
@@ -1078,6 +1569,15 @@ class SignatureEngine:
                 for chunk in chunks:
                     for digest, indices in chunk:
                         yield tuple(universe[i] for i in indices), digest
+            elif used_kernel == "block":
+                for subsets, _unions, _dominated, digests in _block_chunks(
+                    signatures, backend, matrix, size, block_rows
+                ):
+                    for j, digest in enumerate(digests):
+                        yield (
+                            tuple(universe[i] for i in subsets[j]),
+                            digest,
+                        )
             else:
                 for indices, rest, last_signature in _combination_frontier(
                     signatures, backend, size
@@ -1094,6 +1594,8 @@ class SignatureEngine:
         nodes: Optional[Iterable[Node]] = None,
         search_jobs: Optional[int] = None,
         budget: Optional[Budget] = None,
+        kernel: Optional[str] = None,
+        block_size: Optional[int] = None,
     ) -> IdentifiabilityResult:
         """Exact maximal identifiability of the (possibly restricted) universe.
 
@@ -1115,6 +1617,13 @@ class SignatureEngine:
         run time.  Sharded searches poll a shared cancel token and discard
         the incomplete size wholesale, so the truncation point stays at a
         size boundary for every ``search_jobs`` value.
+
+        ``kernel`` picks the sweep's execution strategy (``None`` = the
+        global :func:`kernel_policy`): ``"scalar"`` is the historical
+        per-subset loop, ``"block"`` the batched block kernel (chunks of
+        ``block_size`` rows), ``"auto"`` the kernel when the backend is
+        vectorized and the frontier is large.  Results are **bit-identical**
+        across kernels — only wall-clock time and :attr:`.stats` change.
         """
         universe = self._resolve_universe(nodes)
         if not universe:
@@ -1123,15 +1632,21 @@ class SignatureEngine:
             raise IdentifiabilityError(f"max_size must be >= 0, got {max_size}")
         jobs = resolve_search_jobs(search_jobs)
         budget = resolve_budget(budget)
+        requested_kernel = resolve_kernel(kernel)
+        block_rows = resolve_block_size(block_size)
         n = len(universe)
         cap = n if max_size is None else min(max_size, n)
+        # The frontier peaks at size min(cap, n // 2); resolve "auto" against
+        # that single binomial rather than materialising the whole profile.
+        peak = math.comb(n, min(cap, max(2, n // 2))) if cap >= 2 else 0
+        used_kernel = _resolved_kernel(requested_kernel, self.backend, peak)
         if cap == 0:
             result = IdentifiabilityResult(
                 value=0,
                 witness=None,
                 searched_up_to=0,
                 exhausted_search=True,
-                stats=SearchStats(jobs, 0, 0, 0),
+                stats=SearchStats(jobs, 0, 0, 0, kernel=used_kernel),
             )
             _record_search(result.stats, sharded=False)
             return result
@@ -1144,7 +1659,7 @@ class SignatureEngine:
                 witness=witness,
                 searched_up_to=1,
                 exhausted_search=False,
-                stats=SearchStats(jobs, n + 1, 0, n + 1),
+                stats=SearchStats(jobs, n + 1, 0, n + 1, kernel=used_kernel),
             )
             _record_search(result.stats, sharded=False)
             return result
@@ -1154,13 +1669,17 @@ class SignatureEngine:
                 witness=None,
                 searched_up_to=1,
                 exhausted_search=True,
-                stats=SearchStats(jobs, n + 1, 0, n + 1),
+                stats=SearchStats(jobs, n + 1, 0, n + 1, kernel=used_kernel),
             )
             _record_search(result.stats, sharded=False)
             return result
 
         if jobs > 1:
-            result = self._identifiability_sharded(universe, cap, jobs, budget)
+            result = self._identifiability_sharded(
+                universe, cap, jobs, budget, used_kernel, block_rows
+            )
+        elif used_kernel == "block":
+            result = self._identifiability_block(universe, cap, budget, block_rows)
         else:
             result = self._identifiability_serial(universe, cap, budget)
         _record_search(result.stats, sharded=jobs > 1)
@@ -1174,6 +1693,9 @@ class SignatureEngine:
         dominance: int,
         table_entries: int,
         shard_subsets: Tuple[int, ...] = (),
+        kernel: str = "scalar",
+        blocks_evaluated: int = 0,
+        block_rows_pruned: int = 0,
     ) -> IdentifiabilityResult:
         """The well-formed truncation at the last fully completed size: a
         certified lower bound (every smaller size enumerated collision-free),
@@ -1191,6 +1713,9 @@ class SignatureEngine:
                 table_entries,
                 shard_subsets,
                 budget_exhausted=True,
+                kernel=kernel,
+                blocks_evaluated=blocks_evaluated,
+                block_rows_pruned=block_rows_pruned,
             ),
         )
 
@@ -1270,12 +1795,158 @@ class SignatureEngine:
             stats=SearchStats(1, enumerated, 0, len(seen)),
         )
 
+    def _identifiability_block(
+        self,
+        universe: Tuple[Node, ...],
+        cap: int,
+        budget: Optional[Budget],
+        block_size: int,
+    ) -> IdentifiabilityResult:
+        """The serial block-kernel sweep: bit-identical to
+        :meth:`_identifiability_serial`, row for row.
+
+        The frontier is materialised in ``block_size``-row chunks spanning
+        prefix runs (:func:`_block_chunks`), each evaluated with three
+        batched backend ops (union broadcast, dominance reduction, digest
+        fold); the per-row Python loop then does dict work only.  The digest
+        table spans all sizes like the scalar ``seen`` table but keys on the
+        vectorized digests, exact-verifying matches by recomputing the
+        candidate's union key (bucket order is serial order, so the first
+        exact match is the scalar sweep's partner).  Budget spend cadence —
+        one :meth:`~repro.resilience.budget.Budget.spend` per *inserted*
+        row — matches the scalar sweep exactly, so subset-budget truncation
+        points are unchanged.
+        """
+        backend = self.backend
+        key = backend.key
+        signatures = [self._signatures[node] for node in universe]
+        matrix = backend.stack(signatures)
+        n = len(universe)
+        # digest -> [indices, ...] in first-appearance (serial) order, seeded
+        # with the ∅/singleton subsets the fast path certified distinct —
+        # digested by the same vectorized fold the block rows use.
+        table: Dict[int, List[Tuple[int, ...]]] = {}
+        empty_digest = backend.block_digests(backend.stack([backend.empty()]))[0]
+        table[empty_digest] = [()]
+        for index, digest in enumerate(backend.block_digests(matrix)):
+            table.setdefault(digest, []).append((index,))
+        entries = 1 + n  # mirrors len(seen) of the scalar sweep
+        enumerated = n + 1
+        blocks_evaluated = 0
+        rows_pruned = 0
+        if budget is not None:
+            budget.start()
+            budget.spend(enumerated)
+        for size in range(2, cap + 1):
+            if budget is not None and budget.expired():
+                return self._budget_truncated(
+                    size - 1, 1, budget.consumed, 0, entries,
+                    kernel="block",
+                    blocks_evaluated=blocks_evaluated,
+                    block_rows_pruned=rows_pruned,
+                )
+            for subsets, unions, dominated, digests in _block_chunks(
+                signatures, backend, matrix, size, block_size
+            ):
+                blocks_evaluated += 1
+                for j, digest in enumerate(digests):
+                    indices = subsets[j]
+                    if dominated[j]:
+                        # Dominance: P(last) ⊆ P(U∖{last}) — certified
+                        # without touching the table, like the scalar
+                        # sweep (on a collision row dominance wins).
+                        smaller = frozenset(
+                            universe[i] for i in indices[:-1]
+                        )
+                        return IdentifiabilityResult(
+                            value=size - 1,
+                            witness=ConfusablePair(
+                                smaller,
+                                smaller | {universe[indices[-1]]},
+                            ),
+                            searched_up_to=size,
+                            exhausted_search=False,
+                            stats=SearchStats(
+                                1,
+                                enumerated + _lex_rank(indices, n, size) + 1,
+                                1,
+                                entries,
+                                kernel="block",
+                                blocks_evaluated=blocks_evaluated,
+                                block_rows_pruned=rows_pruned,
+                            ),
+                        )
+                    bucket = table.get(digest)
+                    if bucket is None:
+                        table[digest] = [indices]
+                        rows_pruned += 1
+                    else:
+                        exact = key(unions[j])
+                        partner: Optional[Tuple[int, ...]] = None
+                        for candidate in bucket:
+                            if (
+                                _subset_key(signatures, backend, candidate)
+                                == exact
+                            ):
+                                partner = candidate
+                                break
+                        if partner is not None:
+                            return IdentifiabilityResult(
+                                value=size - 1,
+                                witness=ConfusablePair(
+                                    frozenset(universe[i] for i in partner),
+                                    frozenset(universe[i] for i in indices),
+                                ),
+                                searched_up_to=size,
+                                exhausted_search=False,
+                                stats=SearchStats(
+                                    1,
+                                    enumerated
+                                    + _lex_rank(indices, n, size)
+                                    + 1,
+                                    0,
+                                    entries,
+                                    kernel="block",
+                                    blocks_evaluated=blocks_evaluated,
+                                    block_rows_pruned=rows_pruned,
+                                ),
+                            )
+                        bucket.append(indices)
+                    entries += 1
+                    if budget is not None and budget.spend():
+                        # Mid-size expiry: discard the partial size, stop
+                        # at the previous completed size boundary.
+                        return self._budget_truncated(
+                            size - 1, 1, budget.consumed, 0, entries,
+                            kernel="block",
+                            blocks_evaluated=blocks_evaluated,
+                            block_rows_pruned=rows_pruned,
+                        )
+            enumerated += math.comb(n, size)
+        return IdentifiabilityResult(
+            value=cap,
+            witness=None,
+            searched_up_to=cap,
+            exhausted_search=True,
+            stats=SearchStats(
+                1,
+                enumerated,
+                0,
+                entries,
+                kernel="block",
+                blocks_evaluated=blocks_evaluated,
+                block_rows_pruned=rows_pruned,
+            ),
+        )
+
     def _identifiability_sharded(
         self,
         universe: Tuple[Node, ...],
         cap: int,
         jobs: int,
         budget: Optional[Budget] = None,
+        kernel: str = "scalar",
+        block_size: int = DEFAULT_BLOCK_SIZE,
     ) -> IdentifiabilityResult:
         """The sharded sweep: bit-identical to :meth:`_identifiability_serial`
         (see the module docstring for the merge argument).
@@ -1286,14 +1957,23 @@ class SignatureEngine:
         it).  Any shard stopping early marks the size incomplete and the
         parent discards it wholesale — the merge stays deterministic at
         completed-size granularity regardless of how far each shard got.
+
+        ``kernel``/``block_size`` pick the shard execution strategy: under
+        ``"block"`` every shard runs the block kernel over its first-index
+        block (the stacked matrix is installed in the shard context, so
+        ``fork`` workers inherit it zero-copy).  Shard scan order, entries
+        and budget polling are row-identical either way.
         """
         backend = self.backend
         signatures = [self._signatures[node] for node in universe]
+        matrix = backend.stack(signatures) if kernel == "block" else None
         n = len(universe)
         token = next(_SHARD_TOKENS)
         history: List[Tuple[int, Tuple[int, ...]]] = []
         enumerated = n + 1
         dominance = 0
+        blocks_evaluated = 0
+        rows_pruned = 0
         shard_subsets: Tuple[int, ...] = ()
         executor: Optional[Executor] = None
         shared_budget: Optional[SharedBudgetState] = None
@@ -1302,7 +1982,15 @@ class SignatureEngine:
             budget.spend(enumerated)
             shared_budget = budget.share()
         with _SHARD_SEARCH_LOCK:
-            _install_shard_context(token, signatures, backend, shared_budget)
+            _install_shard_context(
+                token,
+                signatures,
+                backend,
+                shared_budget,
+                kernel,
+                block_size,
+                matrix,
+            )
             try:
                 for size in range(2, cap + 1):
                     if budget is not None:
@@ -1315,6 +2003,9 @@ class SignatureEngine:
                                 dominance,
                                 1 + n + len(history),
                                 shard_subsets,
+                                kernel=kernel,
+                                blocks_evaluated=blocks_evaluated,
+                                block_rows_pruned=rows_pruned,
                             )
                     if math.comb(n, size) >= MIN_SHARDED_FRONTIER:
                         blocks = _first_index_blocks(n, size, jobs)
@@ -1333,6 +2024,12 @@ class SignatureEngine:
                     scanned = tuple(result["scanned"] for result in results)
                     enumerated += sum(scanned)
                     shard_subsets = scanned
+                    blocks_evaluated += sum(
+                        result.get("blocks", 0) for result in results
+                    )
+                    rows_pruned += sum(
+                        result.get("pruned", 0) for result in results
+                    )
                     if any(result.get("budget_stopped") for result in results):
                         # A shard hit the shared budget: the size is
                         # incomplete, so discard it wholesale (even a found
@@ -1347,6 +2044,9 @@ class SignatureEngine:
                             dominance,
                             1 + n + len(history),
                             scanned,
+                            kernel=kernel,
+                            blocks_evaluated=blocks_evaluated,
+                            block_rows_pruned=rows_pruned,
                         )
                     dominance += sum(
                         1
@@ -1380,7 +2080,14 @@ class SignatureEngine:
                             searched_up_to=size,
                             exhausted_search=False,
                             stats=SearchStats(
-                                jobs, enumerated, dominance, table_entries, scanned
+                                jobs,
+                                enumerated,
+                                dominance,
+                                table_entries,
+                                scanned,
+                                kernel=kernel,
+                                blocks_evaluated=blocks_evaluated,
+                                block_rows_pruned=rows_pruned,
                             ),
                         )
                     for result in results:
@@ -1391,8 +2098,14 @@ class SignatureEngine:
                     searched_up_to=cap,
                     exhausted_search=True,
                     stats=SearchStats(
-                        jobs, enumerated, dominance, 1 + n + len(history),
+                        jobs,
+                        enumerated,
+                        dominance,
+                        1 + n + len(history),
                         shard_subsets,
+                        kernel=kernel,
+                        blocks_evaluated=blocks_evaluated,
+                        block_rows_pruned=rows_pruned,
                     ),
                 )
             finally:
@@ -1405,59 +2118,15 @@ class SignatureEngine:
         """Whether some measurement path touches exactly one of the two sets."""
         return self.union_key(first) != self.union_key(second)
 
-    def _subset_census(
-        self,
-        universe: Tuple[Node, ...],
-        size: int,
-        jobs: int,
-        budget: Optional[Budget] = None,
+    @staticmethod
+    def _groups_from_digest_entries(
+        entries: Iterable[Tuple[int, Tuple[int, ...]]],
+        signatures: Sequence[Any],
+        backend: SignatureBackend,
     ) -> List[List[Tuple[int, ...]]]:
-        """Signature-equality groups of all size-``size`` subsets, ordered by
-        first appearance (groups and members in lexicographic order) —
-        computed serially or via the digest census shards, identically.
-
-        A census is all-or-nothing: an expired ``budget`` raises
-        :class:`BudgetExceededError` (a partially enumerated census would be
-        silently wrong, not a certified lower bound)."""
-        signatures = [self._signatures[node] for node in universe]
-        backend = self.backend
-        n = len(universe)
-        if budget is not None:
-            budget.start()
-        if jobs <= 1 or size > n or math.comb(n, size) < MIN_SHARDED_FRONTIER:
-            union, key = backend.union, backend.key
-            exact_groups: Dict[Any, List[Tuple[int, ...]]] = {}
-            for indices, rest, last_signature in _combination_frontier(
-                signatures, backend, size
-            ):
-                exact_groups.setdefault(
-                    key(union(rest, last_signature)), []
-                ).append(tuple(indices))
-                if budget is not None and budget.spend():
-                    raise BudgetExceededError(
-                        f"size-{size} subset census exceeded its search budget"
-                    )
-            return list(exact_groups.values())
-        token = next(_SHARD_TOKENS)
-        shared_budget = budget.share() if budget is not None else None
-        with _SHARD_SEARCH_LOCK:
-            _install_shard_context(token, signatures, backend, shared_budget)
-            executor = _make_shard_executor(jobs)
-            try:
-                tasks = [
-                    (token, size, lo, hi)
-                    for lo, hi in _first_index_blocks(n, size, jobs)
-                ]
-                entries = [
-                    entry
-                    for chunk in executor.map(_census_shard, tasks)
-                    for entry in chunk
-                ]
-            finally:
-                _clear_shard_context()
-                executor.shutdown()
-        if budget is not None:
-            budget.sync_from(shared_budget)
+        """Exact signature-equality groups from ``(digest, indices)`` census
+        entries: digest buckets, exact-verified splits (recomputed union
+        keys), sorted into first-appearance order."""
         buckets: Dict[int, List[Tuple[int, ...]]] = {}
         for digest, indices in entries:
             buckets.setdefault(digest, []).append(indices)
@@ -1476,12 +2145,99 @@ class SignatureEngine:
         groups.sort(key=lambda members: members[0])
         return groups
 
+    def _subset_census(
+        self,
+        universe: Tuple[Node, ...],
+        size: int,
+        jobs: int,
+        budget: Optional[Budget] = None,
+        kernel: str = "scalar",
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> List[List[Tuple[int, ...]]]:
+        """Signature-equality groups of all size-``size`` subsets, ordered by
+        first appearance (groups and members in lexicographic order) —
+        computed serially or via the digest census shards, with the scalar
+        or block kernel, identically.
+
+        A census is all-or-nothing: an expired ``budget`` raises
+        :class:`BudgetExceededError` (a partially enumerated census would be
+        silently wrong, not a certified lower bound)."""
+        signatures = [self._signatures[node] for node in universe]
+        backend = self.backend
+        n = len(universe)
+        if budget is not None:
+            budget.start()
+        if jobs <= 1 or size > n or math.comb(n, size) < MIN_SHARDED_FRONTIER:
+            if kernel == "block":
+                matrix = backend.stack(signatures)
+                entries: List[Tuple[int, Tuple[int, ...]]] = []
+                for subsets, _unions, _dominated, digests in _block_chunks(
+                    signatures, backend, matrix, size, block_size
+                ):
+                    for j, digest in enumerate(digests):
+                        entries.append((digest, subsets[j]))
+                        if budget is not None and budget.spend():
+                            raise BudgetExceededError(
+                                f"size-{size} subset census exceeded "
+                                "its search budget"
+                            )
+                return self._groups_from_digest_entries(
+                    entries, signatures, backend
+                )
+            union, key = backend.union, backend.key
+            exact_groups: Dict[Any, List[Tuple[int, ...]]] = {}
+            for indices, rest, last_signature in _combination_frontier(
+                signatures, backend, size
+            ):
+                exact_groups.setdefault(
+                    key(union(rest, last_signature)), []
+                ).append(tuple(indices))
+                if budget is not None and budget.spend():
+                    raise BudgetExceededError(
+                        f"size-{size} subset census exceeded its search budget"
+                    )
+            return list(exact_groups.values())
+        matrix = backend.stack(signatures) if kernel == "block" else None
+        token = next(_SHARD_TOKENS)
+        shared_budget = budget.share() if budget is not None else None
+        with _SHARD_SEARCH_LOCK:
+            _install_shard_context(
+                token,
+                signatures,
+                backend,
+                shared_budget,
+                kernel,
+                block_size,
+                matrix,
+            )
+            executor = _make_shard_executor(jobs)
+            try:
+                tasks = [
+                    (token, size, lo, hi)
+                    for lo, hi in _first_index_blocks(n, size, jobs)
+                ]
+                shard_entries = [
+                    entry
+                    for chunk in executor.map(_census_shard, tasks)
+                    for entry in chunk
+                ]
+            finally:
+                _clear_shard_context()
+                executor.shutdown()
+        if budget is not None:
+            budget.sync_from(shared_budget)
+        return self._groups_from_digest_entries(
+            shard_entries, signatures, backend
+        )
+
     def separability_matrix(
         self,
         size: int,
         nodes: Optional[Iterable[Node]] = None,
         search_jobs: Optional[int] = None,
         budget: Optional[Budget] = None,
+        kernel: Optional[str] = None,
+        block_size: Optional[int] = None,
     ) -> Dict[Tuple[FrozenSet[Node], FrozenSet[Node]], bool]:
         """Pairwise separation table for all subsets of a given size.
 
@@ -1492,7 +2248,15 @@ class SignatureEngine:
         jobs = resolve_search_jobs(search_jobs)
         budget = resolve_budget(budget)
         universe = self._resolve_universe(nodes)
-        groups = self._subset_census(universe, size, jobs, budget)
+        used_kernel = _resolved_kernel(
+            resolve_kernel(kernel),
+            self.backend,
+            math.comb(len(universe), size) if size <= len(universe) else 0,
+        )
+        groups = self._subset_census(
+            universe, size, jobs, budget, used_kernel,
+            resolve_block_size(block_size),
+        )
         group_of: Dict[Tuple[int, ...], int] = {}
         for group_id, members in enumerate(groups):
             for indices in members:
@@ -1513,6 +2277,8 @@ class SignatureEngine:
         nodes: Optional[Iterable[Node]] = None,
         search_jobs: Optional[int] = None,
         budget: Optional[Budget] = None,
+        kernel: Optional[str] = None,
+        block_size: Optional[int] = None,
     ) -> Tuple[Tuple[FrozenSet[Node], FrozenSet[Node]], ...]:
         """All unordered pairs of same-size subsets with identical path sets.
 
@@ -1523,8 +2289,16 @@ class SignatureEngine:
         jobs = resolve_search_jobs(search_jobs)
         budget = resolve_budget(budget)
         universe = self._resolve_universe(nodes)
+        used_kernel = _resolved_kernel(
+            resolve_kernel(kernel),
+            self.backend,
+            math.comb(len(universe), size) if size <= len(universe) else 0,
+        )
         pairs: List[Tuple[FrozenSet[Node], FrozenSet[Node]]] = []
-        for members in self._subset_census(universe, size, jobs, budget):
+        for members in self._subset_census(
+            universe, size, jobs, budget, used_kernel,
+            resolve_block_size(block_size),
+        ):
             subsets = [
                 frozenset(universe[i] for i in indices) for indices in members
             ]

@@ -42,10 +42,14 @@ from repro.engine.backends import _install_policy, backend_policy, select_backen
 from repro.engine.compress import _install_compression, compression_enabled
 from repro.engine.cache import pathset_cache
 from repro.engine.signatures import (
+    _install_block_size,
+    _install_kernel,
     _install_search_jobs,
     record_external_search,
     reset_search_counters,
     search_counters,
+    select_block_size,
+    select_kernel,
     select_search_jobs,
 )
 from repro.exceptions import ExperimentError
@@ -120,12 +124,15 @@ def _init_worker(
     time_budget: Optional[float] = None,
     subset_budget: Optional[int] = None,
     chaos: Optional[ChaosConfig] = None,
+    kernel: str = "auto",
+    block_size: Optional[int] = None,
 ) -> None:
     """Pool initializer: propagate the engine policies, start a clean cache.
 
     The signature-backend policy (``--backend``), the signature-universe
     compression policy (``--no-compress``), the search-sharding policy
-    (``--search-jobs``) and the search-budget limits (``--time-budget``)
+    (``--search-jobs``), the sweep-kernel policy (``--kernel`` /
+    ``--block-size``) and the search-budget limits (``--time-budget``)
     are installed so workers compute exactly as the
     parent would.  Clearing makes worker
     caches behave identically under ``fork`` (which inherits a copy of the
@@ -142,6 +149,8 @@ def _init_worker(
     _install_policy(backend)
     _install_compression(compress)
     _install_search_jobs(search_jobs)
+    _install_kernel(kernel)
+    _install_block_size(block_size)
     _install_budget_limits(time_budget, subset_budget)
     install_chaos(chaos)
     pathset_cache().clear()
@@ -214,6 +223,15 @@ def _merge_worker_counters(results: Iterable[TrialResult]) -> None:
         ),
         dominance_prunes=sum(
             r.search_counters.get("dominance_prunes", 0) for r in results
+        ),
+        block_searches=sum(
+            r.search_counters.get("block_searches", 0) for r in results
+        ),
+        blocks_evaluated=sum(
+            r.search_counters.get("blocks_evaluated", 0) for r in results
+        ),
+        block_rows_pruned=sum(
+            r.search_counters.get("block_rows_pruned", 0) for r in results
         ),
     )
 
@@ -502,6 +520,8 @@ def run_trials(
         time_budget,
         subset_budget,
         policy.chaos,
+        select_kernel(),
+        select_block_size(),
     )
     if policy.resilient or checkpoint is not None:
         return _run_resilient(spec_list, n_workers, initargs, policy, checkpoint)

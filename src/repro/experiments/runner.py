@@ -61,6 +61,7 @@ from repro.engine import (
     cache_stats,
     clear_pathset_cache,
     compression_policy,
+    kernel_policy,
     search_counters,
     search_jobs_policy,
 )
@@ -722,6 +723,25 @@ def build_parser() -> argparse.ArgumentParser:
         "witnesses and search bookkeeping, only the wall-clock changes",
     )
     parser.add_argument(
+        "--kernel",
+        default=None,
+        choices=["auto", "scalar", "block"],
+        help="subset-sweep execution strategy for every µ computation: "
+        "'scalar' (one subset at a time), 'block' (batched block kernel — "
+        "frontier rows unioned, dominance-checked and digested per block) or "
+        "'auto' (block when the numpy backend is active and the frontier is "
+        "large).  Bit-identical results either way; propagated to pool "
+        "workers and restored after the run",
+    )
+    parser.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="candidate subsets per block-kernel chunk (default: 1024); only "
+        "meaningful with --kernel block/auto",
+    )
+    parser.add_argument(
         "--search-stats",
         action="store_true",
         help="print the subset-search counters (searches run, sharded "
@@ -834,6 +854,8 @@ def _validate_arguments(parser: argparse.ArgumentParser, args) -> None:
         )
     if args.time_budget is not None and args.time_budget <= 0:
         parser.error(f"--time-budget must be > 0 seconds, got {args.time_budget}")
+    if args.block_size is not None and args.block_size < 1:
+        parser.error(f"--block-size must be >= 1, got {args.block_size}")
     if args.trial_timeout is not None and args.trial_timeout <= 0:
         parser.error(
             f"--trial-timeout must be > 0 seconds, got {args.trial_timeout}"
@@ -872,7 +894,9 @@ def main(argv: List[str] | None = None) -> int:
     try:
         with backend_policy(args.backend), compression_policy(
             False if args.no_compress else None
-        ), search_jobs_policy(args.search_jobs), budget_policy(
+        ), search_jobs_policy(args.search_jobs), kernel_policy(
+            args.kernel, args.block_size
+        ), budget_policy(
             time_budget=args.time_budget
         ), execution_policy(
             trial_timeout=args.trial_timeout,
@@ -892,6 +916,8 @@ def main(argv: List[str] | None = None) -> int:
                     or args.no_compress
                     or args.search_jobs is not None
                     or args.time_budget is not None
+                    or args.kernel is not None
+                    or args.block_size is not None
                 ):
                     engine_override = EngineConfig.from_policy()
                 sections = run_spec_files(

@@ -28,7 +28,8 @@ Endpoints
 ``GET /metrics``
     Prometheus-style text exposition: request counts by path/status, a
     latency histogram, in-flight gauge, scenario- and pathset-cache
-    counters, and the PR-8 resilience ``pool_counters``.
+    counters, the PR-8 resilience ``pool_counters`` and the subset-search
+    counters (``repro_search_*`` — searches, block-kernel blocks, prunes).
 
 Error mapping: malformed JSON / invalid specs / bad parameters → 400 with a
 ``{"error": ...}`` body (never a traceback); unknown path → 404; wrong
@@ -57,6 +58,7 @@ from urllib.parse import parse_qs, urlsplit
 from repro.api.scenario import Scenario
 from repro.api.spec import AnalysisSpec, DeltaSpec, ScenarioSpec
 from repro.engine.cache import cache_stats, pathset_cache
+from repro.engine.signatures import search_counters
 from repro.exceptions import SpecError
 from repro.resilience.pool import pool_counters
 from repro.service.cache import ScenarioCache
@@ -194,6 +196,13 @@ class Metrics:
         lines.append("# HELP repro_pool Resilient-pool counters (see PR 8).")
         for name, value in sorted(pool_counters().as_dict().items()):
             emit(f"repro_pool_{name}_total", value)
+
+        lines.append(
+            "# HELP repro_search Subset-search counters (searches run, "
+            "sharded/block searches, subsets enumerated, prunes)."
+        )
+        for name, value in sorted(search_counters().as_dict().items()):
+            emit(f"repro_search_{name}_total", value)
         return "\n".join(lines) + "\n"
 
 

@@ -482,6 +482,8 @@ class TestSpecRunner:
             "time_budget": None,
             "subset_budget": None,
             "cache_maxsize": None,
+            "kernel": "auto",
+            "block_size": None,
         }
 
     def test_write_output_atomic_replaces_existing_content(self, tmp_path):

@@ -1,0 +1,513 @@
+"""Block-kernel parity: ``kernel="block"`` must be bit-identical to the
+scalar sweep — same µ, same min-lex witness, same ``searched_up_to`` /
+``exhausted_search`` and the same ``subsets_enumerated`` accounting — across
+every routing mechanism, every failure universe, serial and sharded
+execution, and budget truncation.  The matrix mirrors
+test_search_sharding.py; the block kernel adds the batched row-union /
+dominance / digest path on top of the same enumeration order, so equality is
+asserted on the full result dataclass *and* on the stats fields the scalar
+path defines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+
+import pytest
+
+import repro
+from repro.api.spec import (
+    EngineConfig,
+    PlacementSpec,
+    ScenarioSpec,
+    SpecError,
+    TopologySpec,
+)
+from repro.core.local import local_maximal_identifiability
+from repro.core.separability import inseparable_pairs_of_size
+from repro.engine import signatures as sig
+from repro.engine.backends import PythonBackend, numpy_available
+from repro.engine.signatures import (
+    DEFAULT_BLOCK_SIZE,
+    KERNELS,
+    SearchStats,
+    kernel_policy,
+    resolve_block_size,
+    resolve_kernel,
+    search_counters,
+    select_block_size,
+    select_kernel,
+)
+from repro.exceptions import IdentifiabilityError
+from repro.resilience.budget import Budget
+
+MECHANISMS = ("CSP", "CAP-", "CAP")
+KINDS = ("node", "link", "srlg")
+N_SEEDS = 20
+SUBSET_BUDGET = 25
+
+
+def _pathset(seed: int, mechanism: str):
+    graph = repro.erdos_renyi_connected(10, 0.35, rng=seed)
+    placement = repro.random_placement(graph, 2, 2, rng=seed + 1000)
+    return repro.enumerate_paths(graph, placement, mechanism=mechanism)
+
+
+def _universe(pathset, kind: str):
+    if kind != "srlg":
+        return pathset.universe(kind)
+    links = pathset.links
+    groups = {
+        f"g{i}": links[2 * i : 2 * i + 2] for i in range((len(links) + 1) // 2)
+    }
+    return pathset.universe("srlg", groups=groups)
+
+
+@pytest.fixture
+def forced(monkeypatch):
+    """Force sharding on for every size so jobs>1 actually shards."""
+    monkeypatch.setattr(sig, "MIN_SHARDED_FRONTIER", 0)
+    monkeypatch.setattr(sig, "_FORCE_EXECUTOR", "thread")
+
+
+def _assert_stats_parity(block, scalar, context):
+    """The block kernel must reproduce the scalar bookkeeping exactly."""
+    assert block == scalar, context  # value, witness, searched, exhausted
+    assert (
+        block.stats.subsets_enumerated == scalar.stats.subsets_enumerated
+    ), context
+    assert block.stats.table_entries == scalar.stats.table_entries, context
+    assert block.stats.budget_exhausted == scalar.stats.budget_exhausted, context
+
+
+class TestBlockParityMatrix:
+    """The acceptance matrix: seeds × mechanisms × universes × jobs × budget."""
+
+    @pytest.mark.parametrize("mechanism", MECHANISMS)
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_bit_identical_matrix(self, mechanism, kind, forced):
+        for seed in range(N_SEEDS):
+            pathset = _pathset(seed, mechanism)
+            engine = pathset.engine(universe=_universe(pathset, kind))
+            for jobs in (1, 4):
+                scalar = engine.identifiability(
+                    search_jobs=jobs, kernel="scalar"
+                )
+                block = engine.identifiability(search_jobs=jobs, kernel="block")
+                _assert_stats_parity(block, scalar, (seed, mechanism, kind, jobs))
+                scalar_b = engine.identifiability(
+                    search_jobs=jobs,
+                    kernel="scalar",
+                    budget=Budget(subset_budget=SUBSET_BUDGET),
+                )
+                block_b = engine.identifiability(
+                    search_jobs=jobs,
+                    kernel="block",
+                    budget=Budget(subset_budget=SUBSET_BUDGET),
+                )
+                _assert_stats_parity(
+                    block_b, scalar_b, (seed, mechanism, kind, jobs, "budget")
+                )
+
+    def test_block_size_does_not_change_results(self):
+        for seed in range(6):
+            pathset = _pathset(seed, "CSP")
+            engine = pathset.engine(universe=_universe(pathset, "link"))
+            scalar = engine.identifiability(kernel="scalar")
+            for block_size in (1, 2, 3, 7, 4096):
+                block = engine.identifiability(
+                    kernel="block", block_size=block_size
+                )
+                _assert_stats_parity(block, scalar, (seed, block_size))
+
+    @pytest.mark.parametrize(
+        "backend", ["python"] + (["numpy"] if numpy_available() else [])
+    )
+    def test_parity_on_each_backend(self, backend):
+        for seed in range(8):
+            pathset = _pathset(seed, "CAP")
+            engine = pathset.engine(
+                backend, universe=_universe(pathset, "node")
+            )
+            scalar = engine.identifiability(kernel="scalar")
+            block = engine.identifiability(kernel="block")
+            _assert_stats_parity(block, scalar, (seed, backend))
+
+    def test_census_queries_parity(self, forced):
+        for seed in range(4):
+            pathset = _pathset(seed, "CSP")
+            engine = pathset.engine(universe=_universe(pathset, "link"))
+            for jobs in (1, 3):
+                scalar_pairs = engine.inseparable_pairs(
+                    2, search_jobs=jobs, kernel="scalar"
+                )
+                assert engine.inseparable_pairs(
+                    2, search_jobs=jobs, kernel="block"
+                ) == scalar_pairs, (seed, jobs)
+                scalar_matrix = engine.separability_matrix(
+                    2, search_jobs=jobs, kernel="scalar"
+                )
+                block_matrix = engine.separability_matrix(
+                    2, search_jobs=jobs, kernel="block"
+                )
+                assert block_matrix == scalar_matrix
+                assert list(block_matrix) == list(scalar_matrix)  # same order
+            assert inseparable_pairs_of_size(
+                pathset, 2, universe=_universe(pathset, "link"), kernel="block"
+            ) == engine.inseparable_pairs(2, kernel="scalar")
+
+    def test_local_search_parity(self):
+        for seed in range(4):
+            pathset = _pathset(seed, "CSP")
+            for element in list(pathset.nodes)[:4]:
+                exact = local_maximal_identifiability(
+                    pathset, {element}, max_size=3, kernel="scalar"
+                )
+                assert local_maximal_identifiability(
+                    pathset, {element}, max_size=3, kernel="block"
+                ) == exact, (seed, element)
+
+    def test_digest_stream_parity(self):
+        """iter_subset_digests: same subset order, self-consistent digests."""
+        pathset = _pathset(1, "CSP")
+        engine = pathset.engine()
+        scalar = list(engine.iter_subset_digests(range(0, 3), kernel="scalar"))
+        block = list(engine.iter_subset_digests(range(0, 3), kernel="block"))
+        assert [subset for subset, _ in block] == [s for s, _ in scalar]
+        # Digest families differ between kernels, but within one family
+        # equal unions must share a digest.
+        for stream in (scalar, block):
+            by_key = {}
+            for subset, digest in stream:
+                by_key.setdefault(engine.union_key(subset), set()).add(digest)
+            assert all(len(digests) == 1 for digests in by_key.values())
+
+
+class TestAutoResolution:
+    def test_auto_prefers_block_only_on_vectorized_backends(self):
+        assert sig._resolved_kernel("scalar", PythonBackend(4), 10**9) == "scalar"
+        assert sig._resolved_kernel("block", PythonBackend(4), 0) == "block"
+        assert sig._resolved_kernel("auto", PythonBackend(4), 10**9) == "scalar"
+        if numpy_available():
+            from repro.engine.backends import NumpyBackend
+
+            backend = NumpyBackend(4)
+            assert sig._resolved_kernel("auto", backend, 10**9) == "block"
+            assert (
+                sig._resolved_kernel("auto", backend, sig.MIN_BLOCK_FRONTIER - 1)
+                == "scalar"
+            )
+
+    def test_stats_record_resolved_kernel(self):
+        pathset = _pathset(2, "CSP")
+        engine = pathset.engine("python")
+        assert engine.identifiability(kernel="scalar").stats.kernel == "scalar"
+        block = engine.identifiability(kernel="block")
+        assert block.stats.kernel == "block"
+        # Pure-python auto stays scalar (no vectorized block ops to win with).
+        assert engine.identifiability(kernel="auto").stats.kernel == "scalar"
+
+    def test_block_counters_accumulate(self):
+        pathset = _pathset(1, "CSP")
+        engine = pathset.engine()
+        before = search_counters()
+        result = engine.identifiability(kernel="block")
+        after = search_counters()
+        assert after.block_searches == before.block_searches + 1
+        if result.searched_up_to >= 2:
+            assert result.stats.blocks_evaluated > 0
+            assert (
+                after.blocks_evaluated
+                == before.blocks_evaluated + result.stats.blocks_evaluated
+            )
+            assert (
+                after.block_rows_pruned
+                == before.block_rows_pruned + result.stats.block_rows_pruned
+            )
+
+    def test_sharded_block_counters_merge(self, forced):
+        pathset = _pathset(1, "CSP")
+        engine = pathset.engine()
+        serial = engine.identifiability(kernel="block", search_jobs=1)
+        sharded = engine.identifiability(kernel="block", search_jobs=3)
+        assert sharded == serial
+        assert sharded.stats.kernel == "block"
+        if serial.searched_up_to >= 2:
+            assert sharded.stats.blocks_evaluated > 0
+
+
+class TestValidationAndPolicy:
+    def test_kernel_validation(self):
+        pathset = _pathset(0, "CSP")
+        engine = pathset.engine()
+        for bad in ("vector", "", 1, None):
+            if bad is None:
+                continue
+            with pytest.raises(IdentifiabilityError):
+                engine.identifiability(kernel=bad)
+        for bad in (0, -1, 1.5, True, "8"):
+            with pytest.raises(IdentifiabilityError):
+                engine.identifiability(kernel="block", block_size=bad)
+
+    def test_policy_scoping_and_deprecation(self):
+        assert select_kernel() == "auto"
+        assert select_block_size() is None
+        with kernel_policy("block", 16):
+            assert select_kernel() == "block"
+            assert select_block_size() == 16
+            assert resolve_kernel() == "block"
+            assert resolve_block_size() == 16
+        assert select_kernel() == "auto"
+        assert resolve_block_size() == DEFAULT_BLOCK_SIZE
+        with pytest.warns(DeprecationWarning):
+            select_kernel("scalar")
+        try:
+            assert select_kernel() == "scalar"
+        finally:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                select_kernel("auto")
+
+    def test_kernels_tuple_is_the_contract(self):
+        assert KERNELS == ("auto", "scalar", "block")
+        for name in KERNELS:
+            assert resolve_kernel(name) == name
+
+
+class TestBackendBatchedOps:
+    """The pure-python fallback implements the same batched-op contract."""
+
+    def test_python_backend_block_ops(self):
+        backend = PythonBackend(8)
+        rows = [backend.pack(1 << i) for i in range(5)]
+        stacked = backend.stack(rows)
+        prefixes = backend.stack([backend.pack(1 << 1), backend.pack(1 << 4)])
+        # Two spans against two different prefixes in one chunk.
+        unions, dominated = backend.block_scan(
+            stacked, prefixes, [(0, 1, 4), (1, 4, 5)]
+        )
+        assert len(unions) == 4 and len(dominated) == 4
+        assert dominated[0] is True or dominated[0] == True  # noqa: E712
+        assert dominated[3] is True or dominated[3] == True  # noqa: E712
+        assert backend.key(unions[1]) == backend.key(
+            backend.union(backend.pack(1 << 1), rows[2])
+        )
+        digests = backend.block_digests(unions)
+        assert len(digests) == 4 and all(isinstance(d, int) for d in digests)
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+    def test_numpy_backend_block_ops_match_scalar_ops(self):
+        from repro.engine.backends import NumpyBackend
+
+        backend = NumpyBackend(130)  # forces multi-word rows
+        rows = [
+            backend.pack((1 << i) | (1 << ((i * 37) % 130)) | (1 << 129))
+            for i in range(9)
+        ]
+        stacked = backend.stack(rows)
+        prefix_a = backend.pack((1 << 3) | (1 << 64) | (1 << 128))
+        prefix_b = backend.pack((1 << 129) | (1 << 5))
+        prefixes = backend.stack([prefix_a, prefix_b])
+        spans = [(0, 0, 4), (1, 4, 9)]
+        unions, dominated = backend.block_scan(stacked, prefixes, spans)
+        expected = [(prefix_a, row) for row in rows[0:4]] + [
+            (prefix_b, row) for row in rows[4:9]
+        ]
+        for j, (prefix, row) in enumerate(expected):
+            assert backend.key(unions[j]) == backend.key(
+                backend.union(prefix, row)
+            )
+            assert dominated[j] == backend.is_subset(row, prefix)
+        digests = backend.block_digests(stacked)
+        # Equal rows hash equal; the mix must separate these distinct rows.
+        assert len(set(digests)) == len(rows)
+        again = backend.block_digests(backend.stack(rows))
+        assert digests == again
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+    def test_numpy_bits_round_trip_matches_python_backend(self):
+        """Satellite 1: NumpyBackend.bits() must match PythonBackend.bits()."""
+        from repro.engine.backends import NumpyBackend
+
+        for width in (1, 63, 64, 65, 127, 130, 300):
+            numpy_backend = NumpyBackend(width)
+            python_backend = PythonBackend(width)
+            cases = [
+                [],
+                [0],
+                [width - 1],
+                [0, width - 1],
+                list(range(0, width, 7)),
+                list(range(width)),
+            ]
+            for raw in cases:
+                indices = sorted(set(raw))
+                mask = sum(1 << i for i in indices)
+                from_numpy = list(numpy_backend.bits(numpy_backend.pack(mask)))
+                from_python = list(
+                    python_backend.bits(python_backend.pack(mask))
+                )
+                assert from_numpy == from_python == indices, (width, indices)
+
+    def test_kernel_block_legal_without_numpy(self, monkeypatch):
+        """kernel="block" must run on the fallback when numpy is absent."""
+        from repro.engine import backends
+
+        monkeypatch.setattr(backends, "_np", None)
+        pathset = _pathset(0, "CSP")
+        engine = pathset.engine("python")
+        scalar = engine.identifiability(kernel="scalar")
+        block = engine.identifiability(kernel="block")
+        assert block == scalar
+        assert block.stats.kernel == "block"
+
+
+class TestSpecRunnerAndWorkers:
+    def test_engine_config_round_trip_and_validation(self):
+        config = EngineConfig(kernel="block", block_size=64)
+        payload = config.to_dict()
+        assert payload["kernel"] == "block" and payload["block_size"] == 64
+        assert EngineConfig.from_dict(payload) == config
+        # Additive defaults: documents without the fields parse as auto.
+        legacy = EngineConfig.from_dict(
+            {"backend": "auto", "compress": True, "cache": True}
+        )
+        assert legacy.kernel == "auto" and legacy.block_size is None
+        for bad in ("vector", 1, ""):
+            with pytest.raises(SpecError):
+                EngineConfig(kernel=bad)
+        for bad in (0, -2, True, 1.5, "8"):
+            with pytest.raises(SpecError):
+                EngineConfig(block_size=bad)
+        assert EngineConfig(kernel="  Block ").kernel == "block"
+
+    def test_from_policy_captures_kernel(self):
+        with kernel_policy("block", 32):
+            captured = EngineConfig.from_policy()
+            assert captured.kernel == "block" and captured.block_size == 32
+        assert EngineConfig.from_policy().kernel == "auto"
+
+    def _spec(self, label: str) -> ScenarioSpec:
+        return ScenarioSpec(
+            topology=TopologySpec("dataxchange"),
+            placement=PlacementSpec("mdmp", {"d": 2}),
+            label=label,
+            seed=11,
+        )
+
+    def test_scenario_facade_parity(self):
+        scalar = ScenarioSpec(
+            topology=TopologySpec("dataxchange"),
+            placement=PlacementSpec("mdmp", {"d": 2}),
+            engine=EngineConfig(kernel="scalar"),
+        )
+        block = scalar.with_engine(EngineConfig(kernel="block", block_size=8))
+        scalar_mu = repro.Scenario(scalar).mu()
+        block_mu = repro.Scenario(block).mu()
+        assert block_mu.value == scalar_mu.value
+        assert block_mu.witness == scalar_mu.witness
+        assert block_mu.searched_up_to == scalar_mu.searched_up_to
+        assert (
+            repro.Scenario(block).separability(2).n_inseparable
+            == repro.Scenario(scalar).separability(2).n_inseparable
+        )
+
+    def test_kernel_propagates_to_pool_workers(self):
+        """--jobs fan-out under a block-kernel policy stays bit-identical."""
+        from repro.experiments.runner import run_spec_sections
+
+        specs = [self._spec("a"), self._spec("b")]
+        baseline = run_spec_sections(specs, jobs=1)
+        block_specs = [
+            spec.with_engine(EngineConfig(kernel="block", block_size=16))
+            for spec in specs
+        ]
+        fanned = run_spec_sections(block_specs, jobs=2)
+        for serial_section, fanned_section in zip(baseline, fanned):
+            assert (
+                fanned_section.data["analyses"]
+                == serial_section.data["analyses"]
+            )
+
+    def test_init_worker_installs_kernel_policy(self):
+        from repro.experiments.parallel import _init_worker
+
+        try:
+            _init_worker("python", True, 1, None, None, None, "block", 8)
+            assert select_kernel() == "block"
+            assert select_block_size() == 8
+        finally:
+            sig._install_kernel("auto")
+            sig._install_block_size(None)
+
+    def test_worker_counter_merge_includes_block_counters(self):
+        from repro.experiments.parallel import TrialResult, _merge_worker_counters
+
+        before = search_counters()
+        _merge_worker_counters(
+            [
+                TrialResult(
+                    index=0,
+                    value=None,
+                    search_counters={
+                        "searches": 1,
+                        "block_searches": 1,
+                        "blocks_evaluated": 5,
+                        "block_rows_pruned": 9,
+                    },
+                )
+            ]
+        )
+        after = search_counters()
+        assert after.block_searches == before.block_searches + 1
+        assert after.blocks_evaluated == before.blocks_evaluated + 5
+        assert after.block_rows_pruned == before.block_rows_pruned + 9
+
+    def test_runner_kernel_flags(self, tmp_path, capsys):
+        from repro.experiments import runner
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(self._spec("flags").to_json())
+        out_path = tmp_path / "out.json"
+        code = runner.main(
+            [
+                "--spec", str(spec_path),
+                "--kernel", "block",
+                "--block-size", "32",
+                "--search-stats",
+                "--format", "json",
+                "--output", str(out_path),
+            ]
+        )
+        assert code == 0
+        engine = json.loads(out_path.read_text())["sections"][0]["data"][
+            "spec"
+        ]["engine"]
+        assert engine["kernel"] == "block"
+        assert engine["block_size"] == 32
+        assert "block_searches" in capsys.readouterr().err
+        # The scoped policy is restored after main() returns.
+        assert select_kernel() == "auto"
+        assert select_block_size() is None
+
+    def test_runner_rejects_bad_block_size(self, tmp_path):
+        from repro.experiments import runner
+
+        with pytest.raises(SystemExit):
+            runner.main(["--tables", "real", "--block-size", "0"])
+
+    def test_metrics_exposes_search_counters(self):
+        from repro.service.app import Metrics
+        from repro.service.cache import ScenarioCache
+        from repro.service.executor import AnalysisExecutor
+
+        text = Metrics().render(ScenarioCache(), AnalysisExecutor())
+        for name in (
+            "repro_search_searches_total",
+            "repro_search_block_searches_total",
+            "repro_search_blocks_evaluated_total",
+            "repro_search_block_rows_pruned_total",
+        ):
+            assert name in text

@@ -91,6 +91,8 @@ EXPECTED_SPEC_SCHEMA = {
         "time_budget": None,
         "subset_budget": None,
         "cache_maxsize": None,
+        "kernel": "auto",
+        "block_size": None,
     },
     "seed": None,
     "analyses": [{"analysis": "mu", "params": {}}],
@@ -140,6 +142,8 @@ class TestPublicSurface:
             "time_budget": None,
             "subset_budget": None,
             "cache_maxsize": None,
+            "kernel": "auto",
+            "block_size": None,
         }
 
     def test_available_analyses_snapshot(self):

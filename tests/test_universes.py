@@ -420,6 +420,8 @@ V1_UPGRADED_SNAPSHOT = {
         "time_budget": None,
         "subset_budget": None,
         "cache_maxsize": None,
+        "kernel": "auto",
+        "block_size": None,
     },
     "seed": 7,
     "analyses": [{"analysis": "mu", "params": {}}],
